@@ -1,0 +1,1 @@
+bench/measure.ml: Array Int64 Monotonic_clock Printf String

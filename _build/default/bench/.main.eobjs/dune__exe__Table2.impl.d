@@ -1,0 +1,1 @@
+bench/table2.ml: Array Bandwidth Bytes Colibri Colibri_topology Colibri_types Deployment Gateway Ids List Measure Net Packet Path Printf Reservation Result Router Segments Timebase Topology

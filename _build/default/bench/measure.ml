@@ -1,0 +1,52 @@
+(** Timing helpers for the reproduction benchmarks.
+
+    Latency figures (Figs. 3–4) replicate the paper's method: trigger
+    single requests and report the mean and standard error of 100
+    measurements. Throughput figures (Figs. 5–6, App. E) time a batch
+    of operations with the monotonic clock and report operations per
+    second. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+type sample_stats = { mean_us : float; stderr_us : float; samples : int }
+
+(** Run [f] [samples] times (after [warmup] unmeasured runs); each call
+    is timed individually, as in §6.1. *)
+let latency ?(warmup = 10) ?(samples = 100) (f : int -> unit) : sample_stats =
+  for i = 0 to warmup - 1 do
+    f i
+  done;
+  let xs =
+    Array.init samples (fun i ->
+        let t0 = now_ns () in
+        f (warmup + i);
+        Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e3)
+  in
+  let n = float_of_int samples in
+  let mean = Array.fold_left ( +. ) 0. xs /. n in
+  let var =
+    Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs /. (n -. 1.)
+  in
+  { mean_us = mean; stderr_us = sqrt (var /. n); samples }
+
+(** Time [n] iterations of [f] and return the rate in ops/second. *)
+let throughput ?(warmup = 1000) ~(n : int) (f : int -> unit) : float =
+  for i = 0 to warmup - 1 do
+    f i
+  done;
+  let t0 = now_ns () in
+  for i = 0 to n - 1 do
+    f (warmup + i)
+  done;
+  let dt = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
+  float_of_int n /. dt
+
+(** Pretty throughput in Mpps and the Gbps equivalent for a payload. *)
+let mpps rate = rate /. 1e6
+
+let gbps_at rate ~wire_bytes = rate *. 8. *. float_of_int wire_bytes /. 1e9
+
+let print_header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let print_row fmt = Printf.printf fmt

@@ -1,0 +1,265 @@
+(** Workload generators for the evaluation benchmarks (§6.1, §7.1).
+
+    The paper pre-generates reservations, loads them into the service,
+    and then triggers fresh requests; these builders reproduce that
+    setup for each figure. *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+let asn n = Ids.asn ~isd:1 ~num:n
+let key src id : Ids.res_key = { src_as = asn src; res_id = id }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 3: SegR admission at a transit AS.                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A transit-AS CServ preloaded with [existing] SegRs crossing the
+    same interface pair (1 → 2), of which a fraction [ratio] come from
+    the same source AS as the probe requests. Returns the CServ of the
+    transit AS plus a probe function issuing one full, authenticated
+    SegReq forward-processing step (MAC verification + admission), the
+    quantity §6.1 measures. *)
+type fig3_rig = {
+  transit : Cserv.t;
+  probe : int -> unit; (* process the i-th fresh setup request *)
+}
+
+(** Build the Fig. 3 rig. The probe requests are issued by topology
+    AS 1, so the same-source preload entries are keyed to AS 1. *)
+let fig3 ~existing ~ratio =
+  let topo = Topology_gen.linear ~n:3 ~capacity:(gbps 400_000.) in
+  let d = Deployment.create topo in
+  let transit = Deployment.cserv d (asn 2) in
+  let adm = Cserv.seg_admission transit in
+  let same_src_count = int_of_float (Float.round (ratio *. float_of_int existing)) in
+  for i = 1 to existing do
+    let src = if i <= same_src_count then 1 (* the probe's source AS *) else 100 + i in
+    (* ResIds from 1_000_000 up: disjoint from the probes' fresh ids. *)
+    match
+      Admission.Seg.admit adm ~key:(key src (1_000_000 + i)) ~version:1
+        ~src:(asn src) ~ingress:1
+        ~egress:2 ~demand:(mbps 1.) ~min_bw:(Bandwidth.of_kbps 1.) ~exp_time:1e9
+        ~now:0.
+    with
+    | Admission.Granted _ -> ()
+    | Admission.Denied _ -> failwith "fig3 preload rejected"
+  done;
+  let path = Topology_gen.linear_path ~n:3 in
+  (* Pre-build the probe requests: §6.1 measures "the time elapsed
+     between the request arriving and the response leaving the
+     service", not the initiator-side construction. *)
+  let prebuilt =
+    Array.init 256 (fun _ ->
+        Result.get_ok
+          (Cserv.make_seg_request (Deployment.cserv d (asn 1)) ~path
+             ~kind:Reservation.Core ~max_bw:(mbps 1.) ~min_bw:(Bandwidth.of_kbps 1.)
+             ~renew:None))
+  in
+  let adm = Cserv.seg_admission transit in
+  let probe i =
+    let n = Array.length prebuilt in
+    let req, auth = prebuilt.(i mod n) in
+    (match Cserv.handle_seg_request_forward transit ~req ~auth with
+    | `Continue _ -> ()
+    | `Deny r -> Fmt.failwith "fig3 probe denied: %a" Protocol.pp_deny_reason r);
+    (* Recycle the batch so long (Bechamel) runs can reuse the prebuilt
+       requests: amortized over n probes, invisible to the statistics. *)
+    if (i + 1) mod n = 0 then
+      Array.iter
+        (fun ((r : Protocol.seg_request), _) ->
+          Admission.Seg.remove adm
+            ~key:{ src_as = r.res_info.src_as; res_id = r.res_info.res_id }
+            ~version:r.res_info.version)
+        prebuilt
+  in
+  { transit; probe }
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 4: EER admission at a transit AS.                              *)
+(* ------------------------------------------------------------------ *)
+
+type fig4_rig = { probe : int -> unit }
+
+(** A transit AS holding [segrs_same_source] SegRs of one source AS
+    (the parameter [s] of Fig. 4) and [existing] EERs over the probe
+    SegR. The probe issues a fresh authenticated EEReq. *)
+let fig4 ~(existing : int) ~(segrs_same_source : int) : fig4_rig =
+  let topo = Topology_gen.linear ~n:3 ~capacity:(gbps 400_000.) in
+  let d = Deployment.create topo in
+  let transit = Deployment.cserv d (asn 2) in
+  let path = Topology_gen.linear_path ~n:3 in
+  (* [s] SegRs from the same source AS through this transit AS; the
+     first is the one the probe EERs ride on. *)
+  let first_segr = ref None in
+  for i = 1 to max 1 segrs_same_source do
+    match
+      Deployment.setup_segr d ~path ~kind:Reservation.Core ~max_bw:(gbps 10.)
+        ~min_bw:(Bandwidth.of_kbps 1.)
+    with
+    | Ok segr -> if i = 1 then first_segr := Some segr
+    | Error e -> failwith ("fig4 segr setup: " ^ e)
+  done;
+  let segr = Option.get !first_segr in
+  (* Preload EERs over that SegR: direct admission entries. *)
+  let eer_adm = Cserv.eer_admission transit in
+  for i = 1 to existing do
+    match
+      Admission.Eer.admit eer_adm ~key:(key 50_000 i) ~version:1
+        ~segrs:[ (segr.key, gbps 10.) ] ~via_up:None
+        ~demand:(Bandwidth.of_bps 10.) ~exp_time:1e9 ~now:0.
+    with
+    | Admission.Granted _ -> ()
+    | Admission.Denied _ -> failwith "fig4 preload rejected"
+  done;
+  let src_cs = Deployment.cserv d (asn 1) in
+  (* Pre-built probe requests, as in {!fig3}. *)
+  let prebuilt =
+    Array.init 256 (fun _ ->
+        Result.get_ok
+          (Cserv.make_eer_request src_cs ~path ~src_host:(Ids.host 1)
+             ~dst_host:(Ids.host 2) ~bw:(Bandwidth.of_bps 10.)
+             ~segr_keys:[ segr.key ] ~renew:None))
+  in
+  let probe i =
+    let n = Array.length prebuilt in
+    let req, auth = prebuilt.(i mod n) in
+    (match Cserv.handle_eer_request_forward transit ~req ~auth with
+    | `Continue _ -> ()
+    | `Deny r -> Fmt.failwith "fig4 probe denied: %a" Protocol.pp_deny_reason r);
+    if (i + 1) mod n = 0 then
+      Array.iter
+        (fun ((r : Protocol.eer_request), _) ->
+          Admission.Eer.remove_version eer_adm
+            ~key:{ src_as = r.res_info.src_as; res_id = r.res_info.res_id }
+            ~version:r.res_info.version ~now:0.)
+        prebuilt
+  in
+  { probe }
+
+(* ------------------------------------------------------------------ *)
+(* Figs. 5/6 and App. E: data-plane rigs.                              *)
+(* ------------------------------------------------------------------ *)
+
+(** A gateway preloaded with [reservations] EERs over a path of
+    [path_len] ASes. σ keys, paths, and ResInfo skeletons are shared
+    across entries (the per-entry state the lookup exercises — hash
+    entry, versions, token bucket — is still per-reservation), keeping
+    the preload of 2^20 entries tractable. Timestamps/expiry are set
+    far in the future so that a long measurement never hits expiry. *)
+type gateway_rig = {
+  gateway : Gateway.t;
+  reservations : int;
+  send : int -> unit; (* send one packet on a pseudo-random ResId *)
+  wire_bytes : int;
+}
+
+let shared_path ~path_len : Path.t =
+  List.init path_len (fun i ->
+      Path.hop ~asn:(asn (i + 1))
+        ~ingress:(if i = 0 then 0 else 1)
+        ~egress:(if i = path_len - 1 then 0 else 2))
+
+let gateway_rig ?(payload_len = 0) ~(path_len : int) ~(reservations : int) () :
+    gateway_rig =
+  let clock () = 0. in
+  let gw = Gateway.create ~burst:1e12 ~clock (asn 1) in
+  let path = shared_path ~path_len in
+  let sigmas =
+    Array.init path_len (fun i -> Hvf.sigma_of_bytes (Bytes.make 16 (Char.chr (65 + i))))
+  in
+  let version : Reservation.version =
+    { version = 1; bw = gbps 100.; exp_time = 1e9 }
+  in
+  for res_id = 1 to reservations do
+    let eer : Reservation.eer =
+      {
+        key = { src_as = asn 1; res_id };
+        path;
+        src_host = Ids.host 1;
+        dst_host = Ids.host 2;
+        segr_keys = [];
+        versions = [ version ];
+      }
+    in
+    match Gateway.register_prepared gw ~eer ~version ~sigmas with
+    | Ok () -> ()
+    | Error e -> failwith ("gateway_rig: " ^ e)
+  done;
+  (* Worst case per §7.1: "packets arrive with random reservation IDs
+     (out of the set of valid ones)" — a multiplicative-hash sequence
+     visits IDs pseudo-randomly. *)
+  let send i =
+    let res_id = 1 + (i * 0x9e3779b1 land 0x3fffffff) mod reservations in
+    match Gateway.send gw ~res_id ~payload_len with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "gateway_rig send: %a" Gateway.pp_drop_reason e
+  in
+  {
+    gateway = gw;
+    reservations;
+    send;
+    wire_bytes = Packet.header_len ~hops:path_len + payload_len;
+  }
+
+(** A border router plus a batch of valid serialized packets of the
+    given path length, cycled through by [process]. The duplicate
+    filter and OFD are disabled, matching the paper's router benchmark
+    scoping (§7.1); a second constructor enables them for the
+    monitoring-cost ablation. *)
+type router_rig = {
+  router : Router.t;
+  process : int -> unit;
+  wire_bytes : int;
+}
+
+let router_rig ?(payload_len = 0) ?(monitoring = false) ~(path_len : int)
+    ~(distinct_packets : int) () : router_rig =
+  let clock () = 0. in
+  let secret = Hvf.as_secret_of_material (Bytes.make 16 'R') in
+  (* The router is AS 2 on the path (a transit hop). *)
+  let self = asn 2 in
+  let router =
+    if monitoring then
+      Router.create ~freshness_window:1e12 ~secret ~clock self
+    else
+      Router.create ~freshness_window:1e12 ~ofd:`None ~duplicates:`None ~secret
+        ~clock self
+  in
+  let path = shared_path ~path_len in
+  let res_info : Packet.res_info =
+    { src_as = asn 1; res_id = 7; bw = gbps 100.; exp_time = 1e9; version = 1 }
+  in
+  let eer_info : Packet.eer_info = { src_host = Ids.host 1; dst_host = Ids.host 2 } in
+  let hop = List.nth path 1 in
+  let sigma = Hvf.sigma_of_bytes (Hvf.hop_auth secret ~res_info ~eer_info ~hop) in
+  let wire_bytes = Packet.header_len ~hops:path_len + payload_len in
+  let batch =
+    Array.init distinct_packets (fun i ->
+        let ts = Timebase.Ts.of_int (1_000_000_000 - i) in
+        let hvfs =
+          Array.init path_len (fun j ->
+              if j = 1 then Hvf.eer_hvf sigma ~ts ~pkt_size:wire_bytes
+              else Bytes.make Packet.hvf_len 'x')
+        in
+        Packet.to_bytes
+          {
+            Packet.kind = Packet.Eer;
+            path;
+            res_info;
+            eer_info = Some eer_info;
+            ts;
+            hvfs;
+            payload_len;
+          })
+  in
+  let process i =
+    let raw = batch.(i mod distinct_packets) in
+    match Router.process_bytes router ~raw ~payload_len with
+    | Ok _ -> ()
+    | Error e -> Fmt.failwith "router_rig: %a" Router.pp_drop_reason e
+  in
+  { router; process; wire_bytes }

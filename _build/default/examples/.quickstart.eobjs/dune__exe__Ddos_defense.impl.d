@@ -1,0 +1,1 @@
+examples/ddos_defense.ml: Array Bandwidth Bytes Char Colibri Colibri_topology Colibri_types Deployment Fmt Gateway Ids List Net Packet Path Reservation Result Router Segments Timebase Topology_gen

@@ -1,0 +1,1 @@
+examples/multipath_failover.ml: Bandwidth Colibri Colibri_topology Colibri_types Deployment Fmt Ids List Path Reservation Segments Topology_gen

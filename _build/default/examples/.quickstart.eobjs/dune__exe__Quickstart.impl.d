@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Bandwidth Bytes Colibri Colibri_topology Colibri_types Deployment Fmt Gateway Ids List Packet Path Reservation Result Router Segments Topology Topology_gen

@@ -1,0 +1,1 @@
+examples/settlement_billing.ml: Bandwidth Colibri Colibri_topology Colibri_types Deployment Fmt Ids List Option Path Reservation Segments Settlement Topology_gen

@@ -1,0 +1,1 @@
+examples/video_stream.ml: Bandwidth Buffer Colibri Colibri_topology Colibri_types Deployment Float Fmt Ids List Packet Path Reservation Segments Topology_gen

@@ -1,0 +1,95 @@
+(** Neighbor-to-neighbor settlement (§9): how a transit AS bills the
+    reservations it carries.
+
+    Transit AS X1 runs a settlement ledger. Its customer S reserves
+    bandwidth towards the core over two SegR versions (a setup and a
+    later renegotiated renewal), and pushes EER traffic through; X1
+    accrues committed Gbps-hours towards its provider Y1 and carried
+    volume, and closes a billing period into invoices — the "scalable
+    neighbor-to-neighbor settlements, similarly to today's AS peering
+    agreements" of the paper's discussion section.
+
+    Run with: [dune exec examples/settlement_billing.exe] *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+module G = Topology_gen.Two_isd
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+let ok = function Ok v -> v | Error e -> failwith e
+
+let () =
+  Fmt.pr "== Colibri settlement & billing ==@.@.";
+  let deployment = Deployment.create (Topology_gen.two_isd ()) in
+  let topo = Deployment.topology deployment in
+  let db = Deployment.seg_db deployment in
+  (* X1's ledger, with a negotiated contract towards its provider Y1. *)
+  let ledger = Settlement.create ~clock:(Deployment.clock deployment) G.x1 in
+  Settlement.set_contract ledger
+    {
+      neighbor = G.y1;
+      price_per_gbps_hour = 3.0;
+      price_per_gb = 0.05;
+      colibri_share = 0.8;
+    };
+  Fmt.pr "X1 contracts with Y1: 3.0/Gbps·h committed, 0.05/GB carried.@.@.";
+
+  (* S sets up an up-SegR through X1 towards Y1: 2 Gbps committed. *)
+  let up = List.hd (Segments.Db.up_segments db ~src:G.s) in
+  let segr =
+    ok
+      (Deployment.setup_segr deployment ~path:up.Segments.path ~kind:Reservation.Up
+         ~max_bw:(gbps 2.) ~min_bw:(mbps 10.))
+  in
+  let x1_hop =
+    List.find (fun (h : Path.hop) -> Ids.equal_asn h.asn G.x1) segr.path
+  in
+  let v1 = Option.get segr.active in
+  Settlement.on_segr_granted ledger ~topo ~egress:x1_hop.egress ~key:segr.key
+    ~version:v1.version ~bw:v1.bw;
+  Fmt.pr "SegR %a v1 committed: %a through X1→Y1.@." Ids.pp_res_key segr.key
+    Bandwidth.pp v1.bw;
+
+  (* An EER carries traffic for a while; X1 reports the carried bytes. *)
+  let eer =
+    ok
+      (Deployment.setup_eer_auto deployment ~src:G.s ~src_host:(Ids.host 1)
+         ~dst:G.y1 ~dst_host:(Ids.host 2) ~bw:(mbps 200.))
+  in
+  let carried = ref 0 in
+  for _ = 1 to 200 do
+    Deployment.advance deployment 0.001;
+    match
+      Deployment.send_data deployment ~src:G.s ~res_id:eer.key.res_id
+        ~payload_len:50_000
+    with
+    | Ok { delivered = true; _ } -> carried := !carried + 50_000
+    | _ -> ()
+  done;
+  Settlement.carried ledger ~neighbor:G.y1 ~bytes:!carried;
+  Fmt.pr "EER %a carried %.1f MB through X1.@.@." Ids.pp_res_key eer.key
+    (float_of_int !carried /. 1e6);
+
+  (* Two hours later, S renegotiates the SegR down to 1 Gbps. *)
+  Deployment.advance deployment 7200.;
+  Settlement.commitment_ended ledger ~neighbor:G.y1 ~key:segr.key
+    ~version:v1.version;
+  let renewed =
+    ok
+      (Deployment.setup_segr ~renew:segr.key deployment ~path:segr.path
+         ~kind:Reservation.Up ~max_bw:(gbps 1.) ~min_bw:(mbps 10.))
+  in
+  ok (Deployment.activate_segr deployment ~key:segr.key);
+  let v2 = Option.get renewed.active in
+  Settlement.on_segr_granted ledger ~topo ~egress:x1_hop.egress ~key:segr.key
+    ~version:v2.version ~bw:v2.bw;
+  Fmt.pr "After 2h, SegR renegotiated to %a (v%d).@.@." Bandwidth.pp v2.bw v2.version;
+
+  (* Another hour, then the monthly close. *)
+  Deployment.advance deployment 3600.;
+  Fmt.pr "Invoices at period close:@.";
+  List.iter (fun inv -> Fmt.pr "  %a@." Settlement.pp_invoice inv)
+    (Settlement.close_period ledger);
+  Fmt.pr "@.(2 Gbps x 2h + 1 Gbps x 1h = 5 Gbps·h x 3.0 = 15.0, plus carried volume.)@."

@@ -1,0 +1,1 @@
+lib/baseline/diffserv.ml: Array Bandwidth Colibri_types Fmt Net Queue

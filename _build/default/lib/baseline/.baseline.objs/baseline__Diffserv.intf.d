@@ -1,0 +1,1 @@
+lib/baseline/diffserv.mli: Bandwidth Colibri_types Fmt Net

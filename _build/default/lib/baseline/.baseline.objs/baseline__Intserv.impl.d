@@ -1,0 +1,1 @@
+lib/baseline/intserv.ml: Bandwidth Colibri_types List Timebase

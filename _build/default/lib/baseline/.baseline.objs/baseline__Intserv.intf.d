@@ -1,0 +1,1 @@
+lib/baseline/intserv.mli: Bandwidth Colibri_types Timebase

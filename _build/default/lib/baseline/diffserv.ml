@@ -1,0 +1,85 @@
+(** DiffServ-style baseline (§1, §8).
+
+    The archetype of lightweight class-based systems: hosts mark a
+    class in the packet header (the ToS/DSCP field), routers apply
+    per-hop prioritization, and {e nothing else} — no admission, no
+    signaling, no authentication. It scales perfectly and guarantees
+    nothing: any sender can mark its packets with the highest class, so
+    under attack the "premium" class degrades exactly like best effort.
+    The ablation bench demonstrates this failure next to Colibri's
+    Table 2 behaviour. *)
+
+open Colibri_types
+
+type dscp = Expedited | Assured | Default
+
+let dscp_priority = function Expedited -> 0 | Assured -> 1 | Default -> 2
+
+let pp_dscp ppf = function
+  | Expedited -> Fmt.string ppf "EF"
+  | Assured -> Fmt.string ppf "AF"
+  | Default -> Fmt.string ppf "BE"
+
+(** A DiffServ output port: strict priority across the three classes,
+    no per-flow state, no policing of who set which mark. *)
+type t = {
+  engine : Net.Engine.t;
+  capacity : Bandwidth.t;
+  queues : (int * (unit -> unit)) Queue.t array; (* (bytes, deliver) *)
+  queue_limit_bytes : int;
+  queued : int array;
+  mutable busy : bool;
+  delivered_bytes : int array; (* per class *)
+  dropped_bytes : int array;
+}
+
+let create ~(engine : Net.Engine.t) ~(capacity : Bandwidth.t)
+    ?(queue_limit_bytes = 4 * 1024 * 1024) () : t =
+  {
+    engine;
+    capacity;
+    queues = Array.init 3 (fun _ -> Queue.create ());
+    queue_limit_bytes;
+    queued = Array.make 3 0;
+    busy = false;
+    delivered_bytes = Array.make 3 0;
+    dropped_bytes = Array.make 3 0;
+  }
+
+let rec transmit_next (t : t) =
+  let cls = ref (-1) in
+  (try
+     for i = 0 to 2 do
+       if not (Queue.is_empty t.queues.(i)) then begin
+         cls := i;
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  if !cls < 0 then t.busy <- false
+  else begin
+    t.busy <- true;
+    let i = !cls in
+    let bytes, deliver = Queue.pop t.queues.(i) in
+    t.queued.(i) <- t.queued.(i) - bytes;
+    let ser = 8. *. float_of_int bytes /. Bandwidth.to_bps t.capacity in
+    Net.Engine.schedule t.engine ~delay:ser (fun () ->
+        t.delivered_bytes.(i) <- t.delivered_bytes.(i) + bytes;
+        deliver ();
+        transmit_next t)
+  end
+
+(** Enqueue a packet with the class {e the sender chose} — the crux of
+    the model: the mark is not authenticated. *)
+let send (t : t) ~(dscp : dscp) ~(bytes : int) ?(deliver = ignore) () =
+  let i = dscp_priority dscp in
+  if t.queued.(i) + bytes > t.queue_limit_bytes then
+    t.dropped_bytes.(i) <- t.dropped_bytes.(i) + bytes
+  else begin
+    Queue.push (bytes, deliver) t.queues.(i);
+    t.queued.(i) <- t.queued.(i) + bytes;
+    if not t.busy then transmit_next t
+  end
+
+let delivered_bytes (t : t) (d : dscp) = t.delivered_bytes.(dscp_priority d)
+let dropped_bytes (t : t) (d : dscp) = t.dropped_bytes.(dscp_priority d)

@@ -1,0 +1,26 @@
+(** DiffServ-style baseline (§1, §8): hosts mark a class in the header
+    (ToS/DSCP), routers prioritize per hop — no admission, no
+    signaling, no authentication. It scales perfectly and guarantees
+    nothing: any sender can self-mark the highest class, so under
+    attack the "premium" class degrades like best effort (shown by the
+    ablation test). *)
+
+open Colibri_types
+
+type dscp = Expedited | Assured | Default
+
+val dscp_priority : dscp -> int
+val pp_dscp : dscp Fmt.t
+
+type t
+(** A DiffServ output port with strict priority across the three
+    classes and no per-flow state. *)
+
+val create : engine:Net.Engine.t -> capacity:Bandwidth.t -> ?queue_limit_bytes:int -> unit -> t
+
+val send : t -> dscp:dscp -> bytes:int -> ?deliver:(unit -> unit) -> unit -> unit
+(** Enqueue a packet with the class {e the sender chose} — the crux:
+    the mark is not authenticated. *)
+
+val delivered_bytes : t -> dscp -> int
+val dropped_bytes : t -> dscp -> int

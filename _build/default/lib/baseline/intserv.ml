@@ -1,0 +1,78 @@
+(** IntServ/RSVP-style baseline (§1, §8).
+
+    The archetype of strong-guarantee reservation systems: per-flow
+    end-to-end reservations signaled hop by hop, with {e per-flow state
+    on every on-path router} and admission decisions that consult that
+    state. This module reproduces the two properties Colibri is
+    measured against:
+
+    - {e control plane}: admission walks the interface's flow list, so
+      its cost grows linearly with the number of installed
+      reservations (the ablation bench quantifies this against
+      Colibri's constant-time admission);
+    - {e data plane}: forwarding needs a per-flow classifier lookup and
+      the router's memory grows with the flow count — and nothing
+      authenticates the flow identifier, so any sender can claim an
+      installed reservation (no defense against spoofing, §8 "RSVP
+      ... designed without any security considerations"). *)
+
+open Colibri_types
+
+type flow_id = { src : int; dst : int } (* 5-tuple stand-in *)
+
+type flow_state = {
+  id : flow_id;
+  bw : Bandwidth.t;
+  exp_time : Timebase.t;
+  mutable bytes_forwarded : int;
+}
+
+(** One router's reservation table for one outgoing interface. *)
+type t = {
+  capacity : Bandwidth.t;
+  share : float; (* fraction of capacity reservable *)
+  mutable flows : flow_state list; (* per-flow state, scanned linearly *)
+  mutable flow_count : int;
+}
+
+let create ~(capacity : Bandwidth.t) ?(share = 0.8) () : t =
+  { capacity; share; flows = []; flow_count = 0 }
+
+let flow_count (t : t) = t.flow_count
+
+(* The deliberate O(n): classic RSVP soft state requires walking the
+   flow list to expire stale entries and sum committed bandwidth. *)
+let committed (t : t) ~(now : Timebase.t) : Bandwidth.t =
+  t.flows <- List.filter (fun f -> now < f.exp_time) t.flows;
+  t.flow_count <- List.length t.flows;
+  List.fold_left (fun acc f -> Bandwidth.add acc f.bw) Bandwidth.zero t.flows
+
+(** RSVP-style admission: sum all existing flows, admit if the new one
+    fits. O(#flows) per decision. *)
+let admit (t : t) ~(id : flow_id) ~(bw : Bandwidth.t) ~(exp_time : Timebase.t)
+    ~(now : Timebase.t) : [ `Admitted | `Rejected ] =
+  let used = committed t ~now in
+  let cap = Bandwidth.scale t.share t.capacity in
+  if Bandwidth.(add used bw <= cap) then begin
+    t.flows <- { id; bw; exp_time; bytes_forwarded = 0 } :: t.flows;
+    t.flow_count <- t.flow_count + 1;
+    `Admitted
+  end
+  else `Rejected
+
+(** Data-plane classification: find the packet's flow; the claimed
+    [id] is taken at face value — there is no cryptographic binding,
+    so spoofed packets match an honest flow's reservation. *)
+let classify (t : t) ~(id : flow_id) : flow_state option =
+  List.find_opt (fun f -> f.id = id) t.flows
+
+let forward (t : t) ~(id : flow_id) ~(bytes : int) : [ `Reserved | `Best_effort ] =
+  match classify t ~id with
+  | Some f ->
+      f.bytes_forwarded <- f.bytes_forwarded + bytes;
+      `Reserved
+  | None -> `Best_effort
+
+(** Router memory consumed by per-flow state, the scaling obstacle
+    Colibri removes (Table 1, "Per-flow state in the fast path"). *)
+let state_bytes (t : t) = t.flow_count * 48

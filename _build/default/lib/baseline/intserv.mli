@@ -1,0 +1,39 @@
+(** IntServ/RSVP-style baseline (§1, §8): per-flow end-to-end
+    reservations with {e per-flow state on every router} and admission
+    that consults that state — the scalability and security
+    counterpoint Colibri is measured against. Admission walks the flow
+    list (O(#flows), see the ablation bench); forwarding classifies by
+    an {e unauthenticated} flow id, so spoofing succeeds. *)
+
+open Colibri_types
+
+type flow_id = { src : int; dst : int }
+
+type flow_state = {
+  id : flow_id;
+  bw : Bandwidth.t;
+  exp_time : Timebase.t;
+  mutable bytes_forwarded : int;
+}
+
+type t
+
+val create : capacity:Bandwidth.t -> ?share:float -> unit -> t
+val flow_count : t -> int
+
+val committed : t -> now:Timebase.t -> Bandwidth.t
+(** Sum of live reservations; expires soft state on the way
+    (deliberately O(#flows)). *)
+
+val admit :
+  t -> id:flow_id -> bw:Bandwidth.t -> exp_time:Timebase.t -> now:Timebase.t ->
+  [ `Admitted | `Rejected ]
+
+val classify : t -> id:flow_id -> flow_state option
+(** Find the packet's flow — the claimed id is taken at face value. *)
+
+val forward : t -> id:flow_id -> bytes:int -> [ `Reserved | `Best_effort ]
+
+val state_bytes : t -> int
+(** Router memory consumed by per-flow state — the scaling obstacle
+    Colibri removes (Table 1). *)

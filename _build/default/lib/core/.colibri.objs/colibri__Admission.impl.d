@@ -1,0 +1,1 @@
+lib/core/admission.ml: Array Bandwidth Colibri_types Float Fmt Hashtbl Ids List Option Timebase

@@ -1,0 +1,1 @@
+lib/core/admission.mli: Bandwidth Colibri_types Fmt Ids Timebase

@@ -1,0 +1,1 @@
+lib/core/control_net.mli: Bandwidth Colibri_topology Colibri_types Ids Net Topology

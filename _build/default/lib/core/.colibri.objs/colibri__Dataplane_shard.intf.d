@@ -1,0 +1,1 @@
+lib/core/dataplane_shard.mli: Colibri_types Gateway Hvf Ids Packet Reservation Router Timebase

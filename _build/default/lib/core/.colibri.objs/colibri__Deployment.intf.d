@@ -1,0 +1,1 @@
+lib/core/deployment.mli: Bandwidth Colibri_topology Colibri_types Cserv Fmt Gateway Ids Net Path Protocol Reservation Router Segments Timebase Topology

@@ -1,0 +1,1 @@
+lib/core/distributed.mli: Admission Bandwidth Colibri_types Ids Timebase

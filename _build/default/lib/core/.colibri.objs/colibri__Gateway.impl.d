@@ -1,0 +1,1 @@
+lib/core/gateway.ml: Array Colibri_types Fmt Hashtbl Hvf Ids List Monitor Packet Path Reservation Timebase

@@ -1,0 +1,1 @@
+lib/core/gateway.mli: Colibri_types Fmt Hvf Ids Packet Reservation Timebase

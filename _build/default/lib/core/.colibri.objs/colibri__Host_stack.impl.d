@@ -1,0 +1,1 @@
+lib/core/host_stack.ml: Bandwidth Colibri_types Deployment Float Ids List Net Reservation Timebase

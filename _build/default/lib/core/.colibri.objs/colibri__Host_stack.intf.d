@@ -1,0 +1,1 @@
+lib/core/host_stack.mli: Bandwidth Colibri_types Deployment Ids Timebase

@@ -1,0 +1,1 @@
+lib/core/hvf.ml: Bytes Char Colibri_types Crypto Ids Int32 Int64 Packet Path Timebase

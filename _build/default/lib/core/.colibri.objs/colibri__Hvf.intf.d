@@ -1,0 +1,1 @@
+lib/core/hvf.mli: Colibri_types Crypto Ids Packet Path Timebase

@@ -1,0 +1,1 @@
+lib/core/packet.ml: Array Bandwidth Bytes Colibri_types Float Fmt Ids Int32 Int64 Path Timebase

@@ -1,0 +1,1 @@
+lib/core/packet.mli: Bandwidth Colibri_types Fmt Ids Path Timebase

@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Bandwidth Buffer Bytes Colibri_types Crypto Float Fmt Ids Int32 Int64 List Packet Path Reservation

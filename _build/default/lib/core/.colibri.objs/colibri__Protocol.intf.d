@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Bandwidth Colibri_types Crypto Fmt Ids Packet Path Reservation

@@ -1,0 +1,1 @@
+lib/core/reservation.ml: Bandwidth Colibri_types Fmt Ids List Packet Path Segments Timebase

@@ -1,0 +1,1 @@
+lib/core/reservation.mli: Bandwidth Colibri_types Fmt Ids Packet Path Segments Timebase

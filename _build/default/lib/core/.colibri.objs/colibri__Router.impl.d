@@ -1,0 +1,1 @@
+lib/core/router.ml: Array Bandwidth Bytes Colibri_types Float Fmt Hashtbl Hvf Ids Monitor Option Packet Path Timebase

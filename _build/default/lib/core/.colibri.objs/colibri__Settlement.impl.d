@@ -1,0 +1,1 @@
+lib/core/settlement.ml: Bandwidth Colibri_topology Colibri_types Float Fmt Ids List Timebase

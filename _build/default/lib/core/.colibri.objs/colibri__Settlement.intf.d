@@ -1,0 +1,1 @@
+lib/core/settlement.mli: Bandwidth Colibri_topology Colibri_types Fmt Ids Timebase

@@ -1,0 +1,118 @@
+(** Control-plane message transport over the simulated network, and
+    the denial-of-capability protections of §5.3.
+
+    The {!Deployment} orchestrator moves control messages between
+    CServs instantaneously, which is exactly right for the admission
+    benchmarks ("disregarding propagation delays", §6.1). This module
+    adds the network underneath for experiments about the {e delivery}
+    of control traffic: one simulated link per topology edge, with the
+    class-based queuing of Appendix B.
+
+    It demonstrates the paper's DoC story measurably:
+
+    - initial SegReqs travel as best-effort traffic (§4.4) but "ASes
+      can use the isolation mechanisms described in Appendix B to
+      forward SegReqs with higher priority than best-effort traffic"
+      (§5.3) — sending them as {!Net.Traffic_class.Colibri_control}
+      keeps them deliverable under best-effort floods;
+    - renewals travel {e over the existing reservation} as Colibri
+      control traffic and are thus always isolated from best-effort
+      congestion (§5.3 "Protected Control Traffic").
+
+    The test suite measures both: a control-class message keeps its
+    propagation latency under a 3× link flood while a best-effort
+    message starves. *)
+
+open Colibri_types
+open Colibri_topology
+
+type message = { bytes : int; deliver : unit -> unit }
+
+type t = {
+  engine : Net.Engine.t;
+  topo : Topology.t;
+  (* One directed link per topology edge, keyed by (src, dst). *)
+  links : (Ids.asn * Ids.asn, message Net.Link.t) Hashtbl.t;
+  scheduler : Net.Link.scheduler;
+  delay : float;
+}
+
+let link_key (a : Ids.asn) (b : Ids.asn) = (a, b)
+
+(** Build the directed link mesh of the topology. [scheduler] defaults
+    to the strict-priority queuing of Appendix B; [delay] is the
+    per-link propagation delay. *)
+let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
+    ~(engine : Net.Engine.t) (topo : Topology.t) : t =
+  let t = { engine; topo; links = Hashtbl.create 64; scheduler; delay } in
+  Topology.ases topo
+  |> List.iter (fun asn ->
+         Topology.links topo asn
+         |> List.iter (fun (l : Topology.link) ->
+                let key = link_key asn l.remote_as in
+                if not (Hashtbl.mem t.links key) then
+                  Hashtbl.replace t.links key
+                    (Net.Link.create ~engine ~capacity:l.capacity ~delay ~scheduler
+                       ~deliver:(fun (p : message Net.Link.packet) ->
+                         p.payload.deliver ())
+                       ())));
+  t
+
+let link (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : message Net.Link.t option =
+  Hashtbl.find_opt t.links (link_key src dst)
+
+(** Inject best-effort background traffic on the [src → dst] link — the
+    flooding adversary of §5.3. Returns the source so tests can stop
+    it. *)
+let flood (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(rate : Bandwidth.t)
+    ?(packet_bytes = 1500) () : Net.Source.t =
+  match link t ~src ~dst with
+  | None -> invalid_arg "Control_net.flood: no such link"
+  | Some l ->
+      let s =
+        Net.Source.create ~engine:t.engine ~rate ~packet_bytes ~emit:(fun bytes ->
+            Net.Link.send l ~bytes ~cls:Net.Traffic_class.Best_effort
+              { bytes; deliver = ignore })
+      in
+      Net.Source.start s;
+      s
+
+(** Send one control-plane message of [bytes] along the AS-level
+    [route] (adjacent ASes), in the given traffic class; [deliver]
+    fires when the last hop receives it. Messages that are tail-dropped
+    on a congested link are silently lost — exactly the DoC exposure of
+    unprotected setup requests. *)
+let send_along (t : t) ~(route : Ids.asn list) ~(cls : Net.Traffic_class.t)
+    ~(bytes : int) ~(deliver : unit -> unit) : unit =
+  let rec hop = function
+    | [] | [ _ ] -> deliver ()
+    | a :: (b :: _ as rest) -> (
+        match link t ~src:a ~dst:b with
+        | None -> () (* broken route: lost *)
+        | Some l -> Net.Link.send l ~bytes ~cls { bytes; deliver = (fun () -> hop rest) })
+  in
+  hop route
+
+(** Measure the one-way latency of a control message along [route]
+    under current network conditions; [None] if it was not delivered
+    within [timeout] simulated seconds. The engine is run forward up
+    to [timeout]. *)
+let measure_latency (t : t) ~(route : Ids.asn list) ~(cls : Net.Traffic_class.t)
+    ~(bytes : int) ~(timeout : float) : float option =
+  let t0 = Net.Engine.now t.engine in
+  let arrival = ref None in
+  send_along t ~route ~cls ~bytes ~deliver:(fun () ->
+      if !arrival = None then arrival := Some (Net.Engine.now t.engine -. t0));
+  Net.Engine.run t.engine ~until:(t0 +. timeout);
+  !arrival
+
+(** The paper's two control-traffic protection levels (§5.3), as data:
+    how a request class is carried. *)
+type protection =
+  | Unprotected_best_effort (* naive initial SegReq *)
+  | Prioritized_control (* SegReq with App.-B prioritization *)
+  | Over_reservation (* renewal/EEReq over an existing SegR *)
+
+let class_of_protection : protection -> Net.Traffic_class.t = function
+  | Unprotected_best_effort -> Net.Traffic_class.Best_effort
+  | Prioritized_control | Over_reservation -> Net.Traffic_class.Colibri_control

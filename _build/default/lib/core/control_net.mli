@@ -1,0 +1,57 @@
+(** Control-plane message transport over the simulated network, and
+    the denial-of-capability protections of §5.3.
+
+    One simulated link per topology edge with the class-based queuing
+    of Appendix B, used to demonstrate the paper's DoC story
+    measurably: prioritized SegReqs and renewals over reservations keep
+    their latency under best-effort floods; naive best-effort requests
+    starve. *)
+
+open Colibri_types
+open Colibri_topology
+
+type t
+
+type message = { bytes : int; deliver : unit -> unit }
+
+val create :
+  ?scheduler:Net.Link.scheduler -> ?delay:float -> engine:Net.Engine.t -> Topology.t -> t
+(** Build the directed link mesh of the topology (strict-priority
+    queuing and 5 ms per-link delay by default). *)
+
+val link : t -> src:Ids.asn -> dst:Ids.asn -> message Net.Link.t option
+
+val flood :
+  t -> src:Ids.asn -> dst:Ids.asn -> rate:Bandwidth.t -> ?packet_bytes:int -> unit ->
+  Net.Source.t
+(** Start best-effort background traffic on one link — the flooding
+    adversary of §5.3. Stop it with {!Net.Source.stop}. *)
+
+val send_along :
+  t ->
+  route:Ids.asn list ->
+  cls:Net.Traffic_class.t ->
+  bytes:int ->
+  deliver:(unit -> unit) ->
+  unit
+(** Send one control message along adjacent ASes; tail-dropped
+    messages are silently lost — the DoC exposure of unprotected setup
+    requests. *)
+
+val measure_latency :
+  t ->
+  route:Ids.asn list ->
+  cls:Net.Traffic_class.t ->
+  bytes:int ->
+  timeout:float ->
+  float option
+(** One-way latency under current conditions; [None] if undelivered
+    within [timeout] simulated seconds (the engine is run forward). *)
+
+(** The §5.3 control-traffic protection levels. *)
+type protection =
+  | Unprotected_best_effort  (** naive initial SegReq *)
+  | Prioritized_control  (** SegReq with Appendix-B prioritization *)
+  | Over_reservation  (** renewal/EEReq over an existing SegR *)
+
+val class_of_protection : protection -> Net.Traffic_class.t

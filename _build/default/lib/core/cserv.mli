@@ -1,0 +1,191 @@
+(** The Colibri service (CServ, §3.2): one per AS, handling all
+    control-plane tasks — admission of SegRs and EERs, renewal and
+    activation, bookkeeping of reservations traversing the AS, the
+    registry and caching of shareable SegRs (Appendix C), and the
+    DRKey-based authentication of every control-plane message (§4.5).
+
+    The CServ is transport-agnostic: forward/backward handlers process
+    one hop of a request, and an orchestration layer ({!Deployment})
+    moves messages between ASes — mirroring the paper's evaluation,
+    which measures admission processing inside a single service. *)
+
+open Colibri_types
+open Colibri_topology
+
+type t
+
+(** AS types for EER processing (§4.1). *)
+type role = Source | Transit | Transfer | Destination
+
+(** Intra-AS admission policy for EERs (§4.7): source and destination
+    ASes have the business relationship with their hosts and are free
+    to define local rules. [accept_incoming] stands in for the
+    destination host's explicit accept (§4.4). *)
+type policy = {
+  max_eer_bw : Bandwidth.t;
+  accept_outgoing : Packet.eer_info -> Bandwidth.t -> bool;
+  accept_incoming : Packet.eer_info -> Bandwidth.t -> bool;
+}
+
+val default_policy : policy
+
+(** A SegR as known to an on-path AS, with its local hop. *)
+type transit_segr = {
+  segr : Reservation.segr;
+  ingress : Ids.iface;
+  egress : Ids.iface;
+}
+
+(** Public description of a registered SegR, as returned by registry
+    lookups (Appendix C). *)
+type segr_descr = {
+  key : Ids.res_key;
+  kind : Reservation.seg_kind;
+  path : Path.t;
+  bw : Bandwidth.t;
+  exp_time : Timebase.t;
+}
+
+val create :
+  ?policy:policy ->
+  ?renewal_min_interval:Timebase.t ->
+  ?rng:Random.State.t ->
+  clock:Timebase.clock ->
+  topo:Topology.t ->
+  Ids.asn ->
+  t
+
+val asn : t -> Ids.asn
+val key_server : t -> Drkey.Key_server.t
+
+val hop_secret : t -> Hvf.as_secret
+(** The AS-specific secret [K_i] for hop tokens/authenticators,
+    derived from the current DRKey secret value. *)
+
+val next_res_id : t -> Ids.res_id
+(** Allocate the next per-source reservation number (§4.3). *)
+
+(** {1 Segment reservations} *)
+
+val make_seg_request :
+  t ->
+  path:Path.t ->
+  kind:Reservation.seg_kind ->
+  max_bw:Bandwidth.t ->
+  min_bw:Bandwidth.t ->
+  renew:Ids.res_key option ->
+  (Protocol.seg_request * Protocol.request_auth, string) result
+(** Build an authenticated SegR setup ([renew = None]) or renewal
+    request at the initiator. *)
+
+val handle_seg_request_forward :
+  t ->
+  req:Protocol.seg_request ->
+  auth:Protocol.request_auth ->
+  [ `Continue of Bandwidth.t | `Deny of Protocol.deny_reason ]
+(** Forward-pass processing at one on-path AS: verify the source's
+    MAC, run the admission algorithm, tentatively record the grant. *)
+
+val handle_seg_reply_backward :
+  t -> req:Protocol.seg_request -> final_bw:Bandwidth.t -> Protocol.reply_hop
+(** Backward pass: commit the final (path-wide minimum) bandwidth,
+    store the reservation version, and emit this AS's Eq. (3) token.
+    Setups activate immediately; renewals stay pending until explicit
+    activation (§4.2). *)
+
+val handle_seg_failure : t -> req:Protocol.seg_request -> unit
+(** Cleanup after a failed setup: release the tentative admission
+    state (§3.3). *)
+
+val process_seg_reply :
+  t ->
+  req:Protocol.seg_request ->
+  reply:Protocol.seg_request Protocol.reply ->
+  (Reservation.segr, string) result
+(** At the initiator: verify every hop's MAC and store the SegR with
+    its tokens. *)
+
+val handle_seg_activation : t -> key:Ids.res_key -> (unit, string) result
+(** Activate a pending SegR version at one on-path AS; the superseded
+    version's admission share is released. *)
+
+(** {1 Registry & dissemination (Appendix C)} *)
+
+val register_segr :
+  t -> key:Ids.res_key -> allowed:Ids.Asn_set.t option -> (unit, string) result
+(** Register one of this AS's SegRs for use by other ASes, with an
+    optional whitelist. *)
+
+val registry_query : t -> requester:Ids.asn -> dst:Ids.asn -> segr_descr list
+(** Registered SegRs ending at [dst] that [requester] may use. *)
+
+val cache_remote_segrs : t -> segr_descr list -> unit
+(** Cache remote SegR descriptions (hierarchical caching). *)
+
+val cached_segrs : t -> dst:Ids.asn -> segr_descr list
+val invalidate_cached_segr : t -> key:Ids.res_key -> unit
+(** Drop a cached SegR that turned out stale. *)
+
+(** {1 End-to-end reservations} *)
+
+val renewal_allowed : t -> key:Ids.res_key -> bool
+(** Renewal rate limiting (§4.2): at most one renewal per
+    [renewal_min_interval] per reservation. Recording side effect:
+    a [true] answer counts as the renewal of record. *)
+
+val make_eer_request :
+  t ->
+  path:Path.t ->
+  src_host:Ids.host ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  segr_keys:Ids.res_key list ->
+  renew:Ids.res_key option ->
+  (Protocol.eer_request * Protocol.request_auth, string) result
+
+val handle_eer_request_forward :
+  t ->
+  req:Protocol.eer_request ->
+  auth:Protocol.request_auth ->
+  [ `Continue of Bandwidth.t | `Deny of Protocol.deny_reason ]
+(** Forward-pass EER admission (§4.7): policy checks at the edges,
+    SegR headroom at transit ASes, proportional core-SegR sharing at
+    transfer ASes. Renewals may be granted partially (§4.2). *)
+
+val handle_eer_reply_backward :
+  t -> req:Protocol.eer_request -> final_bw:Bandwidth.t -> Protocol.reply_hop
+(** Backward pass: compute the hop authenticator σ_i (Eq. (4)) over
+    the final reservation data and seal it for the source AS
+    (Eq. (5)). *)
+
+val handle_eer_failure : t -> req:Protocol.eer_request -> unit
+
+val process_eer_reply :
+  t ->
+  req:Protocol.eer_request ->
+  reply:Protocol.eer_request Protocol.reply ->
+  (Reservation.eer * Reservation.version * bytes list, string) result
+(** At the source AS: verify every hop's MAC, unseal the σ_i, and
+    return the reservation with the per-hop authenticators for the
+    gateway. *)
+
+(** {1 Policing hooks (§4.8)} *)
+
+val report_misbehavior : t -> src:Ids.asn -> unit
+(** Confirmed-overuse report from a border router: deny future
+    reservations from the offending source AS. *)
+
+val is_denied : t -> src:Ids.asn -> bool
+
+(** {1 Introspection} *)
+
+val own_segr_descrs : t -> kind:Reservation.seg_kind -> now:Timebase.t -> segr_descr list
+val transit_segr : t -> Ids.res_key -> transit_segr option
+val own_segr : t -> Ids.res_key -> Reservation.segr option
+val own_eer : t -> Ids.res_key -> Reservation.eer option
+val seg_admission : t -> Admission.Seg.t
+val eer_admission : t -> Admission.Eer.t
+
+val set_fetch_remote_key : t -> (Ids.asn -> Drkey.as_key) -> unit
+(** Wire the slow-side DRKey fetch to remote key servers (done by the
+    deployment). *)

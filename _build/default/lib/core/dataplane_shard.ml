@@ -1,0 +1,82 @@
+(** Shared-nothing sharding of the data plane across cores (§7, Fig. 6).
+
+    The paper shows the gateway and border router scale almost
+    perfectly linearly with cores, because per-packet processing is a
+    pure function of the packet and (for the gateway) of per-ResId
+    state that can be partitioned: "multiple gateways, each handling
+    only a fraction of all reservations" (§7.2). This module implements
+    that partitioning:
+
+    - a {!Sharded_gateway} splits reservations across [n] gateway
+      instances by ResId hash — registration and sending touch exactly
+      one shard, so shards never contend;
+    - border routers are stateless (their monitors are per-instance and
+      probabilistic), so router sharding is [n] independent instances
+      fed by any packet distribution.
+
+    On a multi-core host each shard would run on its own core
+    (OCaml 5 [Domain]s or separate processes). The Fig. 6 bench
+    measures per-shard throughput and reports the shared-nothing linear
+    model; see DESIGN.md §3 for why that substitution is faithful on a
+    single-core container. *)
+
+open Colibri_types
+
+module Sharded_gateway = struct
+  type t = { shards : Gateway.t array }
+
+  let create ?burst ~(clock : Timebase.clock) ~(shards : int) (asn : Ids.asn) : t =
+    if shards < 1 then invalid_arg "Sharded_gateway.create: shards < 1";
+    { shards = Array.init shards (fun _ -> Gateway.create ?burst ~clock asn) }
+
+  let shard_count (t : t) = Array.length t.shards
+
+  (* ResId → shard. A multiplicative hash spreads sequential ResIds. *)
+  let shard_of (t : t) (res_id : Ids.res_id) : int =
+    abs (res_id * 0x9e3779b1) mod Array.length t.shards
+
+  let shard (t : t) (i : int) : Gateway.t = t.shards.(i)
+
+  let register (t : t) ~(eer : Reservation.eer) ~(version : Reservation.version)
+      ~(sigmas : bytes list) : (unit, string) result =
+    Gateway.register t.shards.(shard_of t eer.key.res_id) ~eer ~version ~sigmas
+
+  let send (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
+      (Packet.t * Ids.iface, Gateway.drop_reason) result =
+    Gateway.send t.shards.(shard_of t res_id) ~res_id ~payload_len
+
+  let reservation_count (t : t) =
+    Array.fold_left (fun acc g -> acc + Gateway.reservation_count g) 0 t.shards
+
+  (** Shard balance: (min, max) reservations per shard — the tests use
+      this to check the hash spreads load. *)
+  let balance (t : t) : int * int =
+    Array.fold_left
+      (fun (lo, hi) g ->
+        let n = Gateway.reservation_count g in
+        (min lo n, max hi n))
+      (max_int, 0) t.shards
+end
+
+module Sharded_router = struct
+  type t = { shards : Router.t array }
+
+  let create ?freshness_window ?(monitoring = false) ~(secret : Hvf.as_secret)
+      ~(clock : Timebase.clock) ~(shards : int) (asn : Ids.asn) : t =
+    if shards < 1 then invalid_arg "Sharded_router.create: shards < 1";
+    let mk _ =
+      if monitoring then Router.create ?freshness_window ~secret ~clock asn
+      else
+        Router.create ?freshness_window ~ofd:`None ~duplicates:`None ~secret ~clock
+          asn
+    in
+    { shards = Array.init shards mk }
+
+  let shard_count (t : t) = Array.length t.shards
+  let shard (t : t) (i : int) : Router.t = t.shards.(i)
+
+  (* Routers are stateless: any spreading works; use packet Ts. *)
+  let process_bytes (t : t) ~(raw : bytes) ~(payload_len : int) =
+    let i = abs (Hashtbl.hash (Bytes.length raw, Bytes.get raw 8)) mod Array.length t.shards in
+    Router.process_bytes t.shards.(i) ~raw ~payload_len
+end

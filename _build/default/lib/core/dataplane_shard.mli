@@ -1,0 +1,61 @@
+(** Shared-nothing sharding of the data plane across cores (§7, Fig. 6).
+
+    The gateway and border router scale almost linearly with cores
+    because per-packet processing is a pure function of the packet and
+    (for the gateway) of per-ResId state that partitions cleanly:
+    "multiple gateways, each handling only a fraction of all
+    reservations" (§7.2). A {!Sharded_gateway} splits reservations
+    across shards by ResId hash — registration and sending touch
+    exactly one shard, so shards never contend; border routers are
+    stateless, so {!Sharded_router} is simply independent instances.
+
+    On a multi-core host each shard runs on its own core; the Fig. 6
+    bench measures per-shard throughput and reports the shared-nothing
+    linear model (see DESIGN.md §3). *)
+
+open Colibri_types
+
+module Sharded_gateway : sig
+  type t
+
+  val create : ?burst:float -> clock:Timebase.clock -> shards:int -> Ids.asn -> t
+  val shard_count : t -> int
+  val shard_of : t -> Ids.res_id -> int
+  val shard : t -> int -> Gateway.t
+
+  val register :
+    t ->
+    eer:Reservation.eer ->
+    version:Reservation.version ->
+    sigmas:bytes list ->
+    (unit, string) result
+
+  val send :
+    t -> res_id:Ids.res_id -> payload_len:int ->
+    (Packet.t * Ids.iface, Gateway.drop_reason) result
+
+  val reservation_count : t -> int
+
+  val balance : t -> int * int
+  (** (min, max) reservations per shard — the tests use this to check
+      the hash spreads load. *)
+end
+
+module Sharded_router : sig
+  type t
+
+  val create :
+    ?freshness_window:Timebase.t ->
+    ?monitoring:bool ->
+    secret:Hvf.as_secret ->
+    clock:Timebase.clock ->
+    shards:int ->
+    Ids.asn ->
+    t
+
+  val shard_count : t -> int
+  val shard : t -> int -> Router.t
+
+  val process_bytes :
+    t -> raw:bytes -> payload_len:int -> (Router.action, Router.drop_reason) result
+end

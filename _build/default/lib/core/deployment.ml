@@ -1,0 +1,376 @@
+(** A full simulated Colibri deployment: one CServ, gateway, and
+    border router per AS of a topology, wired together with DRKey key
+    servers and a shared clock.
+
+    This module is the orchestration layer that moves control-plane
+    requests hop-by-hop along reservation paths (Fig. 1a/1b) and data
+    packets through the chain of border routers (Fig. 1c). It is what
+    the examples and integration tests drive; the per-AS components it
+    glues together are individually testable and benchmarkable. *)
+
+open Colibri_types
+open Colibri_topology
+
+type as_node = {
+  asn : Ids.asn;
+  cserv : Cserv.t;
+  gateway : Gateway.t;
+  router : Router.t;
+}
+
+type t = {
+  topo : Topology.t;
+  engine : Net.Engine.t;
+  nodes : as_node Ids.Asn_tbl.t;
+  seg_db : Segments.Db.t; (* path segments from beaconing *)
+}
+
+let clock (t : t) : Timebase.clock = Net.Engine.clock t.engine
+let now (t : t) : Timebase.t = Net.Engine.now t.engine
+let engine (t : t) = t.engine
+let topology (t : t) = t.topo
+
+let node (t : t) (asn : Ids.asn) : as_node =
+  match Ids.Asn_tbl.find_opt t.nodes asn with
+  | Some n -> n
+  | None -> invalid_arg (Fmt.str "Deployment.node: unknown AS %a" Ids.pp_asn asn)
+
+let cserv (t : t) asn = (node t asn).cserv
+let gateway (t : t) asn = (node t asn).gateway
+let router (t : t) asn = (node t asn).router
+
+(** Build a deployment over [topo]. [policy_for] customizes per-AS EER
+    policies; [router_monitoring = false] builds bare-fast-path routers
+    (no OFD / duplicate filter), as used by the speed benchmarks. *)
+let create ?(policy_for = fun _ -> Cserv.default_policy) ?(router_monitoring = true)
+    ?(seed = 42) (topo : Topology.t) : t =
+  let engine = Net.Engine.create () in
+  let clk = Net.Engine.clock engine in
+  let nodes = Ids.Asn_tbl.create 64 in
+  let seg_db = Segments.discover topo in
+  let t = { topo; engine; nodes; seg_db } in
+  Topology.ases topo
+  |> List.iter (fun asn ->
+         let rng = Random.State.make [| seed; Hashtbl.hash (asn.Ids.isd, asn.Ids.num) |] in
+         let cserv =
+           Cserv.create ~policy:(policy_for asn) ~rng ~clock:clk ~topo asn
+         in
+         let secret = Cserv.hop_secret cserv in
+         let router =
+           if router_monitoring then
+             Router.create
+               ~report:(fun ~src -> Cserv.report_misbehavior cserv ~src)
+               ~secret ~clock:clk asn
+           else
+             Router.create ~ofd:`None ~duplicates:`None ~secret ~clock:clk asn
+         in
+         let gateway = Gateway.create ~clock:clk asn in
+         Ids.Asn_tbl.replace nodes asn { asn; cserv; gateway; router });
+  (* Wire slow-side DRKey fetches to the remote key servers. *)
+  Ids.Asn_tbl.iter
+    (fun asn n ->
+      Cserv.set_fetch_remote_key n.cserv (fun fast ->
+          Drkey.Key_server.fetch (Cserv.key_server (cserv t fast)) ~requester:asn))
+    nodes;
+  t
+
+let seg_db (t : t) = t.seg_db
+
+(* ---------------- Segment-reservation orchestration ---------------- *)
+
+type setup_error = { at : Ids.asn; reason : Protocol.deny_reason }
+
+let pp_setup_error ppf (e : setup_error) =
+  Fmt.pf ppf "at %a: %a" Ids.pp_asn e.at Protocol.pp_deny_reason e.reason
+
+(* Walk the forward pass; on success return per-AS grants (path order),
+   on failure clean up the ASes already processed. *)
+let seg_forward (t : t) ~(req : Protocol.seg_request) ~auth :
+    (Bandwidth.t list, setup_error) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (hop : Path.hop) :: rest -> (
+        let c = cserv t hop.asn in
+        match Cserv.handle_seg_request_forward c ~req ~auth with
+        | `Continue bw -> go (bw :: acc) rest
+        | `Deny reason ->
+            (* Clean up everyone upstream of the refusal. *)
+            List.iter
+              (fun (h : Path.hop) ->
+                if not (Ids.equal_asn h.asn hop.asn) then
+                  Cserv.handle_seg_failure (cserv t h.asn) ~req)
+              (List.filteri (fun i _ -> i < List.length acc) req.path);
+            Error { at = hop.asn; reason })
+  in
+  go [] req.path
+
+let seg_backward (t : t) ~(req : Protocol.seg_request) ~(final_bw : Bandwidth.t) :
+    Protocol.reply_hop list =
+  (* Reply travels destination → source (➌ in Fig. 1a); we collect in
+     path order for the initiator. *)
+  List.rev req.path
+  |> List.map (fun (hop : Path.hop) ->
+         Cserv.handle_seg_reply_backward (cserv t hop.asn) ~req ~final_bw)
+  |> List.rev
+
+(** Set up (or renew, via [renew]) a segment reservation from the first
+    AS of [path]. On success the initiator's CServ holds the SegR with
+    its Eq. (3) tokens. *)
+let setup_segr ?renew (t : t) ~(path : Path.t) ~(kind : Reservation.seg_kind)
+    ~(max_bw : Bandwidth.t) ~(min_bw : Bandwidth.t) : (Reservation.segr, string) result
+    =
+  let src = Path.source path in
+  let c = cserv t src in
+  match Cserv.make_seg_request c ~path ~kind ~max_bw ~min_bw ~renew with
+  | Error e -> Error e
+  | Ok (req, auth) -> (
+      match seg_forward t ~req ~auth with
+      | Error e -> Error (Fmt.str "%a" pp_setup_error e)
+      | Ok grants ->
+          let final_bw = List.fold_left Bandwidth.min max_bw grants in
+          let hops = seg_backward t ~req ~final_bw in
+          Cserv.process_seg_reply c ~req ~reply:(Protocol.Granted { final_bw; hops }))
+
+(** Activate the pending version of a SegR at every on-path AS and at
+    the initiator (§4.2). *)
+let activate_segr (t : t) ~(key : Ids.res_key) : (unit, string) result =
+  match Cserv.own_segr (cserv t key.src_as) key with
+  | None -> Error "unknown SegR at initiator"
+  | Some segr -> (
+      let results =
+        List.map
+          (fun (hop : Path.hop) ->
+            Cserv.handle_seg_activation (cserv t hop.asn) ~key)
+          segr.path
+      in
+      match List.find_opt Result.is_error results with
+      | Some (Error e) -> Error e
+      | _ -> Reservation.activate segr ~now:(now t))
+  | exception Not_found -> Error "unknown SegR"
+
+(** Ask [core] (the first AS of a down segment ending at [leaf]) to set
+    up a down-SegR — down-SegRs are only created upon explicit request
+    by the last AS (§3.3). The resulting SegR is registered at the
+    core's CServ with [allowed] and cached at the leaf. *)
+let request_down_segr ?(allowed = None) (t : t) ~(path : Path.t)
+    ~(max_bw : Bandwidth.t) ~(min_bw : Bandwidth.t) :
+    (Reservation.segr, string) result =
+  match setup_segr t ~path ~kind:Reservation.Down ~max_bw ~min_bw with
+  | Error e -> Error e
+  | Ok segr -> (
+      let core = Path.source path and leaf = Path.destination path in
+      match Cserv.register_segr (cserv t core) ~key:segr.key ~allowed with
+      | Error e -> Error e
+      | Ok () ->
+          (* The leaf caches the description for later lookups. *)
+          let descrs = Cserv.registry_query (cserv t core) ~requester:leaf ~dst:leaf in
+          Cserv.cache_remote_segrs (cserv t leaf) descrs;
+          Ok segr)
+
+(* ---------------- SegR lookup for EER construction ---------------- *)
+
+(** A usable chain of SegRs from [src] to [dst]: the spliced path plus
+    the reservation keys in path order. *)
+type eer_route = { path : Path.t; segr_keys : Ids.res_key list }
+
+(** Find SegR chains from [src] to [dst] following the hierarchical
+    lookup of Appendix C: own up-SegRs locally; down-SegRs from the
+    destination AS's CServ cache; core-SegRs from the CServ of the core
+    AS where the up segment ends. Results are cached at [src]'s CServ.
+    Shortest spliced path first. *)
+let lookup_eer_routes (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : eer_route list =
+  let now_ = now t in
+  let src_cs = cserv t src in
+  let ups = Cserv.own_segr_descrs src_cs ~kind:Reservation.Up ~now:now_ in
+  let cores_from (core_src : Ids.asn) (core_dst : Ids.asn) : Cserv.segr_descr list =
+    if Ids.equal_asn core_src core_dst then []
+    else begin
+      let descrs =
+        Cserv.own_segr_descrs (cserv t core_src) ~kind:Reservation.Core ~now:now_
+        |> List.filter (fun (d : Cserv.segr_descr) ->
+               Ids.equal_asn (Path.destination d.path) core_dst)
+      in
+      Cserv.cache_remote_segrs src_cs descrs;
+      descrs
+    end
+  in
+  let downs =
+    (* ask the destination AS's CServ (which cached them at creation) *)
+    let remote = Cserv.cached_segrs (cserv t dst) ~dst in
+    Cserv.cache_remote_segrs src_cs remote;
+    List.filter (fun (d : Cserv.segr_descr) -> d.kind = Reservation.Down) remote
+  in
+  let routes = ref [] in
+  let add segs =
+    match segs with
+    | [] -> ()
+    | first :: rest ->
+        let path =
+          List.fold_left
+            (fun acc (d : Cserv.segr_descr) -> Path.join acc d.path)
+            (first : Cserv.segr_descr).path rest
+        in
+        routes :=
+          { path; segr_keys = List.map (fun (d : Cserv.segr_descr) -> d.key) segs }
+          :: !routes
+  in
+  let src_is_core = Topology.is_core t.topo src in
+  let dst_is_core = Topology.is_core t.topo dst in
+  if Ids.equal_asn src dst then []
+  else begin
+    (* src core → dst core *)
+    if src_is_core && dst_is_core then
+      cores_from src dst |> List.iter (fun c -> add [ c ]);
+    (* src core → leaf: direct down, or core + down *)
+    if src_is_core then
+      downs
+      |> List.iter (fun (d : Cserv.segr_descr) ->
+             let head = Path.source d.path in
+             if Ids.equal_asn head src then add [ d ]
+             else cores_from src head |> List.iter (fun c -> add [ c; d ]));
+    (* leaf → dst core: up, or up + core *)
+    if dst_is_core then
+      ups
+      |> List.iter (fun (u : Cserv.segr_descr) ->
+             let top = Path.destination u.path in
+             if Ids.equal_asn top dst then add [ u ]
+             else cores_from top dst |> List.iter (fun c -> add [ u; c ]));
+    (* leaf → leaf *)
+    if not (src_is_core || dst_is_core) then
+      ups
+      |> List.iter (fun (u : Cserv.segr_descr) ->
+             let top = Path.destination u.path in
+             downs
+             |> List.iter (fun (d : Cserv.segr_descr) ->
+                    let head = Path.source d.path in
+                    if Ids.equal_asn top head then add [ u; d ]
+                    else cores_from top head |> List.iter (fun c -> add [ u; c; d ])));
+    List.sort
+      (fun a b -> compare (Path.length a.path) (Path.length b.path))
+      !routes
+  end
+
+(* ---------------- End-to-end-reservation orchestration ------------- *)
+
+let eer_forward (t : t) ~(req : Protocol.eer_request) ~auth :
+    (Bandwidth.t list, setup_error) result =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (hop : Path.hop) :: rest -> (
+        let c = cserv t hop.asn in
+        match Cserv.handle_eer_request_forward c ~req ~auth with
+        | `Continue bw -> go (bw :: acc) rest
+        | `Deny reason ->
+            List.iter
+              (fun (h : Path.hop) ->
+                if not (Ids.equal_asn h.asn hop.asn) then
+                  Cserv.handle_eer_failure (cserv t h.asn) ~req)
+              (List.filteri (fun i _ -> i < List.length acc) req.path);
+            Error { at = hop.asn; reason })
+  in
+  go [] req.path
+
+let eer_backward (t : t) ~(req : Protocol.eer_request) ~(final_bw : Bandwidth.t) :
+    Protocol.reply_hop list =
+  List.rev req.path
+  |> List.map (fun (hop : Path.hop) ->
+         Cserv.handle_eer_reply_backward (cserv t hop.asn) ~req ~final_bw)
+  |> List.rev
+
+(** Like {!setup_eer} but also returns the version and the unsealed
+    hop authenticators — used by tests and by rogue-gateway attack
+    scenarios that install the EER into additional gateways. *)
+let setup_eer_full ?renew (t : t) ~(route : eer_route) ~(src_host : Ids.host)
+    ~(dst_host : Ids.host) ~(bw : Bandwidth.t) :
+    (Reservation.eer * Reservation.version * bytes list, string) result =
+  let src = Path.source route.path in
+  let c = cserv t src in
+  match
+    Cserv.make_eer_request c ~path:route.path ~src_host ~dst_host ~bw
+      ~segr_keys:route.segr_keys ~renew
+  with
+  | Error e -> Error e
+  | Ok (req, auth) -> (
+      match eer_forward t ~req ~auth with
+      | Error e ->
+          (* A stale cached SegR is invalidated so a retry refetches
+             (Appendix C). *)
+          (match e.reason with
+          | Protocol.Expired_segr k -> Cserv.invalidate_cached_segr c ~key:k
+          | _ -> ());
+          Error (Fmt.str "%a" pp_setup_error e)
+      | Ok grants -> (
+          let final_bw = List.fold_left Bandwidth.min bw grants in
+          let hops = eer_backward t ~req ~final_bw in
+          match
+            Cserv.process_eer_reply c ~req ~reply:(Protocol.Granted { final_bw; hops })
+          with
+          | Error e -> Error e
+          | Ok (eer, version, sigmas) -> (
+              match Gateway.register (gateway t src) ~eer ~version ~sigmas with
+              | Error e -> Error e
+              | Ok () -> Ok (eer, version, sigmas))))
+
+(** Set up (or renew) an end-to-end reservation along [route]. On
+    success the reservation is installed at the source AS's gateway
+    (➎ in Fig. 1b) and ready to carry traffic. *)
+let setup_eer ?renew (t : t) ~(route : eer_route) ~(src_host : Ids.host)
+    ~(dst_host : Ids.host) ~(bw : Bandwidth.t) : (Reservation.eer, string) result =
+  Result.map
+    (fun (eer, _, _) -> eer)
+    (setup_eer_full ?renew t ~route ~src_host ~dst_host ~bw)
+
+(** Convenience: look up a route and set up an EER over the shortest
+    one; tries alternatives on failure (path choice, §2.1). *)
+let setup_eer_auto (t : t) ~(src : Ids.asn) ~(src_host : Ids.host) ~(dst : Ids.asn)
+    ~(dst_host : Ids.host) ~(bw : Bandwidth.t) : (Reservation.eer, string) result =
+  let rec try_routes last_err = function
+    | [] ->
+        Error
+          (Option.value last_err
+             ~default:(Fmt.str "no SegR route from %a to %a" Ids.pp_asn src Ids.pp_asn dst))
+    | route :: rest -> (
+        match setup_eer t ~route ~src_host ~dst_host ~bw with
+        | Ok eer -> Ok eer
+        | Error e -> try_routes (Some e) rest)
+  in
+  try_routes None (lookup_eer_routes t ~src ~dst)
+
+(* ---------------- Data plane ---------------- *)
+
+type delivery = {
+  delivered : bool;
+  dropped_at : (Ids.asn * Router.drop_reason) option;
+  hops_traversed : int;
+}
+
+(** Send one data packet over an EER: gateway processing at the source
+    AS, then parse+validate+forward at every border router on the path
+    (Fig. 1c). Returns where the packet ended up. *)
+let send_data (t : t) ~(src : Ids.asn) ~(res_id : Ids.res_id) ~(payload_len : int) :
+    (delivery, Gateway.drop_reason) result =
+  match Gateway.send (gateway t src) ~res_id ~payload_len with
+  | Error e -> Error e
+  | Ok (packet, _egress) ->
+      let raw = Packet.to_bytes packet in
+      let rec walk hops = function
+        | [] -> Ok { delivered = true; dropped_at = None; hops_traversed = hops }
+        | (hop : Path.hop) :: rest -> (
+            match Router.process_bytes (router t hop.asn) ~raw ~payload_len with
+            | Ok (Router.Forward _) -> walk (hops + 1) rest
+            | Ok (Router.Deliver _) ->
+                Ok { delivered = true; dropped_at = None; hops_traversed = hops + 1 }
+            | Ok Router.To_cserv ->
+                Ok { delivered = true; dropped_at = None; hops_traversed = hops + 1 }
+            | Error reason ->
+                Ok
+                  {
+                    delivered = false;
+                    dropped_at = Some (hop.asn, reason);
+                    hops_traversed = hops;
+                  })
+      in
+      walk 0 packet.path
+
+(** Advance simulated time. *)
+let advance (t : t) (dt : float) = Net.Engine.run t.engine ~until:(now t +. dt)

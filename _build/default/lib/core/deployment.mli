@@ -1,0 +1,142 @@
+(** A full simulated Colibri deployment: one CServ, gateway, and
+    border router per AS of a topology, wired together with DRKey key
+    servers and a shared clock.
+
+    This is the orchestration layer that moves control-plane requests
+    hop-by-hop along reservation paths (Fig. 1a/1b) and data packets
+    through the chain of border routers (Fig. 1c). Examples and
+    integration tests drive it; every per-AS component it glues
+    together is independently usable. *)
+
+open Colibri_types
+open Colibri_topology
+
+type t
+
+type as_node = {
+  asn : Ids.asn;
+  cserv : Cserv.t;
+  gateway : Gateway.t;
+  router : Router.t;
+}
+
+val create :
+  ?policy_for:(Ids.asn -> Cserv.policy) ->
+  ?router_monitoring:bool ->
+  ?seed:int ->
+  Topology.t ->
+  t
+(** Build a deployment over a topology: runs beaconing, instantiates
+    per-AS services, and wires slow-side DRKey fetches to the remote
+    key servers. [router_monitoring = false] builds bare-fast-path
+    routers (no OFD / duplicate filter), as used by the speed
+    benchmarks. *)
+
+val clock : t -> Timebase.clock
+val now : t -> Timebase.t
+val engine : t -> Net.Engine.t
+val topology : t -> Topology.t
+val seg_db : t -> Segments.Db.t
+val node : t -> Ids.asn -> as_node
+val cserv : t -> Ids.asn -> Cserv.t
+val gateway : t -> Ids.asn -> Gateway.t
+val router : t -> Ids.asn -> Router.t
+
+val advance : t -> float -> unit
+(** Run the simulation engine forward by the given seconds. *)
+
+(** {1 Segment-reservation orchestration} *)
+
+type setup_error = { at : Ids.asn; reason : Protocol.deny_reason }
+
+val pp_setup_error : setup_error Fmt.t
+
+val setup_segr :
+  ?renew:Ids.res_key ->
+  t ->
+  path:Path.t ->
+  kind:Reservation.seg_kind ->
+  max_bw:Bandwidth.t ->
+  min_bw:Bandwidth.t ->
+  (Reservation.segr, string) result
+(** Set up (or renew) a segment reservation from the first AS of
+    [path]: forward pass with per-AS admission, backward pass
+    committing the path-wide minimum and collecting Eq. (3) tokens. *)
+
+val activate_segr : t -> key:Ids.res_key -> (unit, string) result
+(** Activate the pending version of a SegR at every on-path AS and at
+    the initiator (§4.2). *)
+
+val request_down_segr :
+  ?allowed:Ids.Asn_set.t option ->
+  t ->
+  path:Path.t ->
+  max_bw:Bandwidth.t ->
+  min_bw:Bandwidth.t ->
+  (Reservation.segr, string) result
+(** Ask the first AS of a down segment to set up a down-SegR —
+    down-SegRs are only created upon explicit request by the last AS
+    (§3.3). The SegR is registered at the initiator's CServ and its
+    description cached at the leaf. *)
+
+(** {1 Route lookup and end-to-end reservations} *)
+
+(** A usable chain of SegRs from source to destination: the spliced
+    path plus the reservation keys in path order. *)
+type eer_route = { path : Path.t; segr_keys : Ids.res_key list }
+
+val lookup_eer_routes : t -> src:Ids.asn -> dst:Ids.asn -> eer_route list
+(** Hierarchical lookup of Appendix C: own up-SegRs locally,
+    down-SegRs from the destination's CServ cache, core-SegRs from the
+    core AS where the up segment ends; results cached at the source.
+    Shortest spliced path first. *)
+
+val setup_eer :
+  ?renew:Ids.res_key ->
+  t ->
+  route:eer_route ->
+  src_host:Ids.host ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  (Reservation.eer, string) result
+(** Set up (or renew) an end-to-end reservation along [route]; on
+    success it is installed at the source AS's gateway (➎ in
+    Fig. 1b). *)
+
+val setup_eer_full :
+  ?renew:Ids.res_key ->
+  t ->
+  route:eer_route ->
+  src_host:Ids.host ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  (Reservation.eer * Reservation.version * bytes list, string) result
+(** Like {!setup_eer} but also returns the version and the unsealed
+    hop authenticators — used by tests and rogue-gateway attack
+    scenarios. *)
+
+val setup_eer_auto :
+  t ->
+  src:Ids.asn ->
+  src_host:Ids.host ->
+  dst:Ids.asn ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  (Reservation.eer, string) result
+(** Look up routes and set up an EER over the shortest feasible one,
+    trying alternatives on failure (path choice, §2.1). *)
+
+(** {1 Data plane} *)
+
+type delivery = {
+  delivered : bool;
+  dropped_at : (Ids.asn * Router.drop_reason) option;
+  hops_traversed : int;
+}
+
+val send_data :
+  t -> src:Ids.asn -> res_id:Ids.res_id -> payload_len:int ->
+  (delivery, Gateway.drop_reason) result
+(** Send one data packet over an EER: gateway processing at the source
+    AS, then parse+validate+forward at every border router on the path
+    (Fig. 1c). *)

@@ -1,0 +1,91 @@
+(** Distributed Colibri service (Appendix D).
+
+    An AS in the Internet core may receive so many requests that a
+    single CServ machine becomes the bottleneck. The hierarchical
+    structure of reservations allows splitting the service:
+
+    - the {e coordinator} sub-service handles all SegReqs (their
+      admission needs the complete view of SegRs through the AS);
+    - {e ingress} sub-services handle EEReqs whose underlying SegR
+      enters through a given ingress interface;
+    - {e egress} sub-services (transfer ASes only) handle EEReqs by
+      egress interface of the outgoing SegR.
+
+    The load balancer must assign all EEReqs based on the same
+    underlying SegR to the same sub-service — then each sub-service's
+    accounting is self-contained and decisions parallelize trivially.
+    This module implements that decomposition; the test suite checks
+    its decisions coincide with a monolithic service's. *)
+
+open Colibri_types
+
+type sub_service = {
+  iface : Ids.iface;
+  admission : Admission.Eer.t;
+  mutable handled : int;
+}
+
+type t = {
+  coordinator : Admission.Seg.t;
+  ingress : (Ids.iface, sub_service) Hashtbl.t;
+  egress : (Ids.iface, sub_service) Hashtbl.t;
+  (* The balancer's pinning of SegRs to sub-services. *)
+  pin : (Ids.res_key, sub_service) Hashtbl.t;
+}
+
+let create ~(capacity : Ids.iface -> Bandwidth.t) ?share () : t =
+  {
+    coordinator = Admission.Seg.create ~capacity ?share ();
+    ingress = Hashtbl.create 16;
+    egress = Hashtbl.create 16;
+    pin = Hashtbl.create 1024;
+  }
+
+let coordinator (t : t) = t.coordinator
+
+let sub_service (tbl : (Ids.iface, sub_service) Hashtbl.t) (iface : Ids.iface) :
+    sub_service =
+  match Hashtbl.find_opt tbl iface with
+  | Some s -> s
+  | None ->
+      let s = { iface; admission = Admission.Eer.create (); handled = 0 } in
+      Hashtbl.replace tbl iface s;
+      s
+
+(** The load balancer: EEReqs over SegR [segr_key] (which enters this
+    AS via [segr_ingress]) always go to the same ingress sub-service.
+    At a transfer AS, EERs spanning two SegRs are pinned by the
+    {e incoming} SegR and the egress sub-service handles the outgoing
+    check — modeled here by pinning the pair to the ingress service,
+    which owns both checks for its pinned reservations (the
+    decomposition in the paper splits the decision into two independent
+    sub-problems; co-locating them in the pinned service keeps the
+    accounting exact without cross-service coordination). *)
+let service_for (t : t) ~(segr_key : Ids.res_key) ~(segr_ingress : Ids.iface) :
+    sub_service =
+  match Hashtbl.find_opt t.pin segr_key with
+  | Some s -> s
+  | None ->
+      let s = sub_service t.ingress segr_ingress in
+      Hashtbl.replace t.pin segr_key s;
+      s
+
+(** EER admission, dispatched to the pinned sub-service. Same
+    semantics as {!Admission.Eer.admit}. *)
+let admit_eer (t : t) ~(key : Ids.res_key) ~(version : int)
+    ~(segrs : (Ids.res_key * Bandwidth.t) list)
+    ~(via_up : (Ids.res_key * Ids.res_key * Bandwidth.t) option)
+    ~(segr_ingress : Ids.iface) ~(demand : Bandwidth.t) ~(exp_time : Timebase.t)
+    ~(now : Timebase.t) : Admission.decision =
+  match segrs with
+  | [] -> Admission.Denied { available = Bandwidth.zero }
+  | (first_segr, _) :: _ ->
+      let s = service_for t ~segr_key:first_segr ~segr_ingress in
+      s.handled <- s.handled + 1;
+      Admission.Eer.admit s.admission ~key ~version ~segrs ~via_up ~demand ~exp_time
+        ~now
+
+let ingress_services (t : t) : (Ids.iface * int) list =
+  Hashtbl.fold (fun iface s acc -> (iface, s.handled) :: acc) t.ingress []
+
+let service_count (t : t) = Hashtbl.length t.ingress + Hashtbl.length t.egress

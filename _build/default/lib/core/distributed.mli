@@ -1,0 +1,42 @@
+(** Distributed Colibri service (Appendix D).
+
+    An AS in the Internet core may receive so many requests that a
+    single CServ machine becomes the bottleneck. The hierarchical
+    structure of reservations allows splitting the service into a
+    {e coordinator} sub-service for SegReqs (whose admission needs the
+    complete view) and per-interface {e ingress}/{e egress}
+    sub-services for EEReqs. The load balancer must route all EEReqs
+    based on the same underlying SegR to the same sub-service — each
+    sub-service's accounting is then self-contained and decisions
+    parallelize trivially. The test suite checks the decomposition's
+    decisions coincide with a monolithic service's. *)
+
+open Colibri_types
+
+type t
+
+val create : capacity:(Ids.iface -> Bandwidth.t) -> ?share:float -> unit -> t
+
+val coordinator : t -> Admission.Seg.t
+(** The coordinator sub-service handling all SegReqs. *)
+
+val admit_eer :
+  t ->
+  key:Ids.res_key ->
+  version:int ->
+  segrs:(Ids.res_key * Bandwidth.t) list ->
+  via_up:(Ids.res_key * Ids.res_key * Bandwidth.t) option ->
+  segr_ingress:Ids.iface ->
+  demand:Bandwidth.t ->
+  exp_time:Timebase.t ->
+  now:Timebase.t ->
+  Admission.decision
+(** EER admission, dispatched to the sub-service pinned to the first
+    underlying SegR (by its ingress interface on first sight). Same
+    semantics as {!Admission.Eer.admit}. *)
+
+val ingress_services : t -> (Ids.iface * int) list
+(** The ingress sub-services with the number of requests each
+    handled. *)
+
+val service_count : t -> int

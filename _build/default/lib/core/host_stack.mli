@@ -1,0 +1,55 @@
+(** End-host networking stack (§3.2).
+
+    Colibri modifies the end-host stack (the SCION daemon) so that an
+    application can explicitly request and renew EERs. This module
+    models that stack for one host: it performs the SegR route lookup
+    (Appendix C), sets up the EER, and schedules automatic renewals
+    ahead of every expiry, so an application-level flow transparently
+    outlives the 16-second EER lifetime (§4.2). A failed renewal falls
+    back to an alternative route (path choice, §2.1).
+
+    Any transport can run on top: the gateway drops packets exceeding
+    the guaranteed bandwidth, which acts as the congestion signal; a
+    transport integrated tightly (à la QUIC) pins its sending rate to
+    {!flow_bw}. *)
+
+open Colibri_types
+
+type t
+(** One host's stack, bound to a deployment, an AS, and a host
+    address. *)
+
+type flow
+(** An application flow backed by an auto-renewing EER. *)
+
+val create : ?renew_margin:Timebase.t -> Deployment.t -> asn:Ids.asn -> host:Ids.host -> t
+(** [renew_margin] (default 5 s) is how long before expiry a renewal
+    is attempted; must lie strictly between 1 s and the EER
+    lifetime. *)
+
+val open_flow :
+  t -> dst:Ids.asn -> dst_host:Ids.host -> bw:Bandwidth.t -> (flow, string) result
+(** Look up SegR routes, set up the EER, and arm automatic renewal. *)
+
+val set_bandwidth : flow -> Bandwidth.t -> unit
+(** Adjust the demanded bandwidth; takes effect at the next renewal
+    ("possibly adjust the bandwidth to shifting traffic demands",
+    §4.2). *)
+
+val flow_bw : flow -> Bandwidth.t
+(** The bandwidth currently guaranteed to the flow. *)
+
+type send_result = Delivered | Dropped_in_network | Dropped_at_gateway
+
+val send : flow -> payload_len:int -> send_result
+
+val close : flow -> unit
+(** Stop renewing; the EER simply expires (there is no early-teardown
+    mechanism for EERs, §4.2). *)
+
+val renewals : flow -> int
+val renewal_failures : flow -> int
+val delivered : flow -> int
+val sent : flow -> int
+val is_open : flow -> bool
+val open_flows : t -> int

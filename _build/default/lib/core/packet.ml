@@ -1,0 +1,172 @@
+(** Colibri packet format (§4.3, Eq. (2)).
+
+    {v
+    Packet  = Path ‖ ResInfo ‖ EERInfo ‖ Ts ‖ V_0 ‖ … ‖ V_l ‖ Payload
+    Path    = (In_0, Eg_0) ‖ … ‖ (In_l, Eg_l)
+    ResInfo = SrcAS ‖ ResId ‖ Bw ‖ ExpT ‖ Ver
+    EERInfo = SrcHost ‖ DstHost
+    v}
+
+    One format serves all Colibri control- and data-plane traffic; the
+    [kind] flag distinguishes packets on segment reservations (where
+    [EERInfo] is unused) from packets on end-to-end reservations. The
+    wire encoding is fixed-width big-endian throughout, so MAC inputs
+    are canonical. *)
+
+open Colibri_types
+
+type kind = Seg | Eer
+
+type res_info = {
+  src_as : Ids.asn;
+  res_id : Ids.res_id;
+  bw : Bandwidth.t;
+  exp_time : Timebase.t;
+  version : int;
+}
+
+type eer_info = { src_host : Ids.host; dst_host : Ids.host }
+
+type t = {
+  kind : kind;
+  path : Path.t;
+  res_info : res_info;
+  eer_info : eer_info option; (* Some for EER data packets, None for SegR *)
+  ts : Timebase.Ts.t;
+  hvfs : bytes array; (* V_i, ℓ_hvf bytes each, one per on-path AS *)
+  payload_len : int; (* payload carried (bytes); contents are opaque here *)
+}
+
+let res_key (p : t) : Ids.res_key =
+  { src_as = p.res_info.src_as; res_id = p.res_info.res_id }
+
+(** Hop-validation-field length ℓ_hvf (§4.5): 4 bytes, as in the
+    paper; short static MACs are acceptable given the short lifetime of
+    reservations. *)
+let hvf_len = 4
+
+(* -- Canonical encodings used both on the wire and as MAC inputs -- *)
+
+let res_info_len = 32
+
+let res_info_to_bytes (r : res_info) : bytes =
+  let b = Bytes.create res_info_len in
+  Bytes.blit (Ids.asn_to_bytes r.src_as) 0 b 0 8;
+  Bytes.set_int32_be b 8 (Int32.of_int r.res_id);
+  Bytes.set_int64_be b 12 (Int64.of_float (Float.round (Bandwidth.to_bps r.bw)));
+  Bytes.set_int64_be b 20 (Int64.of_float (Float.round (r.exp_time *. 1e6)));
+  Bytes.set_int32_be b 28 (Int32.of_int r.version);
+  b
+
+let res_info_of_bytes b ~off : res_info =
+  {
+    src_as = Ids.asn_of_bytes b ~off;
+    res_id = Int32.to_int (Bytes.get_int32_be b (off + 8));
+    bw = Bandwidth.of_bps (Int64.to_float (Bytes.get_int64_be b (off + 12)));
+    exp_time = Int64.to_float (Bytes.get_int64_be b (off + 20)) /. 1e6;
+    version = Int32.to_int (Bytes.get_int32_be b (off + 28));
+  }
+
+let eer_info_len = 8
+
+let eer_info_to_bytes (e : eer_info) : bytes =
+  let b = Bytes.create eer_info_len in
+  Bytes.set_int32_be b 0 (Int32.of_int e.src_host.addr);
+  Bytes.set_int32_be b 4 (Int32.of_int e.dst_host.addr);
+  b
+
+let eer_info_of_bytes b ~off : eer_info =
+  {
+    src_host = Ids.host (Int32.to_int (Bytes.get_int32_be b off));
+    dst_host = Ids.host (Int32.to_int (Bytes.get_int32_be b (off + 4)));
+  }
+
+(* Header: magic(2) kind(1) hop_count(1) payload_len(4) ts(8)
+           path(20·n) res_info(32) eer_info(8) hvfs(4·n) *)
+let magic = 0xC01B
+let fixed_header_len = 2 + 1 + 1 + 4 + 8
+
+let header_len ~hops =
+  fixed_header_len + (hops * Path.hop_byte_size) + res_info_len + eer_info_len
+  + (hops * hvf_len)
+
+(** Total wire size of the packet: header plus payload. This is the
+    [PktSize] that Eq. (6) authenticates, so an AS flooding tiny or
+    header-only packets is still accountable for their full cost. *)
+let wire_size (p : t) : int = header_len ~hops:(Path.length p.path) + p.payload_len
+
+type parse_error =
+  | Truncated
+  | Bad_magic
+  | Bad_kind
+  | Bad_hop_count
+  | Bad_path of Path.error
+
+let pp_parse_error ppf = function
+  | Truncated -> Fmt.string ppf "truncated packet"
+  | Bad_magic -> Fmt.string ppf "bad magic"
+  | Bad_kind -> Fmt.string ppf "bad kind byte"
+  | Bad_hop_count -> Fmt.string ppf "bad hop count"
+  | Bad_path e -> Fmt.pf ppf "bad path: %a" Path.pp_error e
+
+(** Serialize the header; the payload is represented by its length
+    only (contents are opaque to Colibri processing). *)
+let to_bytes (p : t) : bytes =
+  let hops = Path.length p.path in
+  let b = Bytes.make (header_len ~hops) '\000' in
+  Bytes.set_uint16_be b 0 magic;
+  Bytes.set_uint8 b 2 (match p.kind with Seg -> 0 | Eer -> 1);
+  Bytes.set_uint8 b 3 hops;
+  Bytes.set_int32_be b 4 (Int32.of_int p.payload_len);
+  Bytes.set_int64_be b 8 (Int64.of_int (Timebase.Ts.to_int p.ts));
+  let off = fixed_header_len in
+  Bytes.blit (Path.to_bytes p.path) 0 b off (hops * Path.hop_byte_size);
+  let off = off + (hops * Path.hop_byte_size) in
+  Bytes.blit (res_info_to_bytes p.res_info) 0 b off res_info_len;
+  let off = off + res_info_len in
+  (match p.eer_info with
+  | Some e -> Bytes.blit (eer_info_to_bytes e) 0 b off eer_info_len
+  | None -> ());
+  let off = off + eer_info_len in
+  Array.iteri (fun i v -> Bytes.blit v 0 b (off + (i * hvf_len)) hvf_len) p.hvfs;
+  b
+
+let of_bytes (b : bytes) : (t, parse_error) result =
+  let len = Bytes.length b in
+  if len < fixed_header_len then Error Truncated
+  else if Bytes.get_uint16_be b 0 <> magic then Error Bad_magic
+  else begin
+    match Bytes.get_uint8 b 2 with
+    | (0 | 1) as kind_byte ->
+        let hops = Bytes.get_uint8 b 3 in
+        if hops < 1 then Error Bad_hop_count
+        else if len < header_len ~hops then Error Truncated
+        else begin
+          let payload_len = Int32.to_int (Bytes.get_int32_be b 4) in
+          let ts = Timebase.Ts.of_int (Int64.to_int (Bytes.get_int64_be b 8)) in
+          let off = fixed_header_len in
+          let path = Path.of_bytes b ~off ~count:hops in
+          match Path.validate path with
+          | Error e -> Error (Bad_path e)
+          | Ok () ->
+              let off = off + (hops * Path.hop_byte_size) in
+              let res_info = res_info_of_bytes b ~off in
+              let off = off + res_info_len in
+              let kind = if kind_byte = 0 then Seg else Eer in
+              let eer_info =
+                match kind with Seg -> None | Eer -> Some (eer_info_of_bytes b ~off)
+              in
+              let off = off + eer_info_len in
+              let hvfs =
+                Array.init hops (fun i -> Bytes.sub b (off + (i * hvf_len)) hvf_len)
+              in
+              Ok { kind; path; res_info; eer_info; ts; hvfs; payload_len }
+        end
+    | _ -> Error Bad_kind
+  end
+
+let pp ppf (p : t) =
+  Fmt.pf ppf "@[<h>%s %a bw=%a exp=%a v%d %a len=%d@]"
+    (match p.kind with Seg -> "SEG" | Eer -> "EER")
+    Ids.pp_res_key (res_key p) Bandwidth.pp p.res_info.bw Timebase.pp
+    p.res_info.exp_time p.res_info.version Timebase.Ts.pp p.ts p.payload_len

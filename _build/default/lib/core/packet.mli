@@ -1,0 +1,96 @@
+(** Colibri packet format (§4.3, Eq. (2)).
+
+    {v
+    Packet  = Path ‖ ResInfo ‖ EERInfo ‖ Ts ‖ V_0 ‖ … ‖ V_l ‖ Payload
+    Path    = (In_0, Eg_0) ‖ … ‖ (In_l, Eg_l)
+    ResInfo = SrcAS ‖ ResId ‖ Bw ‖ ExpT ‖ Ver
+    EERInfo = SrcHost ‖ DstHost
+    v}
+
+    One format serves all Colibri control- and data-plane traffic; the
+    {!kind} flag distinguishes packets on segment reservations (where
+    [EERInfo] is unused) from packets on end-to-end reservations. The
+    wire encoding is fixed-width big-endian throughout, so MAC inputs
+    are canonical. *)
+
+open Colibri_types
+
+(** Whether the packet travels on a segment reservation or an
+    end-to-end reservation. *)
+type kind = Seg | Eer
+
+(** The ResInfo header block (Eq. (2c)): reservation identity,
+    bandwidth, expiration, and version. *)
+type res_info = {
+  src_as : Ids.asn;
+  res_id : Ids.res_id;
+  bw : Bandwidth.t;
+  exp_time : Timebase.t;
+  version : int;
+}
+
+(** The EERInfo block (Eq. (2d)): end-host addresses, unique inside
+    their AS. *)
+type eer_info = { src_host : Ids.host; dst_host : Ids.host }
+
+(** A parsed Colibri packet. [payload_len] stands in for the payload,
+    whose contents are opaque to all Colibri processing. *)
+type t = {
+  kind : kind;
+  path : Path.t;
+  res_info : res_info;
+  eer_info : eer_info option;  (** [Some] for EER data packets *)
+  ts : Timebase.Ts.t;
+  hvfs : bytes array;  (** hop validation fields, {!hvf_len} bytes each *)
+  payload_len : int;
+}
+
+val res_key : t -> Ids.res_key
+(** The packet's globally unique reservation identity
+    [(SrcAS, ResId)]. *)
+
+val hvf_len : int
+(** ℓ_hvf = 4 bytes (§4.5): short static MACs are acceptable given the
+    short lifetime of reservations. *)
+
+(** {1 Canonical encodings}
+
+    Used both on the wire and as MAC inputs. *)
+
+val res_info_len : int
+val res_info_to_bytes : res_info -> bytes
+val res_info_of_bytes : bytes -> off:int -> res_info
+val eer_info_len : int
+val eer_info_to_bytes : eer_info -> bytes
+val eer_info_of_bytes : bytes -> off:int -> eer_info
+
+(** {1 Wire format} *)
+
+val magic : int
+val fixed_header_len : int
+
+val header_len : hops:int -> int
+(** Total header size for a path of [hops] ASes. *)
+
+val wire_size : t -> int
+(** Header plus payload: the [PktSize] that Eq. (6) authenticates, so
+    an AS flooding tiny or header-only packets is still accountable
+    for their full cost. *)
+
+type parse_error =
+  | Truncated
+  | Bad_magic
+  | Bad_kind
+  | Bad_hop_count
+  | Bad_path of Path.error
+
+val pp_parse_error : parse_error Fmt.t
+
+val to_bytes : t -> bytes
+(** Serialize the header (the payload is represented by its length
+    only). *)
+
+val of_bytes : bytes -> (t, parse_error) result
+(** Parse and structurally validate a packet header. *)
+
+val pp : t Fmt.t

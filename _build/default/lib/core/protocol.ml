@@ -1,0 +1,132 @@
+(** Control-plane messages (§4.4) and their authentication (§4.5).
+
+    Setup and renewal requests for SegRs and EERs travel forward along
+    the reservation path; each on-path AS verifies the source's MAC,
+    runs admission, and appends its grant. The reply travels the
+    reverse path carrying, on success, the final bandwidth and each
+    AS's cryptographic material (the Eq. (3) token for SegRs; the
+    AEAD-sealed Eq. (4) hop authenticator for EERs).
+
+    Authentication uses DRKey (§2.3): for every on-path AS [i] the
+    source AS attaches [MAC_{K_{AS_i→SrcAS}}(payload)]. The on-path AS
+    re-derives that key with one PRF call — no per-source state — and
+    uses the same key to authenticate the data it adds to the reply. *)
+
+open Colibri_types
+
+(* ---------- Requests ---------- *)
+
+type seg_request = {
+  res_info : Packet.res_info; (* res_info.bw = requested (maximum) bandwidth *)
+  min_bw : Bandwidth.t; (* minimum acceptable; below this an AS denies *)
+  kind : Reservation.seg_kind;
+  path : Path.t;
+  renewal : bool; (* renewals may travel over the existing SegR *)
+}
+
+type eer_request = {
+  res_info : Packet.res_info;
+  eer_info : Packet.eer_info;
+  path : Path.t;
+  segr_keys : Ids.res_key list; (* the 1–3 SegRs underlying this EER, in path order *)
+  renewal : bool;
+}
+
+(* Canonical digests used as MAC inputs. *)
+
+let seg_request_digest (r : seg_request) : bytes =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf "SegReq1";
+  Buffer.add_bytes buf (Packet.res_info_to_bytes r.res_info);
+  Buffer.add_int64_be buf (Int64.of_float (Float.round (Bandwidth.to_bps r.min_bw)));
+  Buffer.add_uint8 buf
+    (match r.kind with Reservation.Up -> 0 | Reservation.Down -> 1 | Reservation.Core -> 2);
+  Buffer.add_uint8 buf (if r.renewal then 1 else 0);
+  Buffer.add_bytes buf (Path.to_bytes r.path);
+  Buffer.to_bytes buf
+
+let eer_request_digest (r : eer_request) : bytes =
+  let buf = Buffer.create 160 in
+  Buffer.add_string buf "EEReq1";
+  Buffer.add_bytes buf (Packet.res_info_to_bytes r.res_info);
+  Buffer.add_bytes buf (Packet.eer_info_to_bytes r.eer_info);
+  Buffer.add_uint8 buf (if r.renewal then 1 else 0);
+  Buffer.add_bytes buf (Path.to_bytes r.path);
+  List.iter
+    (fun (k : Ids.res_key) ->
+      Buffer.add_bytes buf (Ids.asn_to_bytes k.src_as);
+      Buffer.add_int32_be buf (Int32.of_int k.res_id))
+    r.segr_keys;
+  Buffer.to_bytes buf
+
+(** Per-AS request authenticators, computed by the source AS with the
+    fetched keys [K_{AS_i→SrcAS}] and carried with the request. *)
+type request_auth = (Ids.asn * bytes) list
+
+let authenticate_request ~(digest : bytes)
+    ~(key_for : Ids.asn -> Crypto.Cmac.key) ~(ases : Ids.asn list) : request_auth =
+  List.map (fun asn -> (asn, Crypto.Cmac.digest (key_for asn) digest)) ases
+
+(** Verification at AS [asn], which re-derives its key on the fly. *)
+let verify_request ~(digest : bytes) ~(asn : Ids.asn) ~(key : Crypto.Cmac.key)
+    ~(auth : request_auth) : bool =
+  match List.assoc_opt asn (List.map (fun (a, m) -> (a, m)) auth) with
+  | None -> false
+  | Some tag -> Crypto.Cmac.verify key digest ~tag
+
+(* ---------- Replies ---------- *)
+
+(** What one on-path AS contributes to a successful reply. [material]
+    is the Eq. (3) token (SegR) or the sealed Eq. (4)/(5) hop
+    authenticator (EER); [mac] authenticates
+    [digest ‖ granted ‖ material] under the same DRKey, so the source
+    can attribute every grant. *)
+type reply_hop = {
+  asn : Ids.asn;
+  granted : Bandwidth.t;
+  material : bytes;
+  mac : bytes;
+}
+
+type deny_reason =
+  | Insufficient_bandwidth of { available : Bandwidth.t }
+  | Bad_authentication
+  | Unknown_segr of Ids.res_key
+  | Policy_refused
+  | Destination_refused
+  | Rate_limited
+  | Expired_segr of Ids.res_key
+      (** The SegR version changed or expired under the requester; it
+          should refetch and retry (Appendix C). *)
+
+let pp_deny_reason ppf = function
+  | Insufficient_bandwidth { available } ->
+      Fmt.pf ppf "insufficient bandwidth (available %a)" Bandwidth.pp available
+  | Bad_authentication -> Fmt.string ppf "bad authentication"
+  | Unknown_segr k -> Fmt.pf ppf "unknown SegR %a" Ids.pp_res_key k
+  | Policy_refused -> Fmt.string ppf "refused by policy"
+  | Destination_refused -> Fmt.string ppf "refused by destination"
+  | Rate_limited -> Fmt.string ppf "rate limited"
+  | Expired_segr k -> Fmt.pf ppf "expired SegR %a" Ids.pp_res_key k
+
+type 'req reply =
+  | Granted of { final_bw : Bandwidth.t; hops : reply_hop list (* path order *) }
+  | Denied of { at : Ids.asn; reason : deny_reason }
+
+let reply_hop_mac_input ~(digest : bytes) ~(granted : Bandwidth.t)
+    ~(material : bytes) : bytes =
+  let buf = Buffer.create (Bytes.length digest + 8 + Bytes.length material) in
+  Buffer.add_bytes buf digest;
+  Buffer.add_int64_be buf (Int64.of_float (Float.round (Bandwidth.to_bps granted)));
+  Buffer.add_bytes buf material;
+  Buffer.to_bytes buf
+
+let make_reply_hop ~(digest : bytes) ~(key : Crypto.Cmac.key) ~(asn : Ids.asn)
+    ~(granted : Bandwidth.t) ~(material : bytes) : reply_hop =
+  { asn; granted; material; mac = Crypto.Cmac.digest key (reply_hop_mac_input ~digest ~granted ~material) }
+
+let verify_reply_hop ~(digest : bytes) ~(key : Crypto.Cmac.key) (h : reply_hop) : bool
+    =
+  Crypto.Cmac.verify key
+    (reply_hop_mac_input ~digest ~granted:h.granted ~material:h.material)
+    ~tag:h.mac

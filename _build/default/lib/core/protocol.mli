@@ -1,0 +1,91 @@
+(** Control-plane messages (§4.4) and their authentication (§4.5).
+
+    Setup and renewal requests for SegRs and EERs travel forward along
+    the reservation path; each on-path AS verifies the source's MAC,
+    runs admission, and appends its grant. The reply travels the
+    reverse path carrying, on success, the final bandwidth and each
+    AS's cryptographic material (the Eq. (3) token for SegRs; the
+    AEAD-sealed Eq. (4)/(5) hop authenticator for EERs).
+
+    Authentication uses DRKey (§2.3): for every on-path AS [i] the
+    source AS attaches [MAC_{K_{AS_i→SrcAS}}(payload)]; the on-path AS
+    re-derives that key with one PRF call — no per-source state — and
+    uses the same key to authenticate the data it adds to the reply. *)
+
+open Colibri_types
+
+(** A SegR setup or renewal request. [res_info.bw] is the requested
+    (maximum) bandwidth; a grant below [min_bw] is a denial. *)
+type seg_request = {
+  res_info : Packet.res_info;
+  min_bw : Bandwidth.t;
+  kind : Reservation.seg_kind;
+  path : Path.t;
+  renewal : bool;  (** renewals may travel over the existing SegR *)
+}
+
+(** An EER setup or renewal request over 1–3 underlying SegRs. *)
+type eer_request = {
+  res_info : Packet.res_info;
+  eer_info : Packet.eer_info;
+  path : Path.t;
+  segr_keys : Ids.res_key list;  (** underlying SegRs, in path order *)
+  renewal : bool;
+}
+
+val seg_request_digest : seg_request -> bytes
+(** Canonical MAC input covering every request field. *)
+
+val eer_request_digest : eer_request -> bytes
+
+type request_auth = (Ids.asn * bytes) list
+(** Per-AS request authenticators, computed by the source AS with the
+    fetched keys [K_{AS_i→SrcAS}]. *)
+
+val authenticate_request :
+  digest:bytes -> key_for:(Ids.asn -> Crypto.Cmac.key) -> ases:Ids.asn list -> request_auth
+
+val verify_request :
+  digest:bytes -> asn:Ids.asn -> key:Crypto.Cmac.key -> auth:request_auth -> bool
+(** Verification at AS [asn], which re-derives its key on the fly. *)
+
+(** What one on-path AS contributes to a successful reply. [material]
+    is the Eq. (3) token (SegR) or the sealed Eq. (4)/(5) hop
+    authenticator (EER); [mac] authenticates
+    [digest ‖ granted ‖ material] under the same DRKey, so the source
+    can attribute every grant. *)
+type reply_hop = {
+  asn : Ids.asn;
+  granted : Bandwidth.t;
+  material : bytes;
+  mac : bytes;
+}
+
+type deny_reason =
+  | Insufficient_bandwidth of { available : Bandwidth.t }
+  | Bad_authentication
+  | Unknown_segr of Ids.res_key
+  | Policy_refused
+  | Destination_refused
+  | Rate_limited
+  | Expired_segr of Ids.res_key
+      (** The SegR version changed or expired under the requester; it
+          should refetch and retry (Appendix C). *)
+
+val pp_deny_reason : deny_reason Fmt.t
+
+type 'req reply =
+  | Granted of { final_bw : Bandwidth.t; hops : reply_hop list (** path order *) }
+  | Denied of { at : Ids.asn; reason : deny_reason }
+
+val reply_hop_mac_input : digest:bytes -> granted:Bandwidth.t -> material:bytes -> bytes
+
+val make_reply_hop :
+  digest:bytes ->
+  key:Crypto.Cmac.key ->
+  asn:Ids.asn ->
+  granted:Bandwidth.t ->
+  material:bytes ->
+  reply_hop
+
+val verify_reply_hop : digest:bytes -> key:Crypto.Cmac.key -> reply_hop -> bool

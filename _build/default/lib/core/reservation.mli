@@ -1,0 +1,96 @@
+(** Reservation state: segment reservations (SegRs) and end-to-end
+    reservations (EERs), with the versioning and renewal semantics of
+    §4.2.
+
+    - SegRs are intermediate-term AS-to-AS reservations (≈5 minutes).
+      Only one version is {e active} at a time; a renewal creates a
+      {e pending} version that must be activated by an explicit request,
+      so ASes control the switch instant and no over-allocation with
+      EERs can occur.
+    - EERs are short-term host-to-host reservations (16 s). Multiple
+      versions of an EER may be valid simultaneously for seamless
+      renewal; monitoring maps all versions of an EER to the same flow,
+      so concurrent versions grant the {e maximum}, not the sum, of
+      their bandwidths. EERs expire automatically and cannot be removed
+      early. *)
+
+open Colibri_types
+
+val segr_lifetime : Timebase.t
+(** ≈ five minutes (§3.3). *)
+
+val eer_lifetime : Timebase.t
+(** 16 seconds, fixed (§3.3). *)
+
+(** The three SegR types, mirroring the path-segment types (§3.3). *)
+type seg_kind = Up | Down | Core
+
+val seg_kind_of_segment : Segments.kind -> seg_kind
+val pp_seg_kind : seg_kind Fmt.t
+
+(** One version of a reservation: its number, granted bandwidth, and
+    expiration time. *)
+type version = { version : int; bw : Bandwidth.t; exp_time : Timebase.t }
+
+val version_valid : version -> now:Timebase.t -> bool
+
+(** A segment reservation as stored at each on-path AS and at the
+    initiator. *)
+type segr = {
+  key : Ids.res_key;
+  kind : seg_kind;
+  path : Path.t;
+  mutable active : version option;
+  mutable pending : version option;
+  mutable tokens : bytes list;
+      (** At the initiator only: the per-AS tokens of Eq. (3) returned
+          in the setup response (source first). Empty elsewhere. *)
+  mutable allowed_ases : Ids.Asn_set.t option;
+      (** Whitelist of ASes allowed to build EERs over this SegR when
+          it is shared (Appendix C); [None] = no restriction set. *)
+}
+
+val segr_bw : segr -> now:Timebase.t -> Bandwidth.t
+(** Bandwidth available on the SegR right now: its active version (a
+    pending version holds no bandwidth until activated). *)
+
+val segr_expired : segr -> now:Timebase.t -> bool
+
+val activate : segr -> now:Timebase.t -> (unit, string) result
+(** Promote the pending version to active (§4.2). Fails if there is no
+    valid pending version. *)
+
+(** An end-to-end reservation as stored at the source AS (gateway +
+    CServ); on-path ASes keep only accounting aggregates, never
+    per-EER state. *)
+type eer = {
+  key : Ids.res_key;
+  path : Path.t;
+  src_host : Ids.host;
+  dst_host : Ids.host;
+  segr_keys : Ids.res_key list;
+      (** the 1–3 SegRs the EER was built over, in path order *)
+  mutable versions : version list;  (** newest first; expired pruned lazily *)
+}
+
+val eer_valid_versions : eer -> now:Timebase.t -> version list
+(** All currently valid versions, newest first. *)
+
+val eer_bw : eer -> now:Timebase.t -> Bandwidth.t
+(** The bandwidth the holder may use now: the {e maximum} over valid
+    versions (§4.8 — versions share one monitored flow). *)
+
+val eer_expired : eer -> now:Timebase.t -> bool
+
+val eer_current_version : eer -> now:Timebase.t -> version option
+(** Latest valid version — the one the gateway stamps into packets. *)
+
+val add_eer_version : eer -> version -> (unit, string) result
+(** Add a version from a successful setup/renewal; version numbers
+    must strictly increase. *)
+
+(** {1 Header-block construction} *)
+
+val res_info_of_segr : segr -> version -> Packet.res_info
+val res_info_of_eer : eer -> version -> Packet.res_info
+val eer_info_of_eer : eer -> Packet.eer_info

@@ -1,0 +1,259 @@
+(** The Colibri border router (§4.6): per-packet validation and
+    forwarding without any per-flow or per-reservation state.
+
+    For each packet the router validates format, freshness, and
+    reservation expiry, then recomputes the hop validation field from
+    the single AS secret [K_i]: directly via Eq. (3) for SegR packets,
+    or via the two-step Eq. (4) → Eq. (6) for EER packets. A matching
+    HVF proves both that the source AS authorized the packet (and thus
+    performed its monitoring duty) and that this AS admitted the
+    reservation.
+
+    The router also hosts the monitoring hooks of §4.8: the
+    probabilistic overuse-flow detector over all EER flows, the
+    deterministic token-bucket policing of flagged suspects, the
+    duplicate-suppression filter, and the blocklist of confirmed
+    offenders. All of these have bounded memory independent of the
+    number of flows. *)
+
+open Colibri_types
+
+type action =
+  | Forward of Ids.iface (* next border router via this egress interface *)
+  | Deliver of Ids.host (* last AS: hand to the destination host *)
+  | To_cserv (* SegR (control) packets go to the local CServ *)
+
+type drop_reason =
+  | Parse_error of Packet.parse_error
+  | Not_on_path
+  | Expired_reservation
+  | Stale_timestamp
+  | Invalid_hvf
+  | Blocked_source
+  | Duplicate
+  | Policed (* watched overuser exceeding its reservation *)
+
+let pp_drop_reason ppf = function
+  | Parse_error e -> Fmt.pf ppf "parse error: %a" Packet.pp_parse_error e
+  | Not_on_path -> Fmt.string ppf "AS not on packet path"
+  | Expired_reservation -> Fmt.string ppf "reservation expired"
+  | Stale_timestamp -> Fmt.string ppf "stale timestamp"
+  | Invalid_hvf -> Fmt.string ppf "invalid hop validation field"
+  | Blocked_source -> Fmt.string ppf "blocked source AS"
+  | Duplicate -> Fmt.string ppf "duplicate packet"
+  | Policed -> Fmt.string ppf "policed (overuse)"
+
+type stats = {
+  mutable forwarded : int;
+  mutable dropped : int;
+  mutable suspects_flagged : int;
+  mutable confirmed_overuse : int;
+}
+
+type t = {
+  asn : Ids.asn;
+  clock : Timebase.clock;
+  secret : Hvf.as_secret; (* K_i, refreshed per epoch by the deployment *)
+  freshness_window : Timebase.t;
+  ofd : Monitor.Ofd.t option;
+  duplicates : Monitor.Duplicate_filter.t option;
+  blocklist : Monitor.Blocklist.t;
+  watched : Monitor.Token_bucket.t Ids.Res_key_tbl.t;
+      (* suspects under deterministic monitoring (§4.8) *)
+  report : src:Ids.asn -> unit; (* confirmed-overuse report to the CServ *)
+  auto_block : bool;
+  confirm_after_drops : int; (* policed drops before overuse is "confirmed" *)
+  drop_counts : int Ids.Res_key_tbl.t;
+  stats : stats;
+}
+
+(** [create ~secret ~clock asn] builds a border router. [ofd] and
+    [duplicates] default to enabled with modest footprints; pass
+    [~ofd:None] / [~duplicates:None] to measure the bare fast path as
+    the paper does for the duplicate-suppression system (§7.1). *)
+let create ?(freshness_window = 2.0 +. Timebase.max_skew)
+    ?ofd:(ofd_arg = `Default) ?duplicates:(dup_arg = `Default)
+    ?(report = fun ~src:_ -> ()) ?(auto_block = false) ?(confirm_after_drops = 100)
+    ~(secret : Hvf.as_secret) ~(clock : Timebase.clock) (asn : Ids.asn) : t =
+  let now = clock () in
+  let ofd =
+    match ofd_arg with
+    | `Default -> Some (Monitor.Ofd.create ~window:1.0 ~threshold:1.2 ~now ())
+    | `None -> None
+    | `Custom o -> Some o
+  in
+  let duplicates =
+    match dup_arg with
+    | `Default ->
+        Some
+          (Monitor.Duplicate_filter.create ~expected:1_000_000 ~fp_rate:1e-4
+             ~window:(2.0 +. Timebase.max_skew) ~now)
+    | `None -> None
+    | `Custom d -> Some d
+  in
+  {
+    asn;
+    clock;
+    secret;
+    freshness_window;
+    ofd;
+    duplicates;
+    blocklist = Monitor.Blocklist.create ~clock ();
+    watched = Ids.Res_key_tbl.create 64;
+    report;
+    auto_block;
+    confirm_after_drops;
+    drop_counts = Ids.Res_key_tbl.create 64;
+    stats = { forwarded = 0; dropped = 0; suspects_flagged = 0; confirmed_overuse = 0 };
+  }
+
+let blocklist (t : t) = t.blocklist
+let stats (t : t) = t.stats
+let watched_count (t : t) = Ids.Res_key_tbl.length t.watched
+
+(** Explicitly place a reservation under deterministic token-bucket
+    monitoring at its reserved rate — the state a flagged suspect ends
+    up in (§4.8). Table 2's phase 3 pre-installs this, exactly as the
+    paper "simulate[s] a state where reservations 1 and 2 were flagged
+    by the probabilistic flow monitor". *)
+let watch (t : t) ~(key : Ids.res_key) ~(rate : Bandwidth.t) =
+  Ids.Res_key_tbl.replace t.watched key
+    (Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:(t.clock ()))
+
+(* Locate this AS's hop and its index on the packet path. *)
+let own_hop (t : t) (path : Path.t) : (int * Path.hop) option =
+  let rec go i = function
+    | [] -> None
+    | (h : Path.hop) :: rest ->
+        if Ids.equal_asn h.asn t.asn then Some (i, h) else go (i + 1) rest
+  in
+  go 0 path
+
+let confirm_overuse (t : t) ~(src : Ids.asn) =
+  t.stats.confirmed_overuse <- t.stats.confirmed_overuse + 1;
+  if t.auto_block then Monitor.Blocklist.block t.blocklist src ~duration:None;
+  t.report ~src
+
+(** Validate and route one already-parsed packet whose true wire size
+    is [actual_size] bytes. The HVF authenticates [PktSize], so a
+    mismatch between declared and actual size fails validation. *)
+let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
+    (action, drop_reason) result =
+  let now = t.clock () in
+  let drop r =
+    t.stats.dropped <- t.stats.dropped + 1;
+    Error r
+  in
+  let ri = packet.res_info in
+  if Monitor.Blocklist.is_blocked t.blocklist ri.src_as then drop Blocked_source
+  else begin
+    match own_hop t packet.path with
+    | None -> drop Not_on_path
+    | Some (i, hop) ->
+        (* Expiry: reservation must still be valid (± clock skew). *)
+        if now > ri.exp_time +. Timebase.max_skew then drop Expired_reservation
+        else begin
+          (* Freshness: the timestamp must lie within the window that
+             covers clock skew plus maximum forwarding delay. *)
+          let sent = Timebase.Ts.to_time ~exp_time:ri.exp_time packet.ts in
+          if Float.abs (now -. sent) > t.freshness_window then drop Stale_timestamp
+          else begin
+            let hvf_ok =
+              match packet.kind with
+              | Packet.Seg ->
+                  Hvf.equal_hvf packet.hvfs.(i)
+                    (Hvf.seg_token t.secret ~res_info:ri ~hop)
+              | Packet.Eer -> (
+                  match packet.eer_info with
+                  | None -> false
+                  | Some eer_info ->
+                      let sigma =
+                        Hvf.sigma_of_bytes
+                          (Hvf.hop_auth t.secret ~res_info:ri ~eer_info ~hop)
+                      in
+                      Hvf.equal_hvf packet.hvfs.(i)
+                        (Hvf.eer_hvf sigma ~ts:packet.ts ~pkt_size:actual_size))
+            in
+            if not hvf_ok then drop Invalid_hvf
+            else begin
+              let key = Packet.res_key packet in
+              (* Replay suppression [32]: all copies of a seen packet
+                 are discarded. *)
+              let fresh =
+                match t.duplicates with
+                | None -> true
+                | Some f ->
+                    Monitor.Duplicate_filter.check_and_insert f ~now
+                      (Hashtbl.hash
+                         ( key.src_as.isd,
+                           key.src_as.num,
+                           key.res_id,
+                           Timebase.Ts.to_int packet.ts,
+                           actual_size ))
+              in
+              if not fresh then drop Duplicate
+              else begin
+                (* Deterministic policing of flagged suspects: limit the
+                   flow to its reserved bandwidth (Table 2, phase 3). *)
+                let policed =
+                  match Ids.Res_key_tbl.find_opt t.watched key with
+                  | None -> false
+                  | Some bucket ->
+                      if Monitor.Token_bucket.admit bucket ~now ~bytes:actual_size then
+                        false
+                      else begin
+                        let drops =
+                          Option.value ~default:0
+                            (Ids.Res_key_tbl.find_opt t.drop_counts key)
+                          + 1
+                        in
+                        Ids.Res_key_tbl.replace t.drop_counts key drops;
+                        if drops = t.confirm_after_drops then
+                          confirm_overuse t ~src:key.src_as;
+                        true
+                      end
+                in
+                if policed then drop Policed
+                else begin
+                  (* Probabilistic monitoring over all EER flows. *)
+                  (match (packet.kind, t.ofd) with
+                  | Packet.Eer, Some ofd ->
+                      let normalized =
+                        8. *. float_of_int actual_size /. Bandwidth.to_bps ri.bw
+                      in
+                      (match Monitor.Ofd.observe ofd ~now ~key ~normalized with
+                      | `Suspect ->
+                          t.stats.suspects_flagged <- t.stats.suspects_flagged + 1;
+                          if not (Ids.Res_key_tbl.mem t.watched key) then
+                            Ids.Res_key_tbl.replace t.watched key
+                              (Monitor.Token_bucket.create ~rate:ri.bw ~burst:0.1 ~now)
+                      | `Ok -> ())
+                  | _ -> ());
+                  t.stats.forwarded <- t.stats.forwarded + 1;
+                  match packet.kind with
+                  | Packet.Seg -> Ok To_cserv
+                  | Packet.Eer ->
+                      if hop.egress = Ids.local_iface then
+                        Ok
+                          (Deliver
+                             (match packet.eer_info with
+                             | Some e -> e.dst_host
+                             | None -> Ids.host 0))
+                      else Ok (Forward hop.egress)
+                end
+              end
+            end
+          end
+        end
+  end
+
+(** Full fast path from raw bytes: parse, validate, route — what a
+    border router actually executes per packet (§7.1 measures this
+    end-to-end, "including header updates"). *)
+let process_bytes (t : t) ~(raw : bytes) ~(payload_len : int) :
+    (action, drop_reason) result =
+  match Packet.of_bytes raw with
+  | Error e ->
+      t.stats.dropped <- t.stats.dropped + 1;
+      Error (Parse_error e)
+  | Ok packet -> process t ~packet ~actual_size:(Bytes.length raw + payload_len)

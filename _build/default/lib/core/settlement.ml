@@ -1,0 +1,176 @@
+(** Neighbor-to-neighbor settlement accounting (§4.7, §9).
+
+    Colibri's admission is deliberately local: "any two neighboring
+    ASes agree on the bandwidth available for Colibri traffic on their
+    inter-domain link and negotiate the pricing model. These typically
+    long-term contractual agreements … are always bilateral to
+    facilitate negotiation and billing" (§4.7); "billing can be
+    implemented with scalable neighbor-to-neighbor settlements,
+    similarly to today's AS peering agreements" (§9).
+
+    This module is that management plane: per neighboring AS it
+    accumulates {e reservation-seconds × bandwidth} (the committed
+    resource, billed whether used or not — that is what a guarantee
+    costs) and the actually carried reservation bytes, priced by a
+    bilateral contract. An AS runs one ledger and feeds it from its
+    CServ (grants/expiries) and its border routers (forwarded volume);
+    invoices are then produced per neighbor and billing period. *)
+
+open Colibri_types
+
+(** A bilateral pricing contract with one neighbor. Prices are in
+    abstract currency units; the defaults make invoices easy to read
+    in tests (1 unit per Gbps-hour committed, 0.1 per GB carried). *)
+type contract = {
+  neighbor : Ids.asn;
+  price_per_gbps_hour : float; (** committed reservation capacity *)
+  price_per_gb : float; (** carried Colibri data volume *)
+  colibri_share : float; (** agreed fraction of the link for Colibri (§3.4) *)
+}
+
+let default_contract neighbor =
+  { neighbor; price_per_gbps_hour = 1.0; price_per_gb = 0.1; colibri_share = 0.80 }
+
+(* Running account per neighbor. *)
+type account = {
+  contract : contract;
+  mutable committed_gbps_s : float; (* Σ bandwidth × committed seconds *)
+  mutable carried_bytes : int;
+  mutable open_commitments : (Ids.res_key * int * float * Timebase.t) list;
+      (* (reservation, version, gbps, started) still accruing *)
+}
+
+type t = {
+  asn : Ids.asn;
+  clock : Timebase.clock;
+  accounts : account Ids.Asn_tbl.t;
+  mutable period_start : Timebase.t;
+}
+
+let create ~(clock : Timebase.clock) (asn : Ids.asn) : t =
+  { asn; clock; accounts = Ids.Asn_tbl.create 16; period_start = clock () }
+
+let account (t : t) (neighbor : Ids.asn) : account =
+  match Ids.Asn_tbl.find_opt t.accounts neighbor with
+  | Some a -> a
+  | None ->
+      let a =
+        {
+          contract = default_contract neighbor;
+          committed_gbps_s = 0.;
+          carried_bytes = 0;
+          open_commitments = [];
+        }
+      in
+      Ids.Asn_tbl.replace t.accounts neighbor a;
+      a
+
+(** Install a negotiated contract (replaces the default). Open
+    commitments keep accruing under the new prices from now on —
+    settlement prices apply at invoice time. *)
+let set_contract (t : t) (contract : contract) =
+  let a = account t contract.neighbor in
+  Ids.Asn_tbl.replace t.accounts contract.neighbor { a with contract }
+
+(** Record that a reservation version of [bw] towards [neighbor] was
+    granted; it accrues committed capacity until {!commitment_ended}
+    or the given expiry, whichever the caller reports first. *)
+let commitment_started (t : t) ~(neighbor : Ids.asn) ~(key : Ids.res_key)
+    ~(version : int) ~(bw : Bandwidth.t) =
+  let a = account t neighbor in
+  a.open_commitments <-
+    (key, version, Bandwidth.to_gbps bw, t.clock ()) :: a.open_commitments
+
+(* Close one commitment, accruing its capacity-time. *)
+let settle_commitment (t : t) (a : account) ~key ~version ~(until : Timebase.t) =
+  let matches (k, v, _, _) = Ids.equal_res_key k key && v = version in
+  (match List.find_opt matches a.open_commitments with
+  | Some (_, _, gbps, started) ->
+      a.committed_gbps_s <- a.committed_gbps_s +. (gbps *. Float.max 0. (until -. started))
+  | None -> ());
+  ignore t;
+  a.open_commitments <- List.filter (fun c -> not (matches c)) a.open_commitments
+
+(** The reservation version ended (expired, superseded, or torn down
+    after a failed setup). *)
+let commitment_ended (t : t) ~(neighbor : Ids.asn) ~(key : Ids.res_key)
+    ~(version : int) =
+  settle_commitment t (account t neighbor) ~key ~version ~until:(t.clock ())
+
+(** Data-plane report: [bytes] of Colibri traffic carried towards
+    [neighbor] (fed by the border router per forwarded packet, or in
+    batches). *)
+let carried (t : t) ~(neighbor : Ids.asn) ~(bytes : int) =
+  let a = account t neighbor in
+  a.carried_bytes <- a.carried_bytes + bytes
+
+(** One line of an invoice. *)
+type invoice = {
+  neighbor : Ids.asn;
+  period : Timebase.t * Timebase.t;
+  committed_gbps_hours : float;
+  carried_gb : float;
+  amount : float;
+}
+
+let pp_invoice ppf (i : invoice) =
+  let t0, t1 = i.period in
+  Fmt.pf ppf "%a [%a–%a]: %.3f Gbps·h committed, %.3f GB carried → %.3f units"
+    Ids.pp_asn i.neighbor Timebase.pp t0 Timebase.pp t1 i.committed_gbps_hours
+    i.carried_gb i.amount
+
+(* Build the invoice for one account as of [now], accruing open
+   commitments up to [now] without closing them. *)
+let invoice_of (t : t) (a : account) ~(now : Timebase.t) : invoice =
+  let open_accrual =
+    List.fold_left
+      (fun acc (_, _, gbps, started) -> acc +. (gbps *. Float.max 0. (now -. started)))
+      0. a.open_commitments
+  in
+  let gbps_hours = (a.committed_gbps_s +. open_accrual) /. 3600. in
+  let gb = float_of_int a.carried_bytes /. 1e9 in
+  {
+    neighbor = a.contract.neighbor;
+    period = (t.period_start, now);
+    committed_gbps_hours = gbps_hours;
+    carried_gb = gb;
+    amount =
+      (gbps_hours *. a.contract.price_per_gbps_hour) +. (gb *. a.contract.price_per_gb);
+  }
+
+(** Current (not yet closed) invoices for all neighbors. *)
+let preview (t : t) : invoice list =
+  let now = t.clock () in
+  Ids.Asn_tbl.fold (fun _ a acc -> invoice_of t a ~now :: acc) t.accounts []
+  |> List.sort (fun a b -> Ids.compare_asn a.neighbor b.neighbor)
+
+(** Close the billing period: emit final invoices and reset counters.
+    Open commitments are settled up to now and restart accruing in the
+    new period. *)
+let close_period (t : t) : invoice list =
+  let now = t.clock () in
+  let invoices = preview t in
+  Ids.Asn_tbl.iter
+    (fun _ a ->
+      a.committed_gbps_s <- 0.;
+      a.carried_bytes <- 0;
+      a.open_commitments <-
+        List.map (fun (k, v, gbps, _) -> (k, v, gbps, now)) a.open_commitments)
+    t.accounts;
+  t.period_start <- now;
+  invoices
+
+let neighbors (t : t) : Ids.asn list =
+  Ids.Asn_tbl.fold (fun n _ acc -> n :: acc) t.accounts []
+
+(** Convenience wiring: derive the settlement events of one granted
+    SegR version at this AS. The committed capacity is billed to the
+    {e downstream} neighbor of the egress link (the AS the traffic is
+    handed to), matching the bilateral link contracts of §4.7. *)
+let on_segr_granted (t : t) ~(topo : Colibri_topology.Topology.t)
+    ~(egress : Ids.iface) ~(key : Ids.res_key) ~(version : int) ~(bw : Bandwidth.t)
+    =
+  if egress <> Ids.local_iface then
+    match Colibri_topology.Topology.link_via topo t.asn egress with
+    | Some link -> commitment_started t ~neighbor:link.remote_as ~key ~version ~bw
+    | None -> ()

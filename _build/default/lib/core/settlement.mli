@@ -1,0 +1,74 @@
+(** Neighbor-to-neighbor settlement accounting (§4.7, §9).
+
+    Colibri admission is deliberately local: link capacity and pricing
+    are agreed bilaterally between neighbors, so "billing can be
+    implemented with scalable neighbor-to-neighbor settlements,
+    similarly to today's AS peering agreements" (§9). Per neighboring
+    AS this ledger accumulates committed reservation capacity
+    (bandwidth × time — what a guarantee costs, billed whether used or
+    not) and carried Colibri volume, priced by a bilateral contract,
+    and produces per-period invoices. *)
+
+open Colibri_types
+
+(** A bilateral pricing contract with one neighbor, in abstract
+    currency units. *)
+type contract = {
+  neighbor : Ids.asn;
+  price_per_gbps_hour : float;  (** committed reservation capacity *)
+  price_per_gb : float;  (** carried Colibri data volume *)
+  colibri_share : float;  (** agreed Colibri fraction of the link (§3.4) *)
+}
+
+val default_contract : Ids.asn -> contract
+(** 1 unit per Gbps·hour committed, 0.1 per GB carried, 80 % share. *)
+
+type t
+
+val create : clock:Timebase.clock -> Ids.asn -> t
+
+val set_contract : t -> contract -> unit
+
+val commitment_started :
+  t -> neighbor:Ids.asn -> key:Ids.res_key -> version:int -> bw:Bandwidth.t -> unit
+(** A reservation version of [bw] towards [neighbor] was granted; it
+    accrues committed capacity until {!commitment_ended}. *)
+
+val commitment_ended : t -> neighbor:Ids.asn -> key:Ids.res_key -> version:int -> unit
+(** The version ended (expired, superseded, or torn down). Idempotent. *)
+
+val carried : t -> neighbor:Ids.asn -> bytes:int -> unit
+(** Data-plane report: Colibri bytes carried towards [neighbor]. *)
+
+(** One invoice line. *)
+type invoice = {
+  neighbor : Ids.asn;
+  period : Timebase.t * Timebase.t;
+  committed_gbps_hours : float;
+  carried_gb : float;
+  amount : float;
+}
+
+val pp_invoice : invoice Fmt.t
+
+val preview : t -> invoice list
+(** Current invoices for all neighbors, open commitments accrued up to
+    now, sorted by neighbor. *)
+
+val close_period : t -> invoice list
+(** Close the billing period: emit final invoices and reset counters;
+    open commitments restart accruing in the new period. *)
+
+val neighbors : t -> Ids.asn list
+
+val on_segr_granted :
+  t ->
+  topo:Colibri_topology.Topology.t ->
+  egress:Ids.iface ->
+  key:Ids.res_key ->
+  version:int ->
+  bw:Bandwidth.t ->
+  unit
+(** Convenience wiring: bill a granted SegR version to the downstream
+    neighbor of the egress link (the bilateral link contract of §4.7).
+    Local egress (interface 0) bills nobody. *)

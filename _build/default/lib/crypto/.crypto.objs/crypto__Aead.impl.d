@@ -1,0 +1,1 @@
+lib/crypto/aead.ml: Aes Buffer Bytes Char Cmac Int32 Int64 Prf

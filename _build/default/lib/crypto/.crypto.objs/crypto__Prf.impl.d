@@ -1,0 +1,1 @@
+lib/crypto/prf.ml: Bytes Char Cmac Random

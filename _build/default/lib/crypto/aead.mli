@@ -1,0 +1,24 @@
+(** Authenticated encryption with associated data, built as
+    encrypt-then-MAC from AES-CTR and AES-CMAC.
+
+    Colibri uses AEAD on exactly one channel: returning hop
+    authenticators σ_i from on-path ASes to the source AS during EER
+    setup (Eq. (5)), keyed with the DRKey [K_{AS_i → AS_0}]. *)
+
+type key
+
+val nonce_size : int
+(** 16 bytes; nonces must be unique per key. *)
+
+val tag_size : int
+(** 16 bytes appended to the ciphertext. *)
+
+val of_secret : bytes -> key
+(** Domain-separates encryption and MAC keys from one 16-byte secret. *)
+
+val seal : key -> nonce:bytes -> ad:bytes -> bytes -> bytes
+(** [seal k ~nonce ~ad plain] is [ciphertext ‖ tag]; the tag covers
+    [nonce ‖ len(ad) ‖ ad ‖ ciphertext]. *)
+
+val open_ : key -> nonce:bytes -> ad:bytes -> bytes -> bytes option
+(** Authenticate and decrypt; [None] on any mismatch. *)

@@ -1,0 +1,25 @@
+(** AES-128 block cipher (FIPS-197), encryption direction only.
+
+    Colibri needs AES only as a pseudo-random permutation underneath
+    CMAC (hop-validation-field MACs, DRKey PRF) and CTR-mode AEAD, all
+    of which use the forward direction exclusively. Validated against
+    the FIPS-197 and SP 800-38A vectors in the test suite. *)
+
+type key
+(** An expanded key schedule (11 round keys). *)
+
+val block_size : int
+(** 16 bytes. *)
+
+val expand : bytes -> key
+(** Expand a 16-byte key. Raises [Invalid_argument] on other sizes. *)
+
+val of_secret : bytes -> key
+(** Alias of {!expand}. *)
+
+val encrypt_block : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int -> unit
+(** Encrypt the 16-byte block at [src+src_off] into [dst+dst_off];
+    [src] and [dst] may alias. *)
+
+val encrypt : key -> bytes -> bytes
+(** Encrypt one standalone 16-byte block. *)

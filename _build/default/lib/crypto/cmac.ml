@@ -1,0 +1,101 @@
+(** AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+    CMAC over AES-128 is the message-authentication primitive used
+    everywhere in Colibri: the DRKey pseudo-random function (Eq. (1)),
+    the segment-reservation tokens (Eq. (3)), the hop authenticators
+    (Eq. (4)), and the per-packet hop validation fields (Eq. (6)). *)
+
+type key = { aes : Aes.key; k1 : bytes; k2 : bytes }
+
+let msb_set b = Char.code (Bytes.get b 0) land 0x80 <> 0
+
+(* Left-shift a 16-byte block by one bit. *)
+let shl1 (b : bytes) : bytes =
+  let out = Bytes.create 16 in
+  let carry = ref 0 in
+  for i = 15 downto 0 do
+    let v = Char.code (Bytes.get b i) in
+    Bytes.set out i (Char.chr (((v lsl 1) land 0xff) lor !carry));
+    carry := v lsr 7
+  done;
+  out
+
+let xor_last_byte b v =
+  Bytes.set b 15 (Char.chr (Char.code (Bytes.get b 15) lxor v))
+
+(* Subkey generation per RFC 4493 §2.3. *)
+let derive_subkeys aes =
+  let l = Aes.encrypt aes (Bytes.make 16 '\000') in
+  let k1 = shl1 l in
+  if msb_set l then xor_last_byte k1 0x87;
+  let k2 = shl1 k1 in
+  if msb_set k1 then xor_last_byte k2 0x87;
+  (k1, k2)
+
+let of_secret (secret : bytes) : key =
+  let aes = Aes.of_secret secret in
+  let k1, k2 = derive_subkeys aes in
+  { aes; k1; k2 }
+
+let of_aes_key (aes : Aes.key) : key =
+  let k1, k2 = derive_subkeys aes in
+  { aes; k1; k2 }
+
+let mac_size = 16
+
+(** [digest key msg] is the full 16-byte CMAC of [msg]. *)
+let digest (k : key) (msg : bytes) : bytes =
+  let n = Bytes.length msg in
+  let nblocks = if n = 0 then 1 else (n + 15) / 16 in
+  let x = Bytes.make 16 '\000' in
+  (* Process all complete blocks except the last. *)
+  for i = 0 to nblocks - 2 do
+    for j = 0 to 15 do
+      Bytes.set x j
+        (Char.chr (Char.code (Bytes.get x j) lxor Char.code (Bytes.get msg ((i * 16) + j))))
+    done;
+    Aes.encrypt_block k.aes ~src:x ~src_off:0 ~dst:x ~dst_off:0
+  done;
+  (* Last block: complete → xor K1; partial → pad 10* and xor K2. *)
+  let off = (nblocks - 1) * 16 in
+  let rem = n - off in
+  let last = Bytes.make 16 '\000' in
+  if rem = 16 then begin
+    Bytes.blit msg off last 0 16;
+    for j = 0 to 15 do
+      Bytes.set last j
+        (Char.chr (Char.code (Bytes.get last j) lxor Char.code (Bytes.get k.k1 j)))
+    done
+  end
+  else begin
+    if rem > 0 then Bytes.blit msg off last 0 rem;
+    Bytes.set last rem '\x80';
+    for j = 0 to 15 do
+      Bytes.set last j
+        (Char.chr (Char.code (Bytes.get last j) lxor Char.code (Bytes.get k.k2 j)))
+    done
+  end;
+  for j = 0 to 15 do
+    Bytes.set x j (Char.chr (Char.code (Bytes.get x j) lxor Char.code (Bytes.get last j)))
+  done;
+  Aes.encrypt_block k.aes ~src:x ~src_off:0 ~dst:x ~dst_off:0;
+  x
+
+(** [digest_trunc key msg ~len] is the first [len] bytes of the CMAC;
+    Colibri truncates hop validation fields to ℓ_hvf = 4 bytes. *)
+let digest_trunc (k : key) (msg : bytes) ~len : bytes =
+  if len < 1 || len > 16 then invalid_arg "Cmac.digest_trunc: len must be in 1..16";
+  Bytes.sub (digest k msg) 0 len
+
+(** Constant-time tag comparison (length must match). *)
+let verify (k : key) (msg : bytes) ~(tag : bytes) : bool =
+  let len = Bytes.length tag in
+  if len < 1 || len > 16 then false
+  else begin
+    let expect = digest k msg in
+    let acc = ref 0 in
+    for i = 0 to len - 1 do
+      acc := !acc lor (Char.code (Bytes.get expect i) lxor Char.code (Bytes.get tag i))
+    done;
+    !acc = 0
+  end

@@ -1,0 +1,26 @@
+(** AES-CMAC (RFC 4493 / NIST SP 800-38B).
+
+    CMAC over AES-128 is the message-authentication primitive used
+    everywhere in Colibri: the DRKey pseudo-random function (Eq. (1)),
+    the segment-reservation tokens (Eq. (3)), the hop authenticators
+    (Eq. (4)), and the per-packet hop validation fields (Eq. (6)). *)
+
+type key
+
+val of_secret : bytes -> key
+(** Derive the CMAC subkeys from a 16-byte secret. *)
+
+val of_aes_key : Aes.key -> key
+
+val mac_size : int
+(** 16 bytes. *)
+
+val digest : key -> bytes -> bytes
+(** The full 16-byte CMAC of a message of any length. *)
+
+val digest_trunc : key -> bytes -> len:int -> bytes
+(** First [len] (1–16) bytes of the CMAC; Colibri truncates hop
+    validation fields to ℓ_hvf = 4 bytes. *)
+
+val verify : key -> bytes -> tag:bytes -> bool
+(** Constant-time comparison against a (possibly truncated) tag. *)

@@ -1,0 +1,24 @@
+(** Hexadecimal encoding helpers, used by tests (NIST / RFC vectors)
+    and debugging output. *)
+
+let of_bytes (b : bytes) : string =
+  let buf = Buffer.create (2 * Bytes.length b) in
+  Bytes.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) b;
+  Buffer.contents buf
+
+let digit c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.to_bytes: not a hex digit"
+
+(** Decode a hex string; spaces are ignored so RFC test vectors can be
+    pasted verbatim. Raises [Invalid_argument] on odd length or bad
+    characters. *)
+let to_bytes (s : string) : bytes =
+  let s = String.concat "" (String.split_on_char ' ' s) in
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_bytes: odd length";
+  Bytes.init (n / 2) (fun i ->
+      Char.chr ((digit s.[2 * i] lsl 4) lor digit s.[(2 * i) + 1]))

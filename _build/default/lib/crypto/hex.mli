@@ -1,0 +1,9 @@
+(** Hexadecimal encoding helpers, used by tests (NIST / RFC vectors)
+    and debugging output. *)
+
+val of_bytes : bytes -> string
+
+val to_bytes : string -> bytes
+(** Decode a hex string; spaces are ignored so RFC test vectors can be
+    pasted verbatim. Raises [Invalid_argument] on odd length or bad
+    characters. *)

@@ -1,0 +1,24 @@
+(** Pseudo-random function used by the DRKey hierarchy (Eq. (1)).
+
+    [PRF_K(m)] is AES-CMAC keyed with [K]; the output is a fresh
+    16-byte key. CMAC is a PRF under the standard assumption that AES
+    is a pseudo-random permutation, which is exactly the construction
+    PISKES [43] uses. *)
+
+type key = Cmac.key
+
+let key_size = 16
+let of_secret = Cmac.of_secret
+
+(** [derive k input] evaluates the PRF; the result can itself be used
+    as a key ("dynamically recreatable keys"). *)
+let derive (k : key) (input : bytes) : bytes = Cmac.digest k input
+
+let derive_string (k : key) (input : string) : bytes =
+  derive k (Bytes.of_string input)
+
+(** Fresh random secret value, for key servers. Uses OCaml's [Random];
+    cryptographic quality is irrelevant in a simulation, but the
+    interface isolates the choice. *)
+let random_secret ~rng : bytes =
+  Bytes.init key_size (fun _ -> Char.chr (Random.State.int rng 256))

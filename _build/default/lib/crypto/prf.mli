@@ -1,0 +1,20 @@
+(** Pseudo-random function used by the DRKey hierarchy (Eq. (1)).
+
+    [PRF_K(m)] is AES-CMAC keyed with [K]; the output is a fresh
+    16-byte key — the "dynamically recreatable keys" of PISKES [43]. *)
+
+type key = Cmac.key
+
+val key_size : int
+(** 16 bytes. *)
+
+val of_secret : bytes -> key
+
+val derive : key -> bytes -> bytes
+(** Evaluate the PRF; the result can itself be used as a key. *)
+
+val derive_string : key -> string -> bytes
+
+val random_secret : rng:Random.State.t -> bytes
+(** Fresh random secret value for key servers. Simulation-grade
+    randomness; the interface isolates the choice. *)

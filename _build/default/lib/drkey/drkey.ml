@@ -1,0 +1,152 @@
+(** Dynamically-recreatable-key (DRKey) infrastructure (§2.3, [43]).
+
+    Each AS [A] holds a per-epoch secret value [K_A] and derives the
+    AS-level key shared with any other AS [B] on the fly:
+
+    {v K_{A→B} = PRF_{K_A}(B)  (Eq. 1) v}
+
+    The derivation side ([A], "fast side") evaluates one PRF — cheaper
+    than a memory lookup; the other side ([B], "slow side") must fetch
+    [K_{A→B}] from [A]'s key server ahead of time, which in reality is
+    protected by public-key cryptography and here is modeled as an
+    explicit fetch through {!Key_server.fetch}. Keys are valid for one
+    epoch (a day in the paper) and cached until then.
+
+    From the AS-level key, protocol- and host-specific subkeys are
+    derived (the paper's footnote 2); Colibri control-plane MACs use
+    the ["colibri"] protocol key. *)
+
+open Colibri_types
+
+module Epoch = struct
+  (** Key validity epochs. Epoch [i] covers
+      [[i * duration, (i+1) * duration)). *)
+
+  type t = int
+
+  let duration : Timebase.t = 86_400. (* one day, as in the paper *)
+  let of_time (now : Timebase.t) : t = int_of_float (Float.floor (now /. duration))
+  let start (e : t) : Timebase.t = float_of_int e *. duration
+  let end_ (e : t) : Timebase.t = float_of_int (e + 1) *. duration
+  let pp = Fmt.int
+end
+
+(** Secret values: one fresh 16-byte secret per (AS, epoch). *)
+module Secret = struct
+  type t = { asn : Ids.asn; epoch : Epoch.t; prf : Crypto.Prf.key }
+
+  let create ~rng ~asn ~epoch =
+    { asn; epoch; prf = Crypto.Prf.of_secret (Crypto.Prf.random_secret ~rng) }
+
+  (** Deterministic variant used by benchmarks so that repeated runs
+      measure identical work. *)
+  let of_seed ~asn ~epoch ~seed =
+    let material = Bytes.create 16 in
+    Bytes.set_int64_be material 0 (Int64.of_int seed);
+    Bytes.set_int64_be material 8 (Int64.of_int (Hashtbl.hash (asn, epoch)));
+    { asn; epoch; prf = Crypto.Prf.of_secret material }
+end
+
+type as_key = {
+  fast : Ids.asn;  (** the AS that can re-derive the key on the fly *)
+  slow : Ids.asn;  (** the AS that had to fetch it *)
+  epoch : Epoch.t;
+  material : bytes;
+}
+(** A first-level key [K_{fast→slow}]. *)
+
+(** [derive_as_key secret ~slow] computes [K_{A→slow}] on the fast
+    side; one PRF evaluation, no state. *)
+let derive_as_key (s : Secret.t) ~(slow : Ids.asn) : as_key =
+  let input = Bytes.create 12 in
+  Bytes.blit (Ids.asn_to_bytes slow) 0 input 0 8;
+  Bytes.set_int32_be input 8 (Int32.of_int s.epoch);
+  { fast = s.asn; slow; epoch = s.epoch; material = Crypto.Prf.derive s.prf input }
+
+(** Second-level derivation: protocol-specific key
+    [K_{A→B}^{proto} = PRF_{K_{A→B}}(proto)]. *)
+let protocol_key (k : as_key) ~(protocol : string) : bytes =
+  Crypto.Prf.derive_string (Crypto.Prf.of_secret k.material) protocol
+
+(** Third-level derivation: host-specific key for [host] in the slow
+    AS, e.g. to authenticate end-host requests to remote CServs. *)
+let host_key (k : as_key) ~(protocol : string) ~(host : Ids.host) : bytes =
+  let pk = protocol_key k ~protocol in
+  let input = Bytes.create 4 in
+  Bytes.set_int32_be input 0 (Int32.of_int host.addr);
+  Crypto.Prf.derive (Crypto.Prf.of_secret pk) input
+
+let colibri_protocol = "colibri"
+
+(** The CMAC key used to authenticate Colibri control-plane payloads
+    between two ASes (§4.5). *)
+let control_mac_key (k : as_key) : Crypto.Cmac.key =
+  Crypto.Cmac.of_secret (protocol_key k ~protocol:colibri_protocol)
+
+(** The AEAD key used to return hop authenticators (Eq. (5)). *)
+let hopauth_aead_key (k : as_key) : Crypto.Aead.key =
+  Crypto.Aead.of_secret (protocol_key k ~protocol:"colibri-hopauth")
+
+(** Per-AS key server: owns the secret values and answers fetch
+    requests from slow-side ASes. Rotates secrets by epoch. *)
+module Key_server = struct
+  type t = {
+    asn : Ids.asn;
+    clock : Timebase.clock;
+    rng : Random.State.t;
+    mutable secrets : Secret.t list; (* newest first; old epochs pruned *)
+  }
+
+  let create ?(rng = Random.State.make [| 0x5ec2e7 |]) ~clock asn =
+    { asn; clock; rng; secrets = [] }
+
+  (** Current-epoch secret, created lazily on first use of an epoch. *)
+  let secret (t : t) : Secret.t =
+    let epoch = Epoch.of_time (t.clock ()) in
+    match List.find_opt (fun (s : Secret.t) -> s.epoch = epoch) t.secrets with
+    | Some s -> s
+    | None ->
+        let s = Secret.create ~rng:t.rng ~asn:t.asn ~epoch in
+        (* Keep the previous epoch for grace-period validation. *)
+        t.secrets <-
+          s :: List.filter (fun (x : Secret.t) -> x.epoch >= epoch - 1) t.secrets;
+        s
+
+  (** Fast-side derivation for this AS. *)
+  let derive (t : t) ~(slow : Ids.asn) : as_key = derive_as_key (secret t) ~slow
+
+  (** Slow-side fetch: what AS [requester]'s key server obtains from
+      this one. In deployment this exchange is signed; the simulation
+      returns the key directly — the security analysis only needs both
+      sides to end up with the same key material. *)
+  let fetch (t : t) ~(requester : Ids.asn) : as_key = derive t ~slow:requester
+end
+
+(** Slow-side cache of fetched keys with epoch expiry. *)
+module Cache = struct
+  type entry = { key : as_key; expires : Timebase.t }
+  type t = { owner : Ids.asn; clock : Timebase.clock; table : (Ids.asn, entry) Hashtbl.t }
+
+  let create ~clock owner = { owner; clock; table = Hashtbl.create 64 }
+
+  let find (t : t) ~(fast : Ids.asn) : as_key option =
+    match Hashtbl.find_opt t.table fast with
+    | Some e when Timebase.( < ) (t.clock ()) e.expires -> Some e.key
+    | Some _ ->
+        Hashtbl.remove t.table fast;
+        None
+    | None -> None
+
+  (** [get t ~fast ~fetch] returns the cached key for [fast] or fetches
+      and caches it. [fetch] stands for the network round trip to the
+      fast AS's key server. *)
+  let get (t : t) ~(fast : Ids.asn) ~(fetch : unit -> as_key) : as_key =
+    match find t ~fast with
+    | Some k -> k
+    | None ->
+        let key = fetch () in
+        Hashtbl.replace t.table fast { key; expires = Epoch.end_ key.epoch };
+        key
+
+  let size (t : t) = Hashtbl.length t.table
+end

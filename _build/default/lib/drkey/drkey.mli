@@ -1,0 +1,94 @@
+(** Dynamically-recreatable-key (DRKey) infrastructure (§2.3, [43]).
+
+    Each AS [A] holds a per-epoch secret value [K_A] and derives the
+    AS-level key shared with any other AS [B] on the fly:
+    [K_{A→B} = PRF_{K_A}(B)] (Eq. (1)). The derivation ("fast") side
+    evaluates one PRF — cheaper than a memory lookup; the other
+    ("slow") side fetches [K_{A→B}] from [A]'s key server ahead of
+    time and caches it for the epoch (a day). Protocol- and
+    host-specific subkeys are derived below the AS-level key. *)
+
+open Colibri_types
+
+(** Key validity epochs: epoch [i] covers
+    [[i·duration, (i+1)·duration)). *)
+module Epoch : sig
+  type t = int
+
+  val duration : Timebase.t
+  (** One day, as in the paper. *)
+
+  val of_time : Timebase.t -> t
+  val start : t -> Timebase.t
+  val end_ : t -> Timebase.t
+  val pp : t Fmt.t
+end
+
+(** Per-(AS, epoch) secret values. *)
+module Secret : sig
+  type t = { asn : Ids.asn; epoch : Epoch.t; prf : Crypto.Prf.key }
+
+  val create : rng:Random.State.t -> asn:Ids.asn -> epoch:Epoch.t -> t
+
+  val of_seed : asn:Ids.asn -> epoch:Epoch.t -> seed:int -> t
+  (** Deterministic variant for reproducible benchmarks. *)
+end
+
+(** A first-level key [K_{fast→slow}]. *)
+type as_key = {
+  fast : Ids.asn;  (** can re-derive the key on the fly *)
+  slow : Ids.asn;  (** had to fetch it *)
+  epoch : Epoch.t;
+  material : bytes;
+}
+
+val derive_as_key : Secret.t -> slow:Ids.asn -> as_key
+(** Fast-side derivation: one PRF evaluation, no state. *)
+
+val protocol_key : as_key -> protocol:string -> bytes
+(** Second-level derivation: [K_{A→B}^{proto} = PRF_{K_{A→B}}(proto)]. *)
+
+val host_key : as_key -> protocol:string -> host:Ids.host -> bytes
+(** Third-level derivation for one host in the slow AS. *)
+
+val colibri_protocol : string
+
+val control_mac_key : as_key -> Crypto.Cmac.key
+(** The CMAC key authenticating Colibri control-plane payloads between
+    two ASes (§4.5). *)
+
+val hopauth_aead_key : as_key -> Crypto.Aead.key
+(** The AEAD key returning hop authenticators (Eq. (5)). *)
+
+(** Per-AS key server: owns the secret values (rotated by epoch) and
+    answers slow-side fetch requests. *)
+module Key_server : sig
+  type t
+
+  val create : ?rng:Random.State.t -> clock:Timebase.clock -> Ids.asn -> t
+
+  val secret : t -> Secret.t
+  (** Current-epoch secret, created lazily. *)
+
+  val derive : t -> slow:Ids.asn -> as_key
+  (** Fast-side derivation for this AS. *)
+
+  val fetch : t -> requester:Ids.asn -> as_key
+  (** Slow-side fetch: what [requester]'s key server obtains from this
+      one (protected by public-key crypto in deployment; returned
+      directly in the simulation). *)
+end
+
+(** Slow-side cache of fetched keys with epoch expiry. *)
+module Cache : sig
+  type t
+
+  val create : clock:Timebase.clock -> Ids.asn -> t
+  val find : t -> fast:Ids.asn -> as_key option
+
+  val get : t -> fast:Ids.asn -> fetch:(unit -> as_key) -> as_key
+  (** Return the cached key for [fast] or fetch ([fetch] stands for
+      the network round trip) and cache it until epoch end. *)
+
+  val size : t -> int
+end

@@ -1,0 +1,1 @@
+lib/monitor/blocklist.ml: Colibri_types Ids Option Timebase

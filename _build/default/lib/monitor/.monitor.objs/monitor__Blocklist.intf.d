@@ -1,0 +1,1 @@
+lib/monitor/blocklist.mli: Colibri_types Ids Timebase

@@ -1,0 +1,1 @@
+lib/monitor/duplicate_filter.ml: Array Bytes Char Float Hashtbl

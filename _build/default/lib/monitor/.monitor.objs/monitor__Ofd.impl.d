@@ -1,0 +1,1 @@
+lib/monitor/ofd.ml: Array Colibri_types Float Hashtbl Ids

@@ -1,0 +1,1 @@
+lib/monitor/ofd.mli: Colibri_types Ids

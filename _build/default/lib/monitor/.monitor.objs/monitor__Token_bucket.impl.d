@@ -1,0 +1,1 @@
+lib/monitor/token_bucket.ml: Bandwidth Colibri_types Float Timebase

@@ -1,0 +1,1 @@
+lib/monitor/token_bucket.mli: Bandwidth Colibri_types Timebase

@@ -1,0 +1,41 @@
+(** Blocklist of misbehaving source ASes (§4.8, "Policing").
+
+    When overuse of a reservation is confirmed, the detecting AS blocks
+    further traffic over reservations from the offending source AS and
+    reports it to its CServ. The paper notes the list stays very short
+    ("only a tiny share of the 70 000 ASes is expected to misbehave"),
+    so a plain hash set suffices; entries optionally expire so that a
+    penalized AS can be re-admitted after the penalty period. *)
+
+open Colibri_types
+
+type t = {
+  entries : float option Ids.Asn_tbl.t; (* AS → expiry time (None = permanent) *)
+  clock : Timebase.clock;
+}
+
+let create ~clock () = { entries = Ids.Asn_tbl.create 16; clock }
+
+(** [block t asn ~duration] blocks [asn]; [duration = None] blocks it
+    until {!unblock}. Re-blocking extends/overwrites the entry. *)
+let block (t : t) (asn : Ids.asn) ~(duration : float option) =
+  let expiry = Option.map (fun d -> t.clock () +. d) duration in
+  Ids.Asn_tbl.replace t.entries asn expiry
+
+let unblock (t : t) (asn : Ids.asn) = Ids.Asn_tbl.remove t.entries asn
+
+let is_blocked (t : t) (asn : Ids.asn) : bool =
+  match Ids.Asn_tbl.find_opt t.entries asn with
+  | None -> false
+  | Some None -> true
+  | Some (Some expiry) ->
+      if t.clock () < expiry then true
+      else begin
+        Ids.Asn_tbl.remove t.entries asn;
+        false
+      end
+
+let size (t : t) = Ids.Asn_tbl.length t.entries
+
+let blocked_ases (t : t) : Ids.asn list =
+  Ids.Asn_tbl.fold (fun a _ acc -> a :: acc) t.entries []

@@ -1,0 +1,21 @@
+(** Blocklist of misbehaving source ASes (§4.8, "Policing").
+
+    When overuse is confirmed, the detecting AS blocks further traffic
+    over reservations from the offending source AS. The list stays
+    very short ("only a tiny share of the 70 000 ASes is expected to
+    misbehave"), so a plain hash set suffices; entries optionally
+    expire. *)
+
+open Colibri_types
+
+type t
+
+val create : clock:Timebase.clock -> unit -> t
+
+val block : t -> Ids.asn -> duration:float option -> unit
+(** [duration = None] blocks until {!unblock}. *)
+
+val unblock : t -> Ids.asn -> unit
+val is_blocked : t -> Ids.asn -> bool
+val size : t -> int
+val blocked_ases : t -> Ids.asn list

@@ -1,0 +1,89 @@
+(** In-network replay suppression (§2.3, [32]).
+
+    An on-path adversary can capture an authenticated Colibri packet
+    and replay it to overuse the reservation and frame the honest
+    source. The duplicate filter discards copies of already-seen
+    packets, identified by their unique (SrcAS, ResId, ExpT, Ts) tuple
+    (§4.3), with bounded memory: two alternating Bloom filters cover a
+    sliding window of [2 × window] seconds — enough because a packet
+    older than the maximum clock skew plus network delay is rejected by
+    the freshness check before it ever reaches this filter.
+
+    False positives of the Bloom filter drop a legitimate packet
+    (bounded by [fp_rate]); false negatives never occur within the
+    window, so replays inside it are always caught. *)
+
+type t = {
+  bits : int; (* size of each filter, bits *)
+  hashes : int;
+  window : float; (* seconds covered by one filter generation *)
+  mutable current : Bytes.t;
+  mutable previous : Bytes.t;
+  mutable rotated_at : float;
+  mutable inserted : int; (* into current generation *)
+}
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  let j = i lsr 3 in
+  Bytes.set b j (Char.chr (Char.code (Bytes.get b j) lor (1 lsl (i land 7))))
+
+(** [create ~expected ~fp_rate ~window ~now] sizes the filters for
+    [expected] packets per [window] seconds at false-positive rate
+    [fp_rate]. *)
+let create ~(expected : int) ~(fp_rate : float) ~(window : float) ~(now : float) : t =
+  if expected <= 0 || fp_rate <= 0. || fp_rate >= 1. || window <= 0. then
+    invalid_arg "Duplicate_filter.create";
+  let ln2 = Float.log 2. in
+  let bits =
+    int_of_float
+      (Float.ceil (-.float_of_int expected *. Float.log fp_rate /. (ln2 *. ln2)))
+  in
+  let bits = max 64 ((bits + 7) / 8 * 8) in
+  let hashes = max 1 (int_of_float (Float.round (float_of_int bits /. float_of_int expected *. ln2))) in
+  {
+    bits;
+    hashes = min hashes 16;
+    window;
+    current = Bytes.make (bits / 8) '\000';
+    previous = Bytes.make (bits / 8) '\000';
+    rotated_at = now;
+    inserted = 0;
+  }
+
+let maybe_rotate (t : t) ~now =
+  if now -. t.rotated_at >= t.window then begin
+    (* The old [previous] ages out entirely; [current] becomes the
+       history for the next window. *)
+    let old = t.previous in
+    Bytes.fill old 0 (Bytes.length old) '\000';
+    t.previous <- t.current;
+    t.current <- old;
+    t.rotated_at <- now;
+    t.inserted <- 0
+  end
+
+(* Double hashing: h_i = h1 + i*h2, standard Bloom technique. *)
+let indexes (t : t) (key : int) =
+  let h1 = Hashtbl.hash (key, 0x9e3779b9) and h2 = Hashtbl.hash (key, 0x85ebca6b) in
+  let h2 = (h2 lor 1) land max_int in
+  Array.init t.hashes (fun i -> abs (h1 + (i * h2)) mod t.bits)
+
+(** [check_and_insert t ~now key] returns [true] when [key] is fresh
+    (first sighting in the window) and records it; [false] flags a
+    duplicate to be discarded. *)
+let check_and_insert (t : t) ~(now : float) (key : int) : bool =
+  maybe_rotate t ~now;
+  let idx = indexes t key in
+  let in_current = Array.for_all (fun i -> bit_get t.current i) idx in
+  let in_previous = Array.for_all (fun i -> bit_get t.previous i) idx in
+  if in_current || in_previous then false
+  else begin
+    Array.iter (fun i -> bit_set t.current i) idx;
+    t.inserted <- t.inserted + 1;
+    true
+  end
+
+let memory_bytes (t : t) = 2 * (t.bits / 8)
+let inserted_in_window (t : t) = t.inserted

@@ -1,0 +1,22 @@
+(** In-network replay suppression (§2.3, [32]).
+
+    Discards copies of already-seen packets — identified by their
+    unique (SrcAS, ResId, ExpT, Ts) tuple (§4.3) — with bounded
+    memory: two alternating Bloom filters cover a sliding window of
+    [2 × window] seconds, enough because older packets fail the
+    router's freshness check anyway. False positives drop a legitimate
+    packet (bounded by [fp_rate]); replays inside the window are
+    always caught. *)
+
+type t
+
+val create : expected:int -> fp_rate:float -> window:float -> now:float -> t
+(** Size the filters for [expected] packets per [window] seconds at
+    false-positive rate [fp_rate]. *)
+
+val check_and_insert : t -> now:float -> int -> bool
+(** [true] when the key is fresh (first sighting in the window), which
+    also records it; [false] flags a duplicate to be discarded. *)
+
+val memory_bytes : t -> int
+val inserted_in_window : t -> int

@@ -1,0 +1,101 @@
+(** Probabilistic overuse-flow detector (§4.8, LOFT-style [44, 64]).
+
+    Transit and transfer ASes see far too many EERs for per-flow state,
+    so overuse detection runs on a count-min sketch with a fixed memory
+    footprint. Per packet, the OFD receives the flow label
+    [(SrcAS, ResId)] and the {e normalized packet size}
+
+    {v normalized = packet size in bits / reservation bandwidth v}
+
+    i.e. the number of seconds of reservation time the packet consumes.
+    Packets of all versions of an EER share a flow label, which makes a
+    sender using multiple versions accountable for the {e maximum}
+    bandwidth across versions, not the sum (§4.8). Over a measurement
+    window of [window] seconds, a conforming flow accumulates at most
+    [window] (plus burst slack) normalized usage; flows whose sketch
+    estimate exceeds [threshold × window] are reported as suspects.
+
+    The sketch never under-estimates, so within a window there are no
+    false negatives for flows exceeding the threshold; hash collisions
+    can cause false positives — which is why the paper escalates
+    suspects to exact, deterministic monitoring rather than punishing
+    them directly. *)
+
+open Colibri_types
+
+type t = {
+  width : int;
+  depth : int;
+  window : float; (* seconds per measurement window *)
+  threshold : float; (* multiple of the fair share that flags a suspect *)
+  rows : float array array; (* depth × width counters, normalized seconds *)
+  seeds : int array;
+  mutable window_start : float;
+  mutable suspects : unit Ids.Res_key_tbl.t; (* flagged in current window *)
+  mutable observed_packets : int;
+}
+
+let create ?(width = 4096) ?(depth = 4) ~(window : float) ~(threshold : float)
+    ~(now : float) () : t =
+  if width <= 0 || depth <= 0 || window <= 0. || threshold <= 0. then
+    invalid_arg "Ofd.create";
+  {
+    width;
+    depth;
+    window;
+    threshold;
+    rows = Array.make_matrix depth width 0.;
+    seeds = Array.init depth (fun i -> 0x9e3779b9 + (i * 0x61c88647));
+    window_start = now;
+    suspects = Ids.Res_key_tbl.create 16;
+    observed_packets = 0;
+  }
+
+let maybe_rotate (t : t) ~now =
+  if now -. t.window_start >= t.window then begin
+    Array.iter (fun row -> Array.fill row 0 t.width 0.) t.rows;
+    Ids.Res_key_tbl.reset t.suspects;
+    t.window_start <- now;
+    t.observed_packets <- 0
+  end
+
+let slot (t : t) (key : Ids.res_key) (row : int) =
+  abs (Hashtbl.hash (key.src_as.isd, key.src_as.num, key.res_id, t.seeds.(row)))
+  mod t.width
+
+(** Current sketch estimate (normalized seconds in this window) for a
+    flow: the minimum across rows, the classic count-min bound. *)
+let estimate (t : t) (key : Ids.res_key) : float =
+  let est = ref Float.max_float in
+  for row = 0 to t.depth - 1 do
+    est := Float.min !est t.rows.(row).(slot t key row)
+  done;
+  !est
+
+(** [observe t ~now ~key ~normalized] accounts one packet and reports
+    whether the flow's estimated usage now exceeds the overuse
+    threshold. A flow is reported as suspect at most once per window. *)
+let observe (t : t) ~(now : float) ~(key : Ids.res_key) ~(normalized : float) :
+    [ `Ok | `Suspect ] =
+  maybe_rotate t ~now;
+  if normalized < 0. then invalid_arg "Ofd.observe: negative normalized size";
+  t.observed_packets <- t.observed_packets + 1;
+  for row = 0 to t.depth - 1 do
+    let i = slot t key row in
+    t.rows.(row).(i) <- t.rows.(row).(i) +. normalized
+  done;
+  if
+    estimate t key > t.threshold *. t.window
+    && not (Ids.Res_key_tbl.mem t.suspects key)
+  then begin
+    Ids.Res_key_tbl.replace t.suspects key ();
+    `Suspect
+  end
+  else `Ok
+
+let suspects (t : t) : Ids.res_key list =
+  Ids.Res_key_tbl.fold (fun k () acc -> k :: acc) t.suspects []
+
+let memory_bytes (t : t) = t.depth * t.width * 8
+let observed_packets (t : t) = t.observed_packets
+let window (t : t) = t.window

@@ -1,0 +1,35 @@
+(** Probabilistic overuse-flow detector (§4.8, LOFT-style [44, 64]).
+
+    Transit and transfer ASes see too many EERs for per-flow state, so
+    overuse detection runs on a count-min sketch with a fixed memory
+    footprint. Per packet the OFD receives the flow label
+    [(SrcAS, ResId)] and the {e normalized packet size} (packet bits /
+    reservation bandwidth — seconds of reservation time consumed).
+    Flows whose windowed estimate exceeds [threshold × window] are
+    reported as suspects, to be escalated to exact deterministic
+    monitoring. The sketch never under-estimates, so heavy flows are
+    always flagged within their window; collisions can cause false
+    positives — which is why suspects are verified, not punished. *)
+
+open Colibri_types
+
+type t
+
+val create :
+  ?width:int -> ?depth:int -> window:float -> threshold:float -> now:float -> unit -> t
+
+val observe :
+  t -> now:float -> key:Ids.res_key -> normalized:float -> [ `Ok | `Suspect ]
+(** Account one packet; [`Suspect] is reported at most once per flow
+    per window. *)
+
+val estimate : t -> Ids.res_key -> float
+(** Current sketch estimate (normalized seconds this window): the
+    count-min upper bound. *)
+
+val suspects : t -> Ids.res_key list
+(** Flows flagged in the current window. *)
+
+val memory_bytes : t -> int
+val observed_packets : t -> int
+val window : t -> float

@@ -1,0 +1,54 @@
+(** Token-bucket rate limiter (§4.8).
+
+    The deterministic monitor at the Colibri gateway tracks each EER
+    with a token bucket: it "only needs to keep a time stamp and a
+    counter in memory for each flow" while permitting short traffic
+    spikes up to the burst allowance. Rates are in bits per second,
+    packet sizes in bytes (the normalization to bits happens here). *)
+
+open Colibri_types
+
+type t = {
+  mutable rate : Bandwidth.t; (* refill rate, bits per second *)
+  mutable burst : float; (* bucket capacity, bits *)
+  mutable tokens : float; (* current fill, bits *)
+  mutable last : Timebase.t; (* last refill time *)
+}
+
+(** [create ~rate ~burst ~now] makes a full bucket. [burst] is the
+    burst allowance in {e seconds at rate}: the bucket holds
+    [rate * burst] bits. A typical value is 0.05–0.2 s. *)
+let create ~(rate : Bandwidth.t) ~(burst : float) ~(now : Timebase.t) : t =
+  if not (Bandwidth.is_positive rate) then invalid_arg "Token_bucket.create: rate <= 0";
+  if burst <= 0. then invalid_arg "Token_bucket.create: burst <= 0";
+  let cap = Bandwidth.to_bps rate *. burst in
+  { rate; burst = cap; tokens = cap; last = now }
+
+let refill (t : t) ~(now : Timebase.t) =
+  let dt = Float.max 0. (Timebase.diff now t.last) in
+  t.tokens <- Float.min t.burst (t.tokens +. (Bandwidth.to_bps t.rate *. dt));
+  t.last <- now
+
+(** [admit t ~now ~bytes] consumes [8*bytes] tokens if available;
+    [false] means the packet exceeds the reservation and must be
+    dropped. *)
+let admit (t : t) ~(now : Timebase.t) ~(bytes : int) : bool =
+  refill t ~now;
+  let need = 8. *. float_of_int bytes in
+  if t.tokens >= need then begin
+    t.tokens <- t.tokens -. need;
+    true
+  end
+  else false
+
+(** Update the rate, e.g. after a renewal changed the reservation
+    bandwidth. The burst allowance keeps its duration. *)
+let set_rate (t : t) ~(rate : Bandwidth.t) ~(now : Timebase.t) =
+  refill t ~now;
+  let duration = t.burst /. Bandwidth.to_bps t.rate in
+  t.rate <- rate;
+  t.burst <- Bandwidth.to_bps rate *. duration;
+  t.tokens <- Float.min t.tokens t.burst
+
+let rate (t : t) = t.rate
+let available_bits (t : t) ~now = refill t ~now; t.tokens

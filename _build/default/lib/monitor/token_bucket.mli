@@ -1,0 +1,25 @@
+(** Token-bucket rate limiter (§4.8).
+
+    The deterministic monitor at the Colibri gateway tracks each EER
+    with a token bucket — a timestamp and a counter per flow — while
+    permitting short traffic spikes up to the burst allowance. Rates
+    are in bits per second, packet sizes in bytes. *)
+
+open Colibri_types
+
+type t
+
+val create : rate:Bandwidth.t -> burst:float -> now:Timebase.t -> t
+(** A full bucket. [burst] is the allowance in {e seconds at rate}:
+    the bucket holds [rate × burst] bits. Typical: 0.05–0.2 s. *)
+
+val admit : t -> now:Timebase.t -> bytes:int -> bool
+(** Consume [8·bytes] tokens if available; [false] means the packet
+    exceeds the reservation and must be dropped. *)
+
+val set_rate : t -> rate:Bandwidth.t -> now:Timebase.t -> unit
+(** Update the rate (e.g. after a renewal changed the reservation
+    bandwidth); the burst allowance keeps its duration. *)
+
+val rate : t -> Bandwidth.t
+val available_bits : t -> now:Timebase.t -> float

@@ -1,0 +1,1 @@
+lib/net/dscp.ml: Fmt Traffic_class

@@ -1,0 +1,1 @@
+lib/net/engine.ml: Array Colibri_types Float Timebase

@@ -1,0 +1,1 @@
+lib/net/link.ml: Array Bandwidth Colibri_types Engine List Option Queue Traffic_class

@@ -1,0 +1,1 @@
+lib/net/link.mli: Bandwidth Colibri_types Engine Traffic_class

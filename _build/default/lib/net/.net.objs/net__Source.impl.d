@@ -1,0 +1,1 @@
+lib/net/source.ml: Bandwidth Colibri_types Engine

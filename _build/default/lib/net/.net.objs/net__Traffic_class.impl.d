@@ -1,0 +1,1 @@
+lib/net/traffic_class.ml: Fmt Printf

@@ -1,0 +1,45 @@
+(** DSCP encoding of Colibri traffic classes (Appendix B).
+
+    Priority must be given to Colibri traffic not only at border
+    routers but at every switch and router inside an AS, which requires
+    encoding the class in the intra-domain protocol's header — "in an
+    IP network, the traffic class can be encoded using DiffServ and the
+    DSCP field". This module fixes that mapping, using the standard
+    code points (EF for Colibri data, CS6 for control, default for best
+    effort), and provides the gateway-side normalization that prevents
+    malicious hosts from self-marking: all traffic entering from a host
+    is re-marked according to what the gateway actually classified. *)
+
+type t = int
+(** A 6-bit differentiated-services code point. *)
+
+let expedited_forwarding : t = 0b101110 (* EF, RFC 3246 *)
+let cs6 : t = 0b110000 (* network control *)
+let default : t = 0b000000
+
+(** Marking applied inside an AS for each Colibri class. *)
+let of_class : Traffic_class.t -> t = function
+  | Traffic_class.Colibri_data -> expedited_forwarding
+  | Traffic_class.Colibri_control -> cs6
+  | Traffic_class.Best_effort -> default
+
+(** Classification of intra-domain packets back to Colibri classes.
+    Unknown code points degrade to best effort — never upgrade. *)
+let to_class (dscp : t) : Traffic_class.t =
+  if dscp = expedited_forwarding then Traffic_class.Colibri_data
+  else if dscp = cs6 then Traffic_class.Colibri_control
+  else Traffic_class.Best_effort
+
+(** Gateway-side normalization: whatever DSCP a host wrote, the class
+    the gateway determined wins ("to defend against malicious hosts in
+    an AS's network, all traffic should pass through a gateway that
+    sets this field to the correct value", App. B). *)
+let normalize ~(host_marked : t) ~(classified : Traffic_class.t) : t =
+  ignore host_marked;
+  of_class classified
+
+let pp ppf (d : t) =
+  if d = expedited_forwarding then Fmt.string ppf "EF"
+  else if d = cs6 then Fmt.string ppf "CS6"
+  else if d = default then Fmt.string ppf "BE"
+  else Fmt.pf ppf "DSCP(%d)" d

@@ -1,0 +1,22 @@
+(** DSCP encoding of Colibri traffic classes (Appendix B): priority
+    must hold at every intra-domain switch, so the class is encoded in
+    the IP header's DSCP field (EF for Colibri data, CS6 for control),
+    and the gateway re-marks all host traffic so malicious hosts cannot
+    self-upgrade. *)
+
+type t = int
+(** A 6-bit differentiated-services code point. *)
+
+val expedited_forwarding : t
+val cs6 : t
+val default : t
+
+val of_class : Traffic_class.t -> t
+val to_class : t -> Traffic_class.t
+(** Unknown code points degrade to best effort — never upgrade. *)
+
+val normalize : host_marked:t -> classified:Traffic_class.t -> t
+(** Whatever DSCP a host wrote, the class the gateway determined
+    wins. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,109 @@
+(** Discrete-event simulation engine.
+
+    A binary min-heap of timestamped events with a deterministic
+    tie-break (FIFO among simultaneous events). All network components
+    (links, traffic sources, AS services) share one engine; its clock
+    is the authoritative simulation time. *)
+
+open Colibri_types
+
+type event = { time : Timebase.t; seq : int; run : unit -> unit }
+
+type t = {
+  clock : Timebase.Sim_clock.t;
+  mutable heap : event array;
+  mutable size : int;
+  mutable next_seq : int;
+  mutable processed : int;
+}
+
+let create ?(now = Timebase.epoch) () =
+  {
+    clock = Timebase.Sim_clock.create ~now ();
+    heap = Array.make 256 { time = 0.; seq = 0; run = ignore };
+    size = 0;
+    next_seq = 0;
+    processed = 0;
+  }
+
+let now (t : t) : Timebase.t = Timebase.Sim_clock.now t.clock
+let clock (t : t) : Timebase.clock = Timebase.Sim_clock.clock t.clock
+let pending (t : t) = t.size
+let processed (t : t) = t.processed
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow (t : t) =
+  let bigger = Array.make (2 * Array.length t.heap) t.heap.(0) in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let rec sift_up (t : t) i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down (t : t) i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+(** [schedule t ~delay f] runs [f] at [now t + delay]. [delay] must be
+    non-negative; events never run in the past. *)
+let schedule (t : t) ~(delay : float) (run : unit -> unit) =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- { time = now t +. delay; seq = t.next_seq; run };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let schedule_at (t : t) ~(time : Timebase.t) (run : unit -> unit) =
+  schedule t ~delay:(Float.max 0. (time -. now t)) run
+
+(** Pop and run the earliest event; [false] when the queue is empty. *)
+let step (t : t) : bool =
+  if t.size = 0 then false
+  else begin
+    let ev = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    sift_down t 0;
+    Timebase.Sim_clock.set t.clock ev.time;
+    t.processed <- t.processed + 1;
+    ev.run ();
+    true
+  end
+
+(** Run events until the queue drains or the next event lies beyond
+    [until] (the clock is then advanced to [until] exactly). *)
+let run ?(until = Float.max_float) (t : t) =
+  let rec loop () =
+    if t.size > 0 && t.heap.(0).time <= until then begin
+      ignore (step t);
+      loop ()
+    end
+  in
+  loop ();
+  if until < Float.max_float then Timebase.Sim_clock.set t.clock until
+
+(** Repeat [f] every [every] seconds starting at [start] (default: one
+    period from now) until it returns [false]. *)
+let every (t : t) ?start ~(every : float) (f : unit -> bool) =
+  if every <= 0. then invalid_arg "Engine.every: period <= 0";
+  let first = match start with Some s -> Float.max 0. (s -. now t) | None -> every in
+  let rec tick () = if f () then schedule t ~delay:every tick in
+  schedule t ~delay:first tick

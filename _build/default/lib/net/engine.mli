@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    A binary min-heap of timestamped events with FIFO tie-break among
+    simultaneous events. All network components share one engine; its
+    clock is the authoritative simulation time. *)
+
+open Colibri_types
+
+type t
+
+val create : ?now:Timebase.t -> unit -> t
+val now : t -> Timebase.t
+val clock : t -> Timebase.clock
+val pending : t -> int
+val processed : t -> int
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Run the thunk at [now + delay]; [delay] must be non-negative. *)
+
+val schedule_at : t -> time:Timebase.t -> (unit -> unit) -> unit
+(** Run at an absolute time (clamped to now). *)
+
+val step : t -> bool
+(** Pop and run the earliest event; [false] when the queue is empty. *)
+
+val run : ?until:Timebase.t -> t -> unit
+(** Run events until the queue drains or the next event lies beyond
+    [until] (the clock then advances to [until] exactly). *)
+
+val every : t -> ?start:Timebase.t -> every:float -> (unit -> bool) -> unit
+(** Repeat the callback every [every] seconds until it returns
+    [false]. *)

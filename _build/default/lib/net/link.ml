@@ -1,0 +1,170 @@
+(** Simulated inter-domain link with class-aware queuing (Appendix B).
+
+    A link serializes packets at its capacity and delivers them after a
+    propagation delay. Each traffic class has its own bounded FIFO
+    queue; when the transmitter frees up, the configured scheduler
+    picks the next class to serve:
+
+    - {!Strict_priority} serves Colibri control, then Colibri data,
+      then best effort — safe because admission bounds Colibri volume.
+    - {!Cbwfq} is class-based weighted fair queuing with the traffic
+      split as weights, implemented as deficit round-robin; it is
+      work-conserving, so unused reservation bandwidth is scavenged by
+      best-effort traffic ("no bandwidth is wasted", §3.4).
+
+    Per-class counters expose offered/delivered/dropped volume so
+    experiments (Table 2) can report achieved Gbps per class. *)
+
+open Colibri_types
+
+type scheduler = Strict_priority | Cbwfq of float array (* weight per class index *)
+
+type 'a packet = { bytes : int; cls : Traffic_class.t; payload : 'a }
+
+type counters = {
+  mutable offered_bytes : int;
+  mutable delivered_bytes : int;
+  mutable dropped_bytes : int;
+  mutable offered_pkts : int;
+  mutable delivered_pkts : int;
+  mutable dropped_pkts : int;
+}
+
+let fresh_counters () =
+  {
+    offered_bytes = 0;
+    delivered_bytes = 0;
+    dropped_bytes = 0;
+    offered_pkts = 0;
+    delivered_pkts = 0;
+    dropped_pkts = 0;
+  }
+
+type 'a t = {
+  engine : Engine.t;
+  capacity : Bandwidth.t;
+  delay : float; (* propagation delay, seconds *)
+  scheduler : scheduler;
+  queue_limit_bytes : int; (* per class *)
+  queues : 'a packet Queue.t array;
+  queued_bytes : int array;
+  deficit : float array; (* DRR state, bytes *)
+  quantum : float; (* DRR quantum, bytes *)
+  mutable rr_at : int; (* DRR scan position *)
+  mutable busy : bool;
+  deliver : 'a packet -> unit;
+  stats : counters array;
+}
+
+let create ~(engine : Engine.t) ~(capacity : Bandwidth.t) ?(delay = 0.001)
+    ?(scheduler = Strict_priority) ?(queue_limit_bytes = 4 * 1024 * 1024)
+    ~(deliver : 'a packet -> unit) () : 'a t =
+  if not (Bandwidth.is_positive capacity) then invalid_arg "Link.create: capacity <= 0";
+  (match scheduler with
+  | Cbwfq w when Array.length w <> Traffic_class.count ->
+      invalid_arg "Link.create: Cbwfq needs one weight per class"
+  | _ -> ());
+  {
+    engine;
+    capacity;
+    delay;
+    scheduler;
+    queue_limit_bytes;
+    queues = Array.init Traffic_class.count (fun _ -> Queue.create ());
+    queued_bytes = Array.make Traffic_class.count 0;
+    deficit = Array.make Traffic_class.count 0.;
+    quantum = 1500.;
+    rr_at = 0;
+    busy = false;
+    deliver;
+    stats = Array.init Traffic_class.count (fun _ -> fresh_counters ());
+  }
+
+let counters (t : 'a t) (cls : Traffic_class.t) = t.stats.(Traffic_class.index cls)
+
+(* Pick the next non-empty class per the scheduler; None if all empty. *)
+let next_class (t : 'a t) : int option =
+  let nonempty i = not (Queue.is_empty t.queues.(i)) in
+  match t.scheduler with
+  | Strict_priority ->
+      Traffic_class.all
+      |> List.sort (fun a b -> compare (Traffic_class.priority a) (Traffic_class.priority b))
+      |> List.find_opt (fun c -> nonempty (Traffic_class.index c))
+      |> Option.map Traffic_class.index
+  | Cbwfq weights ->
+      if not (Array.exists (fun _ -> true) weights) then None
+      else begin
+        (* Deficit round robin: scan classes from rr_at; a class may send
+           if its deficit covers the head packet; otherwise it gains
+           weight-proportional quantum and we move on. Terminates because
+           deficits grow every full scan while some queue is non-empty. *)
+        let any = Array.exists (fun q -> not (Queue.is_empty q)) t.queues in
+        if not any then None
+        else begin
+          let rec scan guard =
+            let i = t.rr_at in
+            if Queue.is_empty t.queues.(i) then begin
+              t.deficit.(i) <- 0.;
+              t.rr_at <- (i + 1) mod Traffic_class.count;
+              scan guard
+            end
+            else begin
+              let head = Queue.peek t.queues.(i) in
+              if t.deficit.(i) >= float_of_int head.bytes then Some i
+              else begin
+                t.deficit.(i) <- t.deficit.(i) +. (t.quantum *. weights.(i));
+                t.rr_at <- (i + 1) mod Traffic_class.count;
+                if guard > 100_000 then Some i (* avoids pathological zero weights *)
+                else scan (guard + 1)
+              end
+            end
+          in
+          scan 0
+        end
+      end
+
+let rec transmit_next (t : 'a t) =
+  match next_class t with
+  | None -> t.busy <- false
+  | Some i ->
+      t.busy <- true;
+      let pkt = Queue.pop t.queues.(i) in
+      t.queued_bytes.(i) <- t.queued_bytes.(i) - pkt.bytes;
+      (match t.scheduler with
+      | Cbwfq _ -> t.deficit.(i) <- t.deficit.(i) -. float_of_int pkt.bytes
+      | Strict_priority -> ());
+      let ser = 8. *. float_of_int pkt.bytes /. Bandwidth.to_bps t.capacity in
+      Engine.schedule t.engine ~delay:ser (fun () ->
+          let st = t.stats.(i) in
+          st.delivered_bytes <- st.delivered_bytes + pkt.bytes;
+          st.delivered_pkts <- st.delivered_pkts + 1;
+          Engine.schedule t.engine ~delay:t.delay (fun () -> t.deliver pkt);
+          transmit_next t)
+
+(** Offer a packet to the link. Dropped (with counters updated) when
+    its class queue is full — tail drop per class. *)
+let send (t : 'a t) ~(bytes : int) ~(cls : Traffic_class.t) (payload : 'a) =
+  if bytes <= 0 then invalid_arg "Link.send: bytes <= 0";
+  let i = Traffic_class.index cls in
+  let st = t.stats.(i) in
+  st.offered_bytes <- st.offered_bytes + bytes;
+  st.offered_pkts <- st.offered_pkts + 1;
+  if t.queued_bytes.(i) + bytes > t.queue_limit_bytes then begin
+    st.dropped_bytes <- st.dropped_bytes + bytes;
+    st.dropped_pkts <- st.dropped_pkts + 1
+  end
+  else begin
+    Queue.push { bytes; cls; payload } t.queues.(i);
+    t.queued_bytes.(i) <- t.queued_bytes.(i) + bytes;
+    if not t.busy then transmit_next t
+  end
+
+let capacity (t : 'a t) = t.capacity
+
+(** Delivered throughput of a class over an interval of [seconds],
+    given a counter snapshot taken at the start of the interval. *)
+let throughput_bps ~(before : counters) ~(after : counters) ~(seconds : float) :
+    Bandwidth.t =
+  Bandwidth.of_bps (8. *. float_of_int (after.delivered_bytes - before.delivered_bytes) /. seconds)
+
+let snapshot (c : counters) : counters = { c with offered_bytes = c.offered_bytes }

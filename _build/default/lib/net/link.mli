@@ -1,0 +1,48 @@
+(** Simulated inter-domain link with class-aware queuing (Appendix B).
+
+    A link serializes packets at its capacity and delivers them after
+    a propagation delay, with one bounded FIFO queue per traffic class
+    and a configurable scheduler: {!Strict_priority} (safe because
+    admission bounds Colibri volume) or {!Cbwfq} (class-based weighted
+    fair queuing via deficit round-robin, work-conserving so unused
+    reservation bandwidth is scavenged by best effort, §3.4). *)
+
+open Colibri_types
+
+type scheduler = Strict_priority | Cbwfq of float array  (** weight per class index *)
+
+type 'a packet = { bytes : int; cls : Traffic_class.t; payload : 'a }
+
+type counters = {
+  mutable offered_bytes : int;
+  mutable delivered_bytes : int;
+  mutable dropped_bytes : int;
+  mutable offered_pkts : int;
+  mutable delivered_pkts : int;
+  mutable dropped_pkts : int;
+}
+
+type 'a t
+
+val create :
+  engine:Engine.t ->
+  capacity:Bandwidth.t ->
+  ?delay:float ->
+  ?scheduler:scheduler ->
+  ?queue_limit_bytes:int ->
+  deliver:('a packet -> unit) ->
+  unit ->
+  'a t
+
+val send : 'a t -> bytes:int -> cls:Traffic_class.t -> 'a -> unit
+(** Offer a packet; tail-dropped (with counters updated) when its
+    class queue is full. *)
+
+val counters : 'a t -> Traffic_class.t -> counters
+val capacity : 'a t -> Bandwidth.t
+
+val throughput_bps : before:counters -> after:counters -> seconds:float -> Bandwidth.t
+(** Delivered throughput over an interval given a snapshot taken at
+    its start. *)
+
+val snapshot : counters -> counters

@@ -1,0 +1,16 @@
+(** Constant-bit-rate traffic sources for experiments: fixed-size
+    packets of one traffic class emitted at a configured rate; the
+    Table 2 reproduction composes several per input port. *)
+
+open Colibri_types
+
+type t
+
+val create :
+  engine:Engine.t -> rate:Bandwidth.t -> packet_bytes:int -> emit:(int -> unit) -> t
+(** [emit] is called with the packet size at line spacing. *)
+
+val start : t -> unit
+val stop : t -> unit
+val is_running : t -> bool
+val interval : t -> float

@@ -1,0 +1,38 @@
+(** Traffic classes for the Colibri traffic split (§3.4, Appendix B).
+
+    Inter-domain links carry three classes: best-effort traffic of the
+    underlying network, Colibri control traffic on SegRs (renewals and
+    EER setups), and Colibri data traffic on EERs. The default split
+    reserves 20 % / 5 % / 75 % of the link; queuing at the routers
+    enforces the separation while letting best-effort scavenge unused
+    reservation bandwidth. *)
+
+type t = Best_effort | Colibri_control | Colibri_data
+
+let count = 3
+let index = function Best_effort -> 0 | Colibri_control -> 1 | Colibri_data -> 2
+let of_index = function
+  | 0 -> Best_effort
+  | 1 -> Colibri_control
+  | 2 -> Colibri_data
+  | i -> invalid_arg (Printf.sprintf "Traffic_class.of_index: %d" i)
+
+let all = [ Best_effort; Colibri_control; Colibri_data ]
+
+(** Strict-priority order at schedulers: control first (tiny volume,
+    must never starve — it carries the renewals that keep reservations
+    alive), then reservation data, then best effort. The CServ's
+    admission guarantees data never exceeds its share, so strict
+    priority cannot starve best effort (Appendix B, footnote 4). *)
+let priority = function Colibri_control -> 0 | Colibri_data -> 1 | Best_effort -> 2
+
+(** Default guaranteed shares of link capacity (§3.4). *)
+let default_share = function
+  | Best_effort -> 0.20
+  | Colibri_control -> 0.05
+  | Colibri_data -> 0.75
+
+let pp ppf = function
+  | Best_effort -> Fmt.string ppf "best-effort"
+  | Colibri_control -> Fmt.string ppf "colibri-control"
+  | Colibri_data -> Fmt.string ppf "colibri-data"

@@ -1,0 +1,23 @@
+(** Traffic classes for the Colibri traffic split (§3.4, Appendix B):
+    best-effort, Colibri control (SegR renewals and EER setups), and
+    Colibri data (EER traffic), with the default 20 % / 5 % / 75 %
+    shares of link capacity. *)
+
+type t = Best_effort | Colibri_control | Colibri_data
+
+val count : int
+val index : t -> int
+val of_index : int -> t
+val all : t list
+
+val priority : t -> int
+(** Strict-priority order at schedulers: control first (it carries the
+    renewals that keep reservations alive), then reservation data,
+    then best effort. Admission guarantees data never exceeds its
+    share, so strict priority cannot starve best effort (Appendix B,
+    footnote 4). *)
+
+val default_share : t -> float
+(** The guaranteed link shares of §3.4. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,226 @@
+(** Path segments and beaconing (§2.2).
+
+    SCION splits global path discovery into three sub-problems: an
+    intra-ISD process discovering {e up-segments} (non-core AS → core
+    AS) and {e down-segments} (core AS → non-core AS), and an inter-ISD
+    process discovering {e core-segments} between core ASes. Source
+    hosts combine at most one up-, one core-, and one down-segment into
+    a full end-to-end path.
+
+    {!discover} simulates the beaconing processes on a {!Topology.t}
+    and fills a segment database; {!Db.paths} performs the combination.
+    Colibri's three segment-reservation types (up-/down-/core-SegRs,
+    §3.3) map one-to-one onto these segment types. *)
+
+open Colibri_types
+open Colibri_topology
+
+type kind = Up | Down | Core
+
+let pp_kind ppf = function
+  | Up -> Fmt.string ppf "up"
+  | Down -> Fmt.string ppf "down"
+  | Core -> Fmt.string ppf "core"
+
+type t = { kind : kind; path : Path.t }
+(** A segment, oriented in its own direction of travel: an up-segment
+    runs from the non-core AS towards the core, a down-segment from the
+    core towards the non-core AS, a core-segment between two core
+    ASes. *)
+
+let source (s : t) = Path.source s.path
+let destination (s : t) = Path.destination s.path
+let length (s : t) = Path.length s.path
+let pp ppf (s : t) = Fmt.pf ppf "%a[%a]" pp_kind s.kind Path.pp s.path
+
+let equal (a : t) (b : t) = a.kind = b.kind && Path.equal a.path b.path
+
+(** Segment database, as maintained by path servers / the CServ's
+    segment cache. *)
+module Db = struct
+  type seg = t
+
+  type t = {
+    mutable up : seg list Ids.Asn_map.t; (* keyed by non-core source AS *)
+    mutable down : seg list Ids.Asn_map.t; (* keyed by non-core destination AS *)
+    mutable core : seg list Ids.Asn_map.t Ids.Asn_map.t; (* src core → dst core → segs *)
+  }
+
+  let create () =
+    { up = Ids.Asn_map.empty; down = Ids.Asn_map.empty; core = Ids.Asn_map.empty }
+
+  let add_to_map m key seg =
+    let existing = Option.value ~default:[] (Ids.Asn_map.find_opt key m) in
+    if List.exists (equal seg) existing then m
+    else Ids.Asn_map.add key (seg :: existing) m
+
+  let add (db : t) (seg : seg) =
+    match seg.kind with
+    | Up -> db.up <- add_to_map db.up (source seg) seg
+    | Down -> db.down <- add_to_map db.down (destination seg) seg
+    | Core ->
+        let src = source seg and dst = destination seg in
+        let inner =
+          Option.value ~default:Ids.Asn_map.empty (Ids.Asn_map.find_opt src db.core)
+        in
+        db.core <- Ids.Asn_map.add src (add_to_map inner dst seg) db.core
+
+    (* Lookups return shortest-first. *)
+
+  let sort_segs = List.sort (fun a b -> compare (length a) (length b))
+
+  let up_segments (db : t) ~(src : Ids.asn) : seg list =
+    sort_segs (Option.value ~default:[] (Ids.Asn_map.find_opt src db.up))
+
+  let down_segments (db : t) ~(dst : Ids.asn) : seg list =
+    sort_segs (Option.value ~default:[] (Ids.Asn_map.find_opt dst db.down))
+
+  let core_segments (db : t) ~(src : Ids.asn) ~(dst : Ids.asn) : seg list =
+    match Ids.Asn_map.find_opt src db.core with
+    | None -> []
+    | Some inner -> sort_segs (Option.value ~default:[] (Ids.Asn_map.find_opt dst inner))
+
+  let size (db : t) =
+    let count m = Ids.Asn_map.fold (fun _ l acc -> acc + List.length l) m 0 in
+    count db.up + count db.down
+    + Ids.Asn_map.fold (fun _ inner acc -> acc + count inner) db.core 0
+
+  (** All end-to-end segment combinations from [src] to [dst], shortest
+      total AS-path first, capped at [limit]. Each result is the list
+      of (at most three) segments whose paths join end-to-end; the
+      corresponding full path is obtained with {!join_path}. Handles
+      all the structural cases: same AS, endpoints core or non-core,
+      shared core AS (no core segment needed). *)
+  let combinations ?(limit = 8) (db : t) ~(src : Ids.asn) ~(dst : Ids.asn) :
+      seg list list =
+    if Ids.equal_asn src dst then []
+    else begin
+      (* Candidate "first part": up segments from src, or nothing if the
+         source is itself at the core (we detect that by the presence of
+         core segments from it or up-segments ending at it). *)
+      let ups = up_segments db ~src in
+      let downs = down_segments db ~dst in
+      let results = ref [] in
+      let add combo = results := combo :: !results in
+      (* Case A: src core, dst core. *)
+      core_segments db ~src ~dst |> List.iter (fun c -> add [ c ]);
+      (* Case B: src core, dst non-core: core + down, or direct down. *)
+      downs
+      |> List.iter (fun (d : seg) ->
+             let core_start = source d in
+             if Ids.equal_asn core_start src then add [ d ]
+             else
+               core_segments db ~src ~dst:core_start
+               |> List.iter (fun c -> add [ c; d ]));
+      (* Case C: src non-core, dst core: up, or up + core. *)
+      ups
+      |> List.iter (fun (u : seg) ->
+             let core_end = destination u in
+             if Ids.equal_asn core_end dst then add [ u ]
+             else
+               core_segments db ~src:core_end ~dst
+               |> List.iter (fun c -> add [ u; c ]));
+      (* Case D: src non-core, dst non-core: up + (core?) + down. *)
+      ups
+      |> List.iter (fun (u : seg) ->
+             let core_end = destination u in
+             downs
+             |> List.iter (fun (d : seg) ->
+                    let core_start = source d in
+                    if Ids.equal_asn core_end core_start then add [ u; d ]
+                    else
+                      core_segments db ~src:core_end ~dst:core_start
+                      |> List.iter (fun c -> add [ u; c; d ])));
+      let total_len combo = List.fold_left (fun acc s -> acc + length s) 0 combo in
+      let sorted = List.sort (fun a b -> compare (total_len a) (total_len b)) !results in
+      let rec take n = function
+        | [] -> []
+        | _ when n = 0 -> []
+        | x :: rest -> x :: take (n - 1) rest
+      in
+      take limit sorted
+    end
+
+  (** Splice a combination into one end-to-end {!Path.t}. *)
+  let join_path (combo : seg list) : Path.t =
+    match combo with
+    | [] -> invalid_arg "Segments.Db.join_path: empty combination"
+    | first :: rest -> List.fold_left (fun acc s -> Path.join acc s.path) first.path rest
+
+  (** Convenience: full candidate paths from [src] to [dst]. *)
+  let paths ?limit (db : t) ~(src : Ids.asn) ~(dst : Ids.asn) : Path.t list =
+    List.map join_path (combinations ?limit db ~src ~dst)
+end
+
+(* Beaconing ----------------------------------------------------------- *)
+
+(* Depth-first propagation from a core AS down the provider→customer
+   hierarchy, yielding every simple downward path as a down-segment
+   (and its reverse as an up-segment at the reached AS). *)
+let intra_isd_beacons (topo : Topology.t) ~(core : Ids.asn) ~(db : Db.t)
+    ~(max_len : int) =
+  let rec dfs (path_rev : Path.hop list) (at : Ids.asn) (in_iface : Ids.iface) depth =
+    (* [path_rev]: hops strictly above [at], last element = core AS. *)
+    let register () =
+      if path_rev <> [] then begin
+        let down_path =
+          List.rev (Path.hop ~asn:at ~ingress:in_iface ~egress:Ids.local_iface :: path_rev)
+        in
+        Db.add db { kind = Down; path = down_path };
+        Db.add db { kind = Up; path = Path.reverse down_path }
+      end
+    in
+    register ();
+    if depth < max_len then
+      Topology.children topo at
+      |> List.iter (fun ((child : Ids.asn), (link : Topology.link)) ->
+             let seen = List.exists (fun (h : Path.hop) -> Ids.equal_asn h.asn child) path_rev in
+             if not (seen || Ids.equal_asn child at) then begin
+               let hop = Path.hop ~asn:at ~ingress:in_iface ~egress:link.local_iface in
+               dfs (hop :: path_rev) child link.remote_iface (depth + 1)
+             end)
+  in
+  dfs [] core Ids.local_iface 0
+
+(* Breadth-limited search over core links from [src_core], yielding up
+   to [max_per_pair] simple core paths to every other core AS. *)
+let core_beacons (topo : Topology.t) ~(src_core : Ids.asn) ~(db : Db.t)
+    ~(max_len : int) ~(max_per_pair : int) =
+  let found : (Ids.asn, int) Hashtbl.t = Hashtbl.create 16 in
+  let rec dfs (path_rev : Path.hop list) (at : Ids.asn) (in_iface : Ids.iface) depth =
+    if not (Ids.equal_asn at src_core) then begin
+      let n = Option.value ~default:0 (Hashtbl.find_opt found at) in
+      if n < max_per_pair then begin
+        Hashtbl.replace found at (n + 1);
+        let path =
+          List.rev (Path.hop ~asn:at ~ingress:in_iface ~egress:Ids.local_iface :: path_rev)
+        in
+        Db.add db { kind = Core; path }
+      end
+    end;
+    if depth < max_len then
+      Topology.core_links topo at
+      |> List.iter (fun (link : Topology.link) ->
+             let next = link.remote_as in
+             let seen =
+               Ids.equal_asn next src_core
+               || List.exists (fun (h : Path.hop) -> Ids.equal_asn h.asn next) path_rev
+             in
+             if not seen then begin
+               let hop = Path.hop ~asn:at ~ingress:in_iface ~egress:link.local_iface in
+               dfs (hop :: path_rev) next link.remote_iface (depth + 1)
+             end)
+  in
+  dfs [] src_core Ids.local_iface 0
+
+(** Run both beaconing processes over the whole topology and return the
+    resulting segment database. [max_len] bounds segment length in AS
+    hops; [max_per_pair] bounds the number of core segments kept per
+    (src, dst) core pair. *)
+let discover ?(max_len = 8) ?(max_per_pair = 4) (topo : Topology.t) : Db.t =
+  let db = Db.create () in
+  Topology.core_ases topo
+  |> List.iter (fun core ->
+         intra_isd_beacons topo ~core ~db ~max_len;
+         core_beacons topo ~src_core:core ~db ~max_len ~max_per_pair);
+  db

@@ -1,0 +1,60 @@
+(** Path segments and beaconing (§2.2).
+
+    SCION splits global path discovery into three sub-problems: an
+    intra-ISD process discovering {e up-segments} (non-core AS → core)
+    and {e down-segments} (core → non-core AS), and an inter-ISD
+    process discovering {e core-segments} between core ASes. Source
+    hosts combine at most one up-, one core-, and one down-segment
+    into a full end-to-end path. Colibri's three SegR types map
+    one-to-one onto these segment types (§3.3). *)
+
+open Colibri_types
+open Colibri_topology
+
+type kind = Up | Down | Core
+
+val pp_kind : kind Fmt.t
+
+(** A segment, oriented in its direction of travel (an up-segment runs
+    from the non-core AS towards the core, etc.). *)
+type t = { kind : kind; path : Path.t }
+
+val source : t -> Ids.asn
+val destination : t -> Ids.asn
+val length : t -> int
+val pp : t Fmt.t
+val equal : t -> t -> bool
+
+(** Segment database, as maintained by path servers / the CServ's
+    segment cache. *)
+module Db : sig
+  type seg = t
+  type t
+
+  val create : unit -> t
+  val add : t -> seg -> unit
+
+  val up_segments : t -> src:Ids.asn -> seg list
+  (** Up segments from a non-core AS, shortest first. *)
+
+  val down_segments : t -> dst:Ids.asn -> seg list
+  val core_segments : t -> src:Ids.asn -> dst:Ids.asn -> seg list
+  val size : t -> int
+
+  val combinations : ?limit:int -> t -> src:Ids.asn -> dst:Ids.asn -> seg list list
+  (** All end-to-end segment combinations, shortest total path first,
+      capped at [limit] (default 8). Handles all structural cases:
+      endpoints core or non-core, shared core AS (no core segment
+      needed). *)
+
+  val join_path : seg list -> Path.t
+  (** Splice a combination into one end-to-end path. *)
+
+  val paths : ?limit:int -> t -> src:Ids.asn -> dst:Ids.asn -> Path.t list
+end
+
+val discover : ?max_len:int -> ?max_per_pair:int -> Topology.t -> Db.t
+(** Run the intra-ISD and core beaconing processes over the topology.
+    [max_len] bounds segment length in AS hops (default 8);
+    [max_per_pair] bounds core segments kept per core pair
+    (default 4). *)

@@ -1,0 +1,1 @@
+lib/topology/topology.ml: Bandwidth Colibri_types Float Fmt Ids List Path

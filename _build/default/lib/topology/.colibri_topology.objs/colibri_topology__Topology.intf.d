@@ -1,0 +1,1 @@
+lib/topology/topology.mli: Bandwidth Colibri_types Fmt Ids Path

@@ -1,0 +1,1 @@
+lib/topology/topology_gen.mli: Bandwidth Colibri_types Ids Path Random Topology

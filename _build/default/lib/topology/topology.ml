@@ -1,0 +1,166 @@
+(** SCION-like inter-domain topology (§2.2).
+
+    ASes are grouped into isolation domains (ISDs); each ISD has core
+    ASes (managing trust roots and inter-ISD connectivity) and non-core
+    ASes below them. Inter-domain links connect a local interface of
+    one AS to a remote interface of its neighbor; interface numbers are
+    unique within each AS and chosen by the AS itself.
+
+    The topology also records per-link capacity, from which the
+    Colibri traffic split (§3.4) derives the bandwidth available to
+    reservations on that link. *)
+
+open Colibri_types
+
+type link_kind = Parent_child | Child_parent | Core_link | Peering
+
+type link = {
+  local_iface : Ids.iface;
+  remote_as : Ids.asn;
+  remote_iface : Ids.iface;
+  capacity : Bandwidth.t;
+  kind : link_kind;
+}
+
+type as_info = {
+  asn : Ids.asn;
+  core : bool;
+  mutable links : link list; (* newest first; order is not meaningful *)
+}
+
+type t = {
+  ases : as_info Ids.Asn_tbl.t;
+  mutable isds : int list; (* distinct ISD numbers, unordered *)
+}
+
+let create () = { ases = Ids.Asn_tbl.create 97; isds = [] }
+
+let add_as (t : t) ~(asn : Ids.asn) ~core =
+  if Ids.Asn_tbl.mem t.ases asn then
+    invalid_arg (Fmt.str "Topology.add_as: %a already present" Ids.pp_asn asn);
+  Ids.Asn_tbl.replace t.ases asn { asn; core; links = [] };
+  if not (List.mem asn.isd t.isds) then t.isds <- asn.isd :: t.isds
+
+let find (t : t) (asn : Ids.asn) : as_info option = Ids.Asn_tbl.find_opt t.ases asn
+
+let get (t : t) (asn : Ids.asn) : as_info =
+  match find t asn with
+  | Some info -> info
+  | None -> invalid_arg (Fmt.str "Topology.get: unknown AS %a" Ids.pp_asn asn)
+
+let is_core (t : t) (asn : Ids.asn) = (get t asn).core
+let mem (t : t) (asn : Ids.asn) = Ids.Asn_tbl.mem t.ases asn
+
+let ases (t : t) : Ids.asn list =
+  Ids.Asn_tbl.fold (fun asn _ acc -> asn :: acc) t.ases []
+
+let core_ases (t : t) : Ids.asn list =
+  Ids.Asn_tbl.fold (fun asn info acc -> if info.core then asn :: acc else acc) t.ases []
+
+let isds (t : t) = t.isds
+
+let flip_kind = function
+  | Parent_child -> Child_parent
+  | Child_parent -> Parent_child
+  | Core_link -> Core_link
+  | Peering -> Peering
+
+(** [connect t ~a ~a_iface ~b ~b_iface ~capacity ~kind] installs the
+    bidirectional link [a.a_iface ↔ b.b_iface]; [kind] is given from
+    [a]'s perspective ([Parent_child] when [a] is [b]'s provider).
+    Interface numbers must be fresh and non-zero. *)
+let connect (t : t) ~(a : Ids.asn) ~a_iface ~(b : Ids.asn) ~b_iface
+    ~(capacity : Bandwidth.t) ~(kind : link_kind) =
+  let ia = get t a and ib = get t b in
+  if a_iface = Ids.local_iface || b_iface = Ids.local_iface then
+    invalid_arg "Topology.connect: interface 0 is reserved";
+  if List.exists (fun l -> l.local_iface = a_iface) ia.links then
+    invalid_arg (Fmt.str "Topology.connect: %a iface %d in use" Ids.pp_asn a a_iface);
+  if List.exists (fun l -> l.local_iface = b_iface) ib.links then
+    invalid_arg (Fmt.str "Topology.connect: %a iface %d in use" Ids.pp_asn b b_iface);
+  ia.links <-
+    { local_iface = a_iface; remote_as = b; remote_iface = b_iface; capacity; kind }
+    :: ia.links;
+  ib.links <-
+    {
+      local_iface = b_iface;
+      remote_as = a;
+      remote_iface = a_iface;
+      capacity;
+      kind = flip_kind kind;
+    }
+    :: ib.links
+
+(** Link leaving [asn] through [iface], if any. *)
+let link_via (t : t) (asn : Ids.asn) (iface : Ids.iface) : link option =
+  List.find_opt (fun l -> l.local_iface = iface) (get t asn).links
+
+let links (t : t) (asn : Ids.asn) : link list = (get t asn).links
+
+let neighbors (t : t) (asn : Ids.asn) : Ids.asn list =
+  List.map (fun l -> l.remote_as) (get t asn).links
+
+(** Capacity of the link leaving [asn] via [iface]; interface 0 (the
+    AS-internal side) is treated as unconstrained — intra-AS capacity
+    is not Colibri's concern. *)
+let egress_capacity (t : t) (asn : Ids.asn) (iface : Ids.iface) : Bandwidth.t =
+  if iface = Ids.local_iface then Float.max_float
+  else
+    match link_via t asn iface with
+    | Some l -> l.capacity
+    | None ->
+        invalid_arg (Fmt.str "Topology.egress_capacity: %a has no iface %d" Ids.pp_asn asn iface)
+
+(** Parents of a non-core AS (its providers, towards the ISD core). *)
+let parents (t : t) (asn : Ids.asn) : (Ids.asn * link) list =
+  List.filter_map
+    (fun l -> if l.kind = Child_parent then Some (l.remote_as, l) else None)
+    (get t asn).links
+
+let children (t : t) (asn : Ids.asn) : (Ids.asn * link) list =
+  List.filter_map
+    (fun l -> if l.kind = Parent_child then Some (l.remote_as, l) else None)
+    (get t asn).links
+
+let core_links (t : t) (asn : Ids.asn) : link list =
+  List.filter (fun l -> l.kind = Core_link) (get t asn).links
+
+type error = Unknown_as of Ids.asn | No_link of Ids.asn * Ids.iface | Link_mismatch of Ids.asn * Ids.iface
+
+let pp_error ppf = function
+  | Unknown_as a -> Fmt.pf ppf "unknown AS %a" Ids.pp_asn a
+  | No_link (a, i) -> Fmt.pf ppf "%a has no interface %d" Ids.pp_asn a i
+  | Link_mismatch (a, i) -> Fmt.pf ppf "link mismatch at %a iface %d" Ids.pp_asn a i
+
+(** Check that a {!Path.t} is realizable in this topology: every AS
+    exists and each egress interface leads to the next AS's ingress
+    interface. *)
+let validate_path (t : t) (path : Path.t) : (unit, error) result =
+  let rec go = function
+    | [] -> Ok ()
+    | [ (last : Path.hop) ] ->
+        if not (mem t last.asn) then Error (Unknown_as last.asn) else Ok ()
+    | (h : Path.hop) :: (next : Path.hop) :: rest ->
+        if not (mem t h.asn) then Error (Unknown_as h.asn)
+        else begin
+          match link_via t h.asn h.egress with
+          | None -> Error (No_link (h.asn, h.egress))
+          | Some l ->
+              if Ids.equal_asn l.remote_as next.asn && l.remote_iface = next.ingress
+              then go (next :: rest)
+              else Error (Link_mismatch (h.asn, h.egress))
+        end
+  in
+  go path
+
+let pp ppf (t : t) =
+  let pp_as ppf (info : as_info) =
+    Fmt.pf ppf "%a%s: %a" Ids.pp_asn info.asn
+      (if info.core then " (core)" else "")
+      Fmt.(list ~sep:comma (fun ppf l ->
+               Fmt.pf ppf "%d→%a.%d" l.local_iface Ids.pp_asn l.remote_as l.remote_iface))
+      info.links
+  in
+  let infos = Ids.Asn_tbl.fold (fun _ i acc -> i :: acc) t.ases [] in
+  let infos = List.sort (fun a b -> Ids.compare_asn a.asn b.asn) infos in
+  Fmt.(list ~sep:(any "@\n") pp_as) ppf infos

@@ -1,0 +1,73 @@
+(** SCION-like inter-domain topology (§2.2): ASes grouped into ISDs,
+    core and non-core ASes, and capacity-annotated links between
+    per-AS interface numbers. The Colibri traffic split (§3.4) derives
+    the reservable bandwidth from the link capacities recorded here. *)
+
+open Colibri_types
+
+(** Business relationship of a link, from the local AS's perspective. *)
+type link_kind = Parent_child | Child_parent | Core_link | Peering
+
+type link = {
+  local_iface : Ids.iface;
+  remote_as : Ids.asn;
+  remote_iface : Ids.iface;
+  capacity : Bandwidth.t;
+  kind : link_kind;
+}
+
+type as_info = { asn : Ids.asn; core : bool; mutable links : link list }
+
+type t
+
+val create : unit -> t
+
+val add_as : t -> asn:Ids.asn -> core:bool -> unit
+(** Raises [Invalid_argument] on duplicates. *)
+
+val connect :
+  t ->
+  a:Ids.asn ->
+  a_iface:Ids.iface ->
+  b:Ids.asn ->
+  b_iface:Ids.iface ->
+  capacity:Bandwidth.t ->
+  kind:link_kind ->
+  unit
+(** Install the bidirectional link [a.a_iface ↔ b.b_iface]; [kind] is
+    given from [a]'s perspective. Interface numbers must be fresh and
+    non-zero. *)
+
+val find : t -> Ids.asn -> as_info option
+val get : t -> Ids.asn -> as_info
+val is_core : t -> Ids.asn -> bool
+val mem : t -> Ids.asn -> bool
+val ases : t -> Ids.asn list
+val core_ases : t -> Ids.asn list
+val isds : t -> int list
+val link_via : t -> Ids.asn -> Ids.iface -> link option
+val links : t -> Ids.asn -> link list
+val neighbors : t -> Ids.asn -> Ids.asn list
+
+val egress_capacity : t -> Ids.asn -> Ids.iface -> Bandwidth.t
+(** Capacity of the link leaving an AS via an interface; interface 0
+    (the AS-internal side) is unconstrained. *)
+
+val parents : t -> Ids.asn -> (Ids.asn * link) list
+(** Providers of a non-core AS (towards the ISD core). *)
+
+val children : t -> Ids.asn -> (Ids.asn * link) list
+val core_links : t -> Ids.asn -> link list
+
+type error =
+  | Unknown_as of Ids.asn
+  | No_link of Ids.asn * Ids.iface
+  | Link_mismatch of Ids.asn * Ids.iface
+
+val pp_error : error Fmt.t
+
+val validate_path : t -> Path.t -> (unit, error) result
+(** Check a path is realizable: every AS exists and each egress leads
+    to the next AS's ingress. *)
+
+val pp : t Fmt.t

@@ -1,0 +1,167 @@
+(** Topology generators for examples, tests, and benchmarks. *)
+
+open Colibri_types
+
+let gbps = Bandwidth.of_gbps
+
+(** A chain of [n] core ASes in ISD 1, linked 1–2–…–n with [capacity]
+    links: the minimal substrate for data-plane experiments that only
+    need a path of a given length (Figs. 5–6). AS [i] reaches AS [i+1]
+    via interface 2 and AS [i-1] via interface 1. *)
+let linear ~(n : int) ~(capacity : Bandwidth.t) : Topology.t =
+  if n < 1 then invalid_arg "Topology_gen.linear: n must be >= 1";
+  let t = Topology.create () in
+  for i = 1 to n do
+    Topology.add_as t ~asn:(Ids.asn ~isd:1 ~num:i) ~core:true
+  done;
+  for i = 1 to n - 1 do
+    Topology.connect t
+      ~a:(Ids.asn ~isd:1 ~num:i)
+      ~a_iface:2
+      ~b:(Ids.asn ~isd:1 ~num:(i + 1))
+      ~b_iface:1 ~capacity ~kind:Topology.Core_link
+  done;
+  t
+
+(** The AS-level path along a {!linear} topology from AS 1 to AS [n]. *)
+let linear_path ~(n : int) : Path.t =
+  List.init n (fun i ->
+      let num = i + 1 in
+      Path.hop
+        ~asn:(Ids.asn ~isd:1 ~num)
+        ~ingress:(if i = 0 then Ids.local_iface else 1)
+        ~egress:(if i = n - 1 then Ids.local_iface else 2))
+
+(** The running example of the paper's Fig. 1, enriched to two ISDs:
+
+    {v
+        ISD 1                      ISD 2
+        core:    Y1 ── Y2 ════ W1 ── W2     (core links)
+                 │      │       │     │
+        transit: X1     X2      V1    │
+                 │      │       │     │
+        leaves:  S      T       D     E
+    v}
+
+    - [S] (1-11) is the paper's source AS S, below transit X1 (1-5),
+      below core Y1 (1-1).
+    - [D] (2-11) is the destination AS Z, below V1 (2-5), below W1 (2-1).
+    - Y2 (1-2), W2 (2-2), T (1-12), E (2-12) provide path diversity:
+      there are at least two distinct up-/core-/down-segment choices, so
+      examples can exercise the path-choice property (§2.1).
+
+    All parent-child links are 40 Gbps, core links 100 Gbps, the
+    Y2 ═ W1 inter-ISD links 100 Gbps. *)
+let two_isd () : Topology.t =
+  let t = Topology.create () in
+  let y1 = Ids.asn ~isd:1 ~num:1
+  and y2 = Ids.asn ~isd:1 ~num:2
+  and x1 = Ids.asn ~isd:1 ~num:5
+  and x2 = Ids.asn ~isd:1 ~num:6
+  and s = Ids.asn ~isd:1 ~num:11
+  and tt = Ids.asn ~isd:1 ~num:12
+  and w1 = Ids.asn ~isd:2 ~num:1
+  and w2 = Ids.asn ~isd:2 ~num:2
+  and v1 = Ids.asn ~isd:2 ~num:5
+  and d = Ids.asn ~isd:2 ~num:11
+  and e = Ids.asn ~isd:2 ~num:12 in
+  List.iter (fun asn -> Topology.add_as t ~asn ~core:true) [ y1; y2; w1; w2 ];
+  List.iter (fun asn -> Topology.add_as t ~asn ~core:false) [ x1; x2; s; tt; v1; d; e ];
+  let pc = Topology.Parent_child and core = Topology.Core_link in
+  (* ISD 1 hierarchy *)
+  Topology.connect t ~a:y1 ~a_iface:11 ~b:x1 ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  Topology.connect t ~a:y2 ~a_iface:11 ~b:x2 ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  Topology.connect t ~a:y2 ~a_iface:12 ~b:x1 ~b_iface:2 ~capacity:(gbps 40.) ~kind:pc;
+  Topology.connect t ~a:x1 ~a_iface:11 ~b:s ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  Topology.connect t ~a:x2 ~a_iface:11 ~b:tt ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  (* ISD 2 hierarchy *)
+  Topology.connect t ~a:w1 ~a_iface:11 ~b:v1 ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  Topology.connect t ~a:v1 ~a_iface:11 ~b:d ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  Topology.connect t ~a:w2 ~a_iface:11 ~b:e ~b_iface:1 ~capacity:(gbps 40.) ~kind:pc;
+  (* Core mesh *)
+  Topology.connect t ~a:y1 ~a_iface:2 ~b:y2 ~b_iface:2 ~capacity:(gbps 100.) ~kind:core;
+  Topology.connect t ~a:w1 ~a_iface:2 ~b:w2 ~b_iface:2 ~capacity:(gbps 100.) ~kind:core;
+  Topology.connect t ~a:y2 ~a_iface:3 ~b:w1 ~b_iface:3 ~capacity:(gbps 100.) ~kind:core;
+  Topology.connect t ~a:y1 ~a_iface:3 ~b:w1 ~b_iface:4 ~capacity:(gbps 100.) ~kind:core;
+  t
+
+(** Names of the ASes in {!two_isd}, for examples and tests. *)
+module Two_isd = struct
+  let y1 = Ids.asn ~isd:1 ~num:1
+  let y2 = Ids.asn ~isd:1 ~num:2
+  let x1 = Ids.asn ~isd:1 ~num:5
+  let x2 = Ids.asn ~isd:1 ~num:6
+  let s = Ids.asn ~isd:1 ~num:11
+  let t = Ids.asn ~isd:1 ~num:12
+  let w1 = Ids.asn ~isd:2 ~num:1
+  let w2 = Ids.asn ~isd:2 ~num:2
+  let v1 = Ids.asn ~isd:2 ~num:5
+  let d = Ids.asn ~isd:2 ~num:11
+  let e = Ids.asn ~isd:2 ~num:12
+end
+
+(** Random two-tier internet: [isds] ISDs, each with [cores] core ASes
+    (full core mesh within an ISD, ring across ISDs plus random extra
+    inter-ISD links), and [leaves] non-core ASes per ISD, each attached
+    to 1–2 cores of its ISD. Link capacities are drawn uniformly from
+    [10–100] Gbps. Deterministic given [rng]. *)
+let random ~(rng : Random.State.t) ~(isds : int) ~(cores : int) ~(leaves : int) :
+    Topology.t =
+  if isds < 1 || cores < 1 || leaves < 0 then invalid_arg "Topology_gen.random";
+  let t = Topology.create () in
+  let iface_counters : (Ids.asn, int) Hashtbl.t = Hashtbl.create 97 in
+  let fresh_iface asn =
+    let v = Option.value ~default:0 (Hashtbl.find_opt iface_counters asn) + 1 in
+    Hashtbl.replace iface_counters asn v;
+    v
+  in
+  let cap () = gbps (10. +. (90. *. Random.State.float rng 1.)) in
+  let connect a b kind =
+    Topology.connect t ~a ~a_iface:(fresh_iface a) ~b ~b_iface:(fresh_iface b)
+      ~capacity:(cap ()) ~kind
+  in
+  let core_asn isd i = Ids.asn ~isd ~num:i in
+  let leaf_asn isd i = Ids.asn ~isd ~num:(1000 + i) in
+  for isd = 1 to isds do
+    for i = 1 to cores do
+      Topology.add_as t ~asn:(core_asn isd i) ~core:true
+    done;
+    for i = 1 to leaves do
+      Topology.add_as t ~asn:(leaf_asn isd i) ~core:false
+    done
+  done;
+  (* Intra-ISD core mesh. *)
+  for isd = 1 to isds do
+    for i = 1 to cores do
+      for j = i + 1 to cores do
+        connect (core_asn isd i) (core_asn isd j) Topology.Core_link
+      done
+    done
+  done;
+  (* Inter-ISD ring plus one random chord per ISD (when isds > 2). *)
+  for isd = 1 to isds - 1 do
+    connect (core_asn isd 1) (core_asn (isd + 1) 1) Topology.Core_link
+  done;
+  if isds > 2 then begin
+    connect (core_asn isds 1) (core_asn 1 1) Topology.Core_link;
+    for isd = 1 to isds do
+      let other = 1 + Random.State.int rng isds in
+      if other <> isd && other <> isd + 1 && other <> isd - 1 then
+        connect (core_asn isd (1 + Random.State.int rng cores))
+          (core_asn other (1 + Random.State.int rng cores))
+          Topology.Core_link
+    done
+  end;
+  (* Leaves: each under one or two providers of its ISD. *)
+  for isd = 1 to isds do
+    for i = 1 to leaves do
+      let p1 = 1 + Random.State.int rng cores in
+      connect (core_asn isd p1) (leaf_asn isd i) Topology.Parent_child;
+      if cores > 1 && Random.State.bool rng then begin
+        let p2 = 1 + Random.State.int rng cores in
+        if p2 <> p1 then
+          connect (core_asn isd p2) (leaf_asn isd i) Topology.Parent_child
+      end
+    done
+  done;
+  t

@@ -1,0 +1,39 @@
+(** Topology generators for examples, tests, and benchmarks. *)
+
+open Colibri_types
+
+val linear : n:int -> capacity:Bandwidth.t -> Topology.t
+(** A chain of [n] core ASes in ISD 1 — the minimal substrate for
+    data-plane experiments needing a path of a given length
+    (Figs. 5–6). AS [i] reaches AS [i+1] via interface 2 and AS [i-1]
+    via interface 1. *)
+
+val linear_path : n:int -> Path.t
+(** The AS-level path along {!linear} from AS 1 to AS [n]. *)
+
+val two_isd : unit -> Topology.t
+(** The paper's Fig. 1 running example enriched to two ISDs with path
+    diversity: source AS S under transit X1 under cores Y1/Y2 (ISD 1),
+    destination AS D under V1 under core W1 (ISD 2), plus alternates T
+    and E. See {!Two_isd} for the AS names. *)
+
+(** Names of the ASes in {!two_isd}. *)
+module Two_isd : sig
+  val y1 : Ids.asn
+  val y2 : Ids.asn
+  val x1 : Ids.asn
+  val x2 : Ids.asn
+  val s : Ids.asn
+  val t : Ids.asn
+  val w1 : Ids.asn
+  val w2 : Ids.asn
+  val v1 : Ids.asn
+  val d : Ids.asn
+  val e : Ids.asn
+end
+
+val random :
+  rng:Random.State.t -> isds:int -> cores:int -> leaves:int -> Topology.t
+(** A random two-tier internet: full core mesh per ISD, ring plus
+    random chords across ISDs, leaves under 1–2 providers; capacities
+    uniform in 10–100 Gbps. Deterministic given [rng]. *)

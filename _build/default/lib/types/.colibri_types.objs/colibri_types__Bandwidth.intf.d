@@ -1,0 +1,1 @@
+lib/types/bandwidth.mli: Fmt

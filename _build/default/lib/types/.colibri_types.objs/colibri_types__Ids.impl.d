@@ -1,0 +1,1 @@
+lib/types/ids.ml: Bytes Fmt Hashtbl Int32 Map Set

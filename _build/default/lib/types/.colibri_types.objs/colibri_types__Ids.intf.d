@@ -1,0 +1,1 @@
+lib/types/ids.mli: Fmt Hashtbl Map Set

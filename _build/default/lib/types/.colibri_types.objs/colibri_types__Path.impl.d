@@ -1,0 +1,1 @@
+lib/types/path.ml: Bytes Fmt Ids Int32 List

@@ -1,0 +1,1 @@
+lib/types/path.mli: Fmt Ids

@@ -1,0 +1,1 @@
+lib/types/timebase.ml: Float Fmt Stdlib

@@ -1,0 +1,49 @@
+(** Bandwidth quantities.
+
+    Stored as bits per second in a plain [float]; reservations in the
+    paper range from fractions of a Gbps to 40 Gbps link capacities, so
+    double precision is ample. All arithmetic used by the admission
+    algorithm (§4.7) lives here so that units stay consistent. *)
+
+type t = float (* bits per second *)
+
+let zero = 0.
+let of_bps x = x
+let to_bps x = x
+let of_kbps x = x *. 1e3
+let of_mbps x = x *. 1e6
+let of_gbps x = x *. 1e9
+let to_gbps x = x /. 1e9
+let to_mbps x = x /. 1e6
+
+let add = ( +. )
+let sub a b = Float.max 0. (a -. b)
+let min = Float.min
+let max = Float.max
+let scale k x = k *. x
+
+(** [div a b] is the ratio [a/b], or [0.] when [b = 0.]; used for the
+    proportional-sharing steps of the admission algorithm where an
+    all-zero demand must yield an all-zero allocation. *)
+let div a b = if b = 0. then 0. else a /. b
+
+let compare = Float.compare
+let equal a b = Float.equal a b
+let ( <= ) a b = Float.compare a b <= 0
+let ( >= ) a b = Float.compare a b >= 0
+let ( < ) a b = Float.compare a b < 0
+let ( > ) a b = Float.compare a b > 0
+
+(** Tolerant comparison for sums of float bandwidths: [a <=~ b] holds
+    when [a] exceeds [b] by at most one part in 10^9 of [b] (absolute
+    1e-3 bps floor), absorbing accumulation error in admission sums. *)
+let ( <=~ ) a b =
+  Stdlib.( <= ) (Float.compare a (b +. Float.max 1e-3 (1e-9 *. Float.abs b))) 0
+
+let is_positive x = Stdlib.( > ) (Float.compare x 0.) 0
+
+let pp ppf x =
+  if Float.abs x >= 1e9 then Fmt.pf ppf "%.3f Gbps" (x /. 1e9)
+  else if Float.abs x >= 1e6 then Fmt.pf ppf "%.3f Mbps" (x /. 1e6)
+  else if Float.abs x >= 1e3 then Fmt.pf ppf "%.3f kbps" (x /. 1e3)
+  else Fmt.pf ppf "%.0f bps" x

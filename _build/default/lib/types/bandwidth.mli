@@ -1,0 +1,41 @@
+(** Bandwidth quantities, stored as bits per second in a [float]. All
+    arithmetic used by the admission algorithm (§4.7) lives here so
+    units stay consistent. *)
+
+type t = float
+
+val zero : t
+val of_bps : float -> t
+val to_bps : t -> float
+val of_kbps : float -> t
+val of_mbps : float -> t
+val of_gbps : float -> t
+val to_gbps : t -> float
+val to_mbps : t -> float
+
+val add : t -> t -> t
+
+val sub : t -> t -> t
+(** Floored at zero. *)
+
+val min : t -> t -> t
+val max : t -> t -> t
+val scale : float -> t -> t
+
+val div : t -> t -> float
+(** [div a b] is [a/b], or [0.] when [b = 0.] — an all-zero demand
+    must yield an all-zero allocation in proportional sharing. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+
+val ( <=~ ) : t -> t -> bool
+(** Tolerant comparison for float sums: true when the left side
+    exceeds the right by at most one part in 10^9 (1e-3 bps floor). *)
+
+val is_positive : t -> bool
+val pp : t Fmt.t

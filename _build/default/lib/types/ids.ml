@@ -1,0 +1,99 @@
+(** Identifiers for isolation domains, autonomous systems, interfaces,
+    hosts, and reservations.
+
+    Identifiers follow the SCION conventions described in §2.2 of the
+    paper: ASes are grouped into isolation domains (ISDs); inter-domain
+    connections are identified by per-AS interface numbers that are
+    unique within the AS; the pair [(source AS, reservation id)]
+    uniquely identifies every reservation globally (§4.3). *)
+
+type isd = int
+(** Isolation-domain number. Strictly positive in valid topologies. *)
+
+type asn = { isd : isd; num : int }
+(** A globally unique AS identifier: ISD number plus AS number. *)
+
+type iface = int
+(** Interface identifier, unique within its AS. Interface [0] is
+    reserved to denote "local" (traffic originating at or destined to
+    this AS), matching SCION's convention for path extremities. *)
+
+type host = { addr : int }
+(** End-host address, unique inside its AS. *)
+
+type res_id = int
+(** Per-source-AS reservation number; the CServ allocates these
+    monotonically (§4.3). *)
+
+type res_key = { src_as : asn; res_id : res_id }
+(** Globally unique reservation identifier: [(SrcAS, ResId)]. *)
+
+let asn ~isd ~num = { isd; num }
+let host addr = { addr }
+
+let local_iface : iface = 0
+
+let compare_asn (a : asn) (b : asn) =
+  match compare a.isd b.isd with 0 -> compare a.num b.num | c -> c
+
+let equal_asn a b = compare_asn a b = 0
+
+let compare_res_key (a : res_key) (b : res_key) =
+  match compare_asn a.src_as b.src_as with
+  | 0 -> compare a.res_id b.res_id
+  | c -> c
+
+let equal_res_key a b = compare_res_key a b = 0
+
+let hash_asn (a : asn) = Hashtbl.hash (a.isd, a.num)
+let hash_res_key (k : res_key) = Hashtbl.hash (k.src_as.isd, k.src_as.num, k.res_id)
+
+let pp_asn ppf (a : asn) = Fmt.pf ppf "%d-%d" a.isd a.num
+let pp_host ppf (h : host) = Fmt.pf ppf "h%d" h.addr
+let pp_res_key ppf (k : res_key) = Fmt.pf ppf "%a#%d" pp_asn k.src_as k.res_id
+
+(** Encode an AS identifier to 8 bytes (big-endian ISD ‖ AS number),
+    used as PRF input by DRKey and in packet headers. *)
+let asn_to_bytes (a : asn) =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 (Int32.of_int a.isd);
+  Bytes.set_int32_be b 4 (Int32.of_int a.num);
+  b
+
+let asn_of_bytes b ~off =
+  {
+    isd = Int32.to_int (Bytes.get_int32_be b off);
+    num = Int32.to_int (Bytes.get_int32_be b (off + 4));
+  }
+
+module Asn_map = Map.Make (struct
+  type t = asn
+
+  let compare = compare_asn
+end)
+
+module Asn_set = Set.Make (struct
+  type t = asn
+
+  let compare = compare_asn
+end)
+
+module Res_key_map = Map.Make (struct
+  type t = res_key
+
+  let compare = compare_res_key
+end)
+
+module Asn_tbl = Hashtbl.Make (struct
+  type t = asn
+
+  let equal = equal_asn
+  let hash = hash_asn
+end)
+
+module Res_key_tbl = Hashtbl.Make (struct
+  type t = res_key
+
+  let equal = equal_res_key
+  let hash = hash_res_key
+end)

@@ -1,0 +1,52 @@
+(** Identifiers for isolation domains, autonomous systems, interfaces,
+    hosts, and reservations, following the SCION conventions of §2.2:
+    ASes are grouped into ISDs; inter-domain connections are identified
+    by per-AS interface numbers; the pair [(source AS, reservation id)]
+    uniquely identifies every reservation globally (§4.3). *)
+
+type isd = int
+(** Isolation-domain number. *)
+
+type asn = { isd : isd; num : int }
+(** A globally unique AS identifier. *)
+
+type iface = int
+(** Interface identifier, unique within its AS; {!local_iface} (0)
+    denotes traffic originating at or destined to the AS itself. *)
+
+type host = { addr : int }
+(** End-host address, unique inside its AS. *)
+
+type res_id = int
+(** Per-source-AS reservation number, allocated monotonically by the
+    CServ (§4.3). *)
+
+type res_key = { src_as : asn; res_id : res_id }
+(** Globally unique reservation identifier [(SrcAS, ResId)]. *)
+
+val asn : isd:isd -> num:int -> asn
+val host : int -> host
+val local_iface : iface
+
+val compare_asn : asn -> asn -> int
+val equal_asn : asn -> asn -> bool
+val compare_res_key : res_key -> res_key -> int
+val equal_res_key : res_key -> res_key -> bool
+val hash_asn : asn -> int
+val hash_res_key : res_key -> int
+
+val pp_asn : asn Fmt.t
+val pp_host : host Fmt.t
+val pp_res_key : res_key Fmt.t
+
+val asn_to_bytes : asn -> bytes
+(** 8-byte big-endian encoding (ISD ‖ AS number), used as PRF input by
+    DRKey and in packet headers. *)
+
+val asn_of_bytes : bytes -> off:int -> asn
+
+module Asn_map : Map.S with type key = asn
+module Asn_set : Set.S with type elt = asn
+module Res_key_map : Map.S with type key = res_key
+module Asn_tbl : Hashtbl.S with type key = asn
+module Res_key_tbl : Hashtbl.S with type key = res_key

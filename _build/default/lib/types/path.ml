@@ -1,0 +1,125 @@
+(** AS-level forwarding paths.
+
+    A Colibri path is the list of on-path ASes with their
+    ingress–egress interface pairs (Eq. (2b)): for [AS_0 … AS_l] the
+    packet enters [AS_i] through interface [In_i] and leaves through
+    [Eg_i]. At the source AS the ingress interface is {!Ids.local_iface}
+    (0) and at the destination AS the egress interface is 0. *)
+
+type hop = { asn : Ids.asn; ingress : Ids.iface; egress : Ids.iface }
+
+type t = hop list
+(** Invariant (checked by {!validate}): non-empty; first hop has
+    ingress 0; last hop has egress 0; all intermediate interfaces are
+    non-zero. *)
+
+let hop ~asn ~ingress ~egress = { asn; ingress; egress }
+
+let source = function [] -> invalid_arg "Path.source: empty" | h :: _ -> h.asn
+
+let destination path =
+  match List.rev path with
+  | [] -> invalid_arg "Path.destination: empty"
+  | h :: _ -> h.asn
+
+let length = List.length
+
+let ases path = List.map (fun h -> h.asn) path
+
+type error =
+  | Empty
+  | Bad_source_ingress
+  | Bad_destination_egress
+  | Zero_transit_iface of Ids.asn
+  | Repeated_as of Ids.asn
+
+let pp_error ppf = function
+  | Empty -> Fmt.string ppf "empty path"
+  | Bad_source_ingress -> Fmt.string ppf "source ingress must be 0"
+  | Bad_destination_egress -> Fmt.string ppf "destination egress must be 0"
+  | Zero_transit_iface a -> Fmt.pf ppf "zero transit interface at %a" Ids.pp_asn a
+  | Repeated_as a -> Fmt.pf ppf "AS %a appears twice" Ids.pp_asn a
+
+(** Structural validation of a path; used on every parsed packet. *)
+let validate (path : t) : (unit, error) result =
+  match path with
+  | [] -> Error Empty
+  | first :: _ ->
+      let rec check seen = function
+        | [] -> Ok ()
+        | h :: rest ->
+            if List.exists (Ids.equal_asn h.asn) seen then Error (Repeated_as h.asn)
+            else
+              let transit_ok =
+                (* Interior interfaces must be non-zero. *)
+                let is_first = seen = [] in
+                let is_last = rest = [] in
+                (is_first || h.ingress <> Ids.local_iface)
+                && (is_last || h.egress <> Ids.local_iface)
+              in
+              if not transit_ok then Error (Zero_transit_iface h.asn)
+              else check (h.asn :: seen) rest
+      in
+      if first.ingress <> Ids.local_iface then Error Bad_source_ingress
+      else
+        let last = List.nth path (List.length path - 1) in
+        if last.egress <> Ids.local_iface then Error Bad_destination_egress
+        else check [] path
+
+(** Reverse a path: swaps source and destination roles and flips every
+    ingress/egress pair. Used to send replies along the same segment
+    (➌ in Fig. 1a). *)
+let reverse (path : t) : t =
+  List.rev_map (fun h -> { h with ingress = h.egress; egress = h.ingress }) path
+
+(** [join a b] concatenates two path fragments at a shared AS: the last
+    AS of [a] must equal the first AS of [b]; the joint AS keeps [a]'s
+    ingress and [b]'s egress. This is how a transfer AS splices two
+    segment reservations (§4.1). *)
+let join (a : t) (b : t) : t =
+  match (List.rev a, b) with
+  | last_a :: rev_init_a, first_b :: rest_b when Ids.equal_asn last_a.asn first_b.asn
+    ->
+      List.rev_append rev_init_a
+        ({ asn = last_a.asn; ingress = last_a.ingress; egress = first_b.egress }
+        :: rest_b)
+  | _ -> invalid_arg "Path.join: fragments do not share an AS"
+
+let equal_hop a b =
+  Ids.equal_asn a.asn b.asn && a.ingress = b.ingress && a.egress = b.egress
+
+let equal (a : t) (b : t) = List.length a = List.length b && List.for_all2 equal_hop a b
+
+let pp_hop ppf h =
+  Fmt.pf ppf "%a(%d>%d)" Ids.pp_asn h.asn h.ingress h.egress
+
+let pp ppf (path : t) = Fmt.(list ~sep:(any " → ") pp_hop) ppf path
+
+(** 20-byte binary encoding of one hop (8-byte AS ‖ 4-byte In ‖ 4-byte
+    Eg ‖ 4 bytes reserved), used in the packet header and in MAC
+    inputs. *)
+let hop_byte_size = 20
+
+let hop_to_bytes (h : hop) =
+  let b = Bytes.create hop_byte_size in
+  Bytes.blit (Ids.asn_to_bytes h.asn) 0 b 0 8;
+  Bytes.set_int32_be b 8 (Int32.of_int h.ingress);
+  Bytes.set_int32_be b 12 (Int32.of_int h.egress);
+  Bytes.set_int32_be b 16 0l;
+  b
+
+let hop_of_bytes b ~off =
+  {
+    asn = Ids.asn_of_bytes b ~off;
+    ingress = Int32.to_int (Bytes.get_int32_be b (off + 8));
+    egress = Int32.to_int (Bytes.get_int32_be b (off + 12));
+  }
+
+let to_bytes (path : t) =
+  let n = List.length path in
+  let b = Bytes.create (n * hop_byte_size) in
+  List.iteri (fun i h -> Bytes.blit (hop_to_bytes h) 0 b (i * hop_byte_size) hop_byte_size) path;
+  b
+
+let of_bytes b ~off ~count =
+  List.init count (fun i -> hop_of_bytes b ~off:(off + (i * hop_byte_size)))

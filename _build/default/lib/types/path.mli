@@ -1,0 +1,52 @@
+(** AS-level forwarding paths: the list of on-path ASes with their
+    ingress–egress interface pairs (Eq. (2b)). At the source AS the
+    ingress interface is {!Ids.local_iface} (0); at the destination AS
+    the egress is 0. *)
+
+type hop = { asn : Ids.asn; ingress : Ids.iface; egress : Ids.iface }
+
+type t = hop list
+(** Invariant (checked by {!validate}): non-empty; first hop has
+    ingress 0; last hop has egress 0; intermediate interfaces
+    non-zero; no repeated AS. *)
+
+val hop : asn:Ids.asn -> ingress:Ids.iface -> egress:Ids.iface -> hop
+val source : t -> Ids.asn
+val destination : t -> Ids.asn
+val length : t -> int
+val ases : t -> Ids.asn list
+
+type error =
+  | Empty
+  | Bad_source_ingress
+  | Bad_destination_egress
+  | Zero_transit_iface of Ids.asn
+  | Repeated_as of Ids.asn
+
+val pp_error : error Fmt.t
+
+val validate : t -> (unit, error) result
+(** Structural validation; run on every parsed packet. *)
+
+val reverse : t -> t
+(** Swap source and destination roles, flipping every interface pair —
+    used to send replies along the same segment (Fig. 1a ➌). *)
+
+val join : t -> t -> t
+(** Concatenate two fragments at a shared AS: the last AS of the first
+    must equal the first AS of the second; the joint AS keeps the
+    first's ingress and the second's egress — how a transfer AS
+    splices two SegRs (§4.1). Raises [Invalid_argument] otherwise. *)
+
+val equal_hop : hop -> hop -> bool
+val equal : t -> t -> bool
+val pp_hop : hop Fmt.t
+val pp : t Fmt.t
+
+(** {1 Wire encoding} (20 bytes per hop) *)
+
+val hop_byte_size : int
+val hop_to_bytes : hop -> bytes
+val hop_of_bytes : bytes -> off:int -> hop
+val to_bytes : t -> bytes
+val of_bytes : bytes -> off:int -> count:int -> t

@@ -1,0 +1,77 @@
+(** Time base for the simulated deployment.
+
+    The paper assumes ASes are synchronized within ±0.1 s (§2.3). We
+    model time as seconds in a [float] and let every component read a
+    {!clock}, so tests can drive time deterministically and model clock
+    skew between ASes. High-precision packet timestamps (the [Ts]
+    header field of Eq. (2a)) are expressed relative to the
+    reservation's expiration time in microsecond ticks, mirroring the
+    paper's "high-precision timestamp relative to ExpT". *)
+
+type t = float (* seconds since simulation epoch *)
+
+type clock = unit -> t
+(** A clock is just a function returning the current time; components
+    take a clock rather than reading a global so that simulations stay
+    deterministic and skew can be injected. *)
+
+let epoch : t = 0.
+let seconds x : t = x
+let milliseconds x : t = x /. 1e3
+let microseconds x : t = x /. 1e6
+let to_seconds (t : t) = t
+let add = ( +. )
+let diff a b = a -. b
+let compare = Float.compare
+let ( <= ) a b = Float.compare a b <= 0
+let ( < ) a b = Float.compare a b < 0
+let ( >= ) a b = Float.compare a b >= 0
+let ( > ) a b = Float.compare a b > 0
+let min = Float.min
+let max = Float.max
+
+(** Maximum clock skew between any two ASes assumed by the paper. *)
+let max_skew : t = 0.1
+
+let pp ppf (t : t) = Fmt.pf ppf "%.6fs" t
+
+(** A mutable simulated clock. *)
+module Sim_clock = struct
+  type nonrec t = { mutable now : t }
+
+  let create ?(now = epoch) () = { now }
+  let now c = c.now
+  let clock c : clock = fun () -> c.now
+
+  let advance c dt =
+    assert (Stdlib.( >= ) (Float.compare dt 0.) 0);
+    c.now <- c.now +. dt
+
+  let set c t = c.now <- t
+
+  (** A clock reading [skew] seconds ahead of [c]; used to model
+      imperfectly synchronized ASes. *)
+  let skewed c skew : clock = fun () -> c.now +. skew
+end
+
+(** Packet timestamps: microsecond ticks counting down-from/up-to the
+    reservation expiration. The pair (relative tick, ExpT) uniquely
+    identifies a packet for a given source (§4.3). *)
+module Ts = struct
+  type t = int (* microsecond ticks relative to reservation ExpT *)
+
+  (** [of_times ~exp_time ~now] encodes [now] as microseconds before
+      [exp_time]. Raises [Invalid_argument] if [now] is after
+      [exp_time] (the reservation has expired). *)
+  let of_times ~exp_time ~now : t =
+    let d = diff exp_time now in
+    if Stdlib.( < ) (Float.compare d 0.) 0 then invalid_arg "Ts.of_times: expired";
+    int_of_float (Float.round (d *. 1e6))
+
+  (** Inverse of {!of_times}: absolute send time implied by the tick. *)
+  let to_time ~exp_time (ts : t) : float = exp_time -. (float_of_int ts /. 1e6)
+
+  let to_int (ts : t) = ts
+  let of_int i : t = i
+  let pp ppf (ts : t) = Fmt.pf ppf "ts:%d" ts
+end

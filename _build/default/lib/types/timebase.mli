@@ -1,0 +1,61 @@
+(** Time base for the simulated deployment: seconds in a [float],
+    read through an injectable {!clock} so simulations stay
+    deterministic and clock skew can be modeled. The paper assumes
+    ASes are synchronized within ±0.1 s (§2.3). *)
+
+type t = float
+(** Seconds since the simulation epoch. *)
+
+type clock = unit -> t
+
+val epoch : t
+val seconds : float -> t
+val milliseconds : float -> t
+val microseconds : float -> t
+val to_seconds : t -> float
+val add : t -> t -> t
+val diff : t -> t -> t
+val compare : t -> t -> int
+val ( <= ) : t -> t -> bool
+val ( < ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+
+val max_skew : t
+(** ±0.1 s, the synchronization bound assumed by the paper. *)
+
+val pp : t Fmt.t
+
+(** A mutable simulated clock. *)
+module Sim_clock : sig
+  type time := t
+  type t
+
+  val create : ?now:time -> unit -> t
+  val now : t -> time
+  val clock : t -> clock
+  val advance : t -> time -> unit
+  val set : t -> time -> unit
+
+  val skewed : t -> time -> clock
+  (** A clock reading ahead of this one by a fixed skew — an
+      imperfectly synchronized AS. *)
+end
+
+(** High-precision packet timestamps (the [Ts] field of Eq. (2a)):
+    microsecond ticks relative to the reservation's expiration time;
+    the pair (Ts, ExpT) uniquely identifies a packet for a given
+    source (§4.3). *)
+module Ts : sig
+  type t
+
+  val of_times : exp_time:float -> now:float -> t
+  (** Raises [Invalid_argument] if [now] is past [exp_time]. *)
+
+  val to_time : exp_time:float -> t -> float
+  val to_int : t -> int
+  val of_int : int -> t
+  val pp : t Fmt.t
+end

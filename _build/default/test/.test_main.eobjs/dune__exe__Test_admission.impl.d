@@ -1,0 +1,1 @@
+test/test_admission.ml: Admission Alcotest Bandwidth Colibri Colibri_types Ids List Printf QCheck2 QCheck_alcotest

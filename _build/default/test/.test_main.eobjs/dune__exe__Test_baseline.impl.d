@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Bandwidth Baseline Colibri_types Net Printf

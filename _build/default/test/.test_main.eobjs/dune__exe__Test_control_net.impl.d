@@ -1,0 +1,1 @@
+test/test_control_net.ml: Alcotest Bandwidth Colibri Colibri_topology Colibri_types Control_net Ids Net Printf Topology_gen

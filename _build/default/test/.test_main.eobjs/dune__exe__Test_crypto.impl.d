@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aead Aes Alcotest Bytes Char Cmac Crypto Hex List QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_cserv.ml: Alcotest Bandwidth Bytes Colibri Colibri_topology Colibri_types Crypto Cserv Deployment Ids List Option Path Protocol Reservation Result Segments Topology_gen

@@ -1,0 +1,1 @@
+test/test_deployment.ml: Alcotest Astring Bandwidth Colibri Colibri_topology Colibri_types Cserv Deployment Fmt Gateway Ids List Path Reservation Result Router Segments Topology_gen

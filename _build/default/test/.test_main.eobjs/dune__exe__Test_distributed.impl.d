@@ -1,0 +1,1 @@
+test/test_distributed.ml: Admission Alcotest Bandwidth Bytes Colibri Colibri_types Dataplane_shard Distributed Gateway Ids List Packet Path Printf Random Reservation

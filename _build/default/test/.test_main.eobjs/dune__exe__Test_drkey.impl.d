@@ -1,0 +1,1 @@
+test/test_drkey.ml: Alcotest Bytes Colibri_types Crypto Drkey Ids QCheck2 QCheck_alcotest Timebase

@@ -1,0 +1,1 @@
+test/test_host_stack.ml: Alcotest Bandwidth Colibri Colibri_topology Colibri_types Deployment Host_stack Ids List Net Printf Reservation Segments Topology_gen

@@ -1,0 +1,1 @@
+test/test_monitor.ml: Alcotest Bandwidth Colibri_types Hashtbl Ids List Monitor Option Printf QCheck2 QCheck_alcotest Timebase

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Bandwidth Colibri_types List Net Printf

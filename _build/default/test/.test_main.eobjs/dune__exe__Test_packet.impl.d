@@ -1,0 +1,1 @@
+test/test_packet.ml: Alcotest Array Bandwidth Bytes Char Colibri Colibri_types Crypto Hvf Ids List Packet Path Printf QCheck2 QCheck_alcotest Timebase

@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Bandwidth Bytes Char Colibri Colibri_types Crypto Fmt Hashtbl Ids List Packet Path Protocol QCheck2 QCheck_alcotest Reservation

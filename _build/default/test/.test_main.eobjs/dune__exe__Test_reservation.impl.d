@@ -1,0 +1,1 @@
+test/test_reservation.ml: Alcotest Bandwidth Colibri Colibri_types Ids List Net Option Path Reservation

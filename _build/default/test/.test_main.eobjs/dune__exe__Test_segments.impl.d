@@ -1,0 +1,1 @@
+test/test_segments.ml: Alcotest Bandwidth Colibri_topology Colibri_types Ids List Path QCheck2 QCheck_alcotest Random Segments Topology Topology_gen

@@ -1,0 +1,1 @@
+test/test_settlement.ml: Alcotest Bandwidth Colibri Colibri_topology Colibri_types Ids List Settlement Timebase

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Bandwidth Colibri_topology Colibri_types Fmt Ids List Path QCheck2 QCheck_alcotest Random Topology Topology_gen

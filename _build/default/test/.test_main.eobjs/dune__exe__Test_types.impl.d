@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Array Bandwidth Bytes Colibri_types Ids List Path QCheck2 QCheck_alcotest Timebase

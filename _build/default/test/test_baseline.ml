@@ -1,0 +1,122 @@
+(** Tests for the IntServ- and DiffServ-style baselines, including the
+    security failures that motivate Colibri (§1, §8). *)
+
+open Colibri_types
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+
+(* ---------- IntServ ---------- *)
+
+let intserv_admission () =
+  let t = Baseline.Intserv.create ~capacity:(gbps 1.) ~share:0.8 () in
+  (* 0.8 Gbps reservable: eight 100 Mbps flows fit, the ninth not. *)
+  for i = 1 to 8 do
+    match
+      Baseline.Intserv.admit t ~id:{ src = i; dst = 100 } ~bw:(mbps 100.)
+        ~exp_time:60. ~now:0.
+    with
+    | `Admitted -> ()
+    | `Rejected -> Alcotest.failf "flow %d should fit" i
+  done;
+  (match
+     Baseline.Intserv.admit t ~id:{ src = 9; dst = 100 } ~bw:(mbps 100.)
+       ~exp_time:60. ~now:0.
+   with
+  | `Rejected -> ()
+  | `Admitted -> Alcotest.fail "over-admission");
+  Alcotest.(check int) "per-flow state grows" 8 (Baseline.Intserv.flow_count t);
+  Alcotest.(check bool) "state bytes grow" true (Baseline.Intserv.state_bytes t > 0)
+
+let intserv_soft_state_expiry () =
+  let t = Baseline.Intserv.create ~capacity:(gbps 1.) () in
+  ignore
+    (Baseline.Intserv.admit t ~id:{ src = 1; dst = 2 } ~bw:(mbps 500.) ~exp_time:30.
+       ~now:0.);
+  (* After expiry the next admission sweeps the soft state. *)
+  match
+    Baseline.Intserv.admit t ~id:{ src = 2; dst = 2 } ~bw:(mbps 700.) ~exp_time:90.
+      ~now:31.
+  with
+  | `Admitted -> Alcotest.(check int) "old state swept" 1 (Baseline.Intserv.flow_count t)
+  | `Rejected -> Alcotest.fail "expired flow still booked"
+
+let intserv_spoofing_succeeds () =
+  (* The security failure Colibri fixes: a spoofed packet claiming an
+     installed flow id receives reserved treatment. *)
+  let t = Baseline.Intserv.create ~capacity:(gbps 1.) () in
+  ignore
+    (Baseline.Intserv.admit t ~id:{ src = 1; dst = 2 } ~bw:(mbps 100.) ~exp_time:60.
+       ~now:0.);
+  (match Baseline.Intserv.forward t ~id:{ src = 1; dst = 2 } ~bytes:1000 with
+  | `Reserved -> () (* legitimate *)
+  | `Best_effort -> Alcotest.fail "legitimate flow demoted");
+  (* The attacker forges the same id from elsewhere: indistinguishable. *)
+  match Baseline.Intserv.forward t ~id:{ src = 1; dst = 2 } ~bytes:1000 with
+  | `Reserved -> () (* attack succeeds — the point of the test *)
+  | `Best_effort -> Alcotest.fail "model should accept spoof (no authentication)"
+
+(* ---------- DiffServ ---------- *)
+
+let diffserv_priority_works_without_attack () =
+  let e = Net.Engine.create () in
+  let port = Baseline.Diffserv.create ~engine:e ~capacity:(mbps 8.) () in
+  (* EF at 2 Mbps, BE at 10 Mbps (over-subscribed link). *)
+  let feed dscp rate =
+    let src =
+      Net.Source.create ~engine:e ~rate ~packet_bytes:1000 ~emit:(fun bytes ->
+          Baseline.Diffserv.send port ~dscp ~bytes ())
+    in
+    Net.Source.start src;
+    src
+  in
+  let s1 = feed Baseline.Diffserv.Expedited (mbps 2.) in
+  let s2 = feed Baseline.Diffserv.Default (mbps 10.) in
+  Net.Engine.run e ~until:2.;
+  Net.Source.stop s1;
+  Net.Source.stop s2;
+  let ef = Baseline.Diffserv.delivered_bytes port Baseline.Diffserv.Expedited in
+  let ef_rate = 8. *. float_of_int ef /. 2. in
+  Alcotest.(check bool) (Printf.sprintf "EF gets its 2 Mbps (%.2f)" (ef_rate /. 1e6))
+    true
+    (ef_rate > 1.9e6)
+
+let diffserv_fails_under_marking_attack () =
+  (* An attacker marks its flood as EF: the honest EF flow collapses —
+     no admission, no authentication (§8: DiffServ "does not provide
+     any guarantees"). *)
+  let e = Net.Engine.create () in
+  let port = Baseline.Diffserv.create ~engine:e ~capacity:(mbps 8.)
+      ~queue_limit_bytes:20_000 () in
+  let honest_delivered = ref 0 in
+  let feed ?(count = fun _ -> ()) dscp rate =
+    let src =
+      Net.Source.create ~engine:e ~rate ~packet_bytes:1000 ~emit:(fun bytes ->
+          Baseline.Diffserv.send port ~dscp ~bytes ~deliver:(fun () -> count bytes) ())
+    in
+    Net.Source.start src;
+    src
+  in
+  let honest =
+    feed ~count:(fun b -> honest_delivered := !honest_delivered + b)
+      Baseline.Diffserv.Expedited (mbps 2.)
+  in
+  (* 40 Mbps attack, also marked EF. *)
+  let attacker = feed Baseline.Diffserv.Expedited (mbps 40.) in
+  Net.Engine.run e ~until:2.;
+  Net.Source.stop honest;
+  Net.Source.stop attacker;
+  let honest_rate = 8. *. float_of_int !honest_delivered /. 2. in
+  Alcotest.(check bool)
+    (Printf.sprintf "honest EF degraded to %.2f Mbps" (honest_rate /. 1e6))
+    true
+    (honest_rate < 1.5e6)
+
+let suite =
+  [
+    Alcotest.test_case "IntServ: admission and state growth" `Quick intserv_admission;
+    Alcotest.test_case "IntServ: soft-state expiry" `Quick intserv_soft_state_expiry;
+    Alcotest.test_case "IntServ: spoofing succeeds (insecure)" `Quick intserv_spoofing_succeeds;
+    Alcotest.test_case "DiffServ: priority without attack" `Quick diffserv_priority_works_without_attack;
+    Alcotest.test_case "DiffServ: fails under marking attack" `Quick diffserv_fails_under_marking_attack;
+  ]

@@ -1,0 +1,136 @@
+(** Tests for the DRKey infrastructure: fast/slow-side agreement,
+    epoch rotation, key hierarchy separation, and caching. *)
+
+open Colibri_types
+
+let a = Ids.asn ~isd:1 ~num:1
+let b = Ids.asn ~isd:1 ~num:2
+let c = Ids.asn ~isd:2 ~num:7
+
+let with_clock () =
+  let sim = Timebase.Sim_clock.create () in
+  (sim, Timebase.Sim_clock.clock sim)
+
+let fast_slow_agreement () =
+  let _, clock = with_clock () in
+  let ks_a = Drkey.Key_server.create ~clock a in
+  (* Fast side derives; slow side fetches: both must hold identical
+     material (Eq. (1)). *)
+  let derived = Drkey.Key_server.derive ks_a ~slow:b in
+  let fetched = Drkey.Key_server.fetch ks_a ~requester:b in
+  Alcotest.(check string) "same material"
+    (Crypto.Hex.of_bytes derived.material)
+    (Crypto.Hex.of_bytes fetched.material);
+  Alcotest.(check bool) "fast side recorded" true (Ids.equal_asn derived.fast a);
+  Alcotest.(check bool) "slow side recorded" true (Ids.equal_asn derived.slow b)
+
+let keys_differ_by_peer_and_direction () =
+  let _, clock = with_clock () in
+  let ks_a = Drkey.Key_server.create ~clock a in
+  let ks_b = Drkey.Key_server.create ~clock b in
+  let ab = (Drkey.Key_server.derive ks_a ~slow:b).material in
+  let ac = (Drkey.Key_server.derive ks_a ~slow:c).material in
+  let ba = (Drkey.Key_server.derive ks_b ~slow:a).material in
+  Alcotest.(check bool) "K_{A→B} ≠ K_{A→C}" false (Bytes.equal ab ac);
+  Alcotest.(check bool) "K_{A→B} ≠ K_{B→A} (asymmetric)" false (Bytes.equal ab ba)
+
+let epoch_rotation () =
+  let sim, clock = with_clock () in
+  let ks = Drkey.Key_server.create ~clock a in
+  let k0 = (Drkey.Key_server.derive ks ~slow:b).material in
+  Timebase.Sim_clock.advance sim (Drkey.Epoch.duration +. 1.);
+  let k1 = Drkey.Key_server.derive ks ~slow:b in
+  Alcotest.(check bool) "new epoch, new key" false (Bytes.equal k0 k1.material);
+  Alcotest.(check int) "epoch number" 1 k1.epoch;
+  (* Same epoch stays stable. *)
+  let k1' = (Drkey.Key_server.derive ks ~slow:b).material in
+  Alcotest.(check bool) "stable within epoch" true (Bytes.equal k1.material k1')
+
+let epoch_arithmetic () =
+  Alcotest.(check int) "epoch of t=0" 0 (Drkey.Epoch.of_time 0.);
+  Alcotest.(check int) "epoch of 1 day" 1 (Drkey.Epoch.of_time 86_400.);
+  Alcotest.(check (float 0.)) "start" 86_400. (Drkey.Epoch.start 1);
+  Alcotest.(check (float 0.)) "end" 172_800. (Drkey.Epoch.end_ 1)
+
+let hierarchy_separation () =
+  let _, clock = with_clock () in
+  let ks = Drkey.Key_server.create ~clock a in
+  let ak = Drkey.Key_server.derive ks ~slow:b in
+  let p1 = Drkey.protocol_key ak ~protocol:"colibri" in
+  let p2 = Drkey.protocol_key ak ~protocol:"other" in
+  Alcotest.(check bool) "protocol separation" false (Bytes.equal p1 p2);
+  let h1 = Drkey.host_key ak ~protocol:"colibri" ~host:(Ids.host 1) in
+  let h2 = Drkey.host_key ak ~protocol:"colibri" ~host:(Ids.host 2) in
+  Alcotest.(check bool) "host separation" false (Bytes.equal h1 h2);
+  Alcotest.(check bool) "host ≠ protocol key" false (Bytes.equal h1 p1)
+
+let control_and_aead_keys_usable () =
+  let _, clock = with_clock () in
+  let ks_b = Drkey.Key_server.create ~clock b in
+  (* B (fast) derives; A (slow) fetches. MACs made with one side's key
+     must verify with the other's. *)
+  let fast_key = Drkey.control_mac_key (Drkey.Key_server.derive ks_b ~slow:a) in
+  let slow_key = Drkey.control_mac_key (Drkey.Key_server.fetch ks_b ~requester:a) in
+  let msg = Bytes.of_string "control-plane payload" in
+  let tag = Crypto.Cmac.digest slow_key msg in
+  Alcotest.(check bool) "cross-side MAC verifies" true
+    (Crypto.Cmac.verify fast_key msg ~tag);
+  let aead_f = Drkey.hopauth_aead_key (Drkey.Key_server.derive ks_b ~slow:a) in
+  let aead_s = Drkey.hopauth_aead_key (Drkey.Key_server.fetch ks_b ~requester:a) in
+  let nonce = Bytes.make 16 'n' in
+  let sealed = Crypto.Aead.seal aead_f ~nonce ~ad:Bytes.empty (Bytes.of_string "sigma") in
+  (match Crypto.Aead.open_ aead_s ~nonce ~ad:Bytes.empty sealed with
+  | Some p -> Alcotest.(check string) "AEAD cross-side" "sigma" (Bytes.to_string p)
+  | None -> Alcotest.fail "AEAD open failed")
+
+let cache_hit_and_expiry () =
+  let sim, clock = with_clock () in
+  let ks_b = Drkey.Key_server.create ~clock b in
+  let cache = Drkey.Cache.create ~clock a in
+  let fetches = ref 0 in
+  let fetch () =
+    incr fetches;
+    Drkey.Key_server.fetch ks_b ~requester:a
+  in
+  let k1 = Drkey.Cache.get cache ~fast:b ~fetch in
+  let k2 = Drkey.Cache.get cache ~fast:b ~fetch in
+  Alcotest.(check int) "one fetch" 1 !fetches;
+  Alcotest.(check bool) "same key" true (Bytes.equal k1.material k2.material);
+  Alcotest.(check int) "cache size" 1 (Drkey.Cache.size cache);
+  (* After the epoch the cached key expires and a refetch happens. *)
+  Timebase.Sim_clock.advance sim (Drkey.Epoch.duration +. 1.);
+  let k3 = Drkey.Cache.get cache ~fast:b ~fetch in
+  Alcotest.(check int) "refetched" 2 !fetches;
+  Alcotest.(check bool) "rotated key" false (Bytes.equal k1.material k3.material)
+
+let deterministic_secret () =
+  let s1 = Drkey.Secret.of_seed ~asn:a ~epoch:0 ~seed:7 in
+  let s2 = Drkey.Secret.of_seed ~asn:a ~epoch:0 ~seed:7 in
+  let k1 = (Drkey.derive_as_key s1 ~slow:b).material in
+  let k2 = (Drkey.derive_as_key s2 ~slow:b).material in
+  Alcotest.(check bool) "seeded secrets deterministic" true (Bytes.equal k1 k2)
+
+let prop_derivation_injective_in_peer =
+  QCheck2.Test.make ~name:"drkey: distinct peers get distinct keys" ~count:100
+    QCheck2.Gen.(pair (1 -- 10_000) (1 -- 10_000))
+    (fun (n1, n2) ->
+      QCheck2.assume (n1 <> n2);
+      let s = Drkey.Secret.of_seed ~asn:a ~epoch:0 ~seed:1 in
+      let k1 = (Drkey.derive_as_key s ~slow:(Ids.asn ~isd:1 ~num:n1)).material in
+      let k2 = (Drkey.derive_as_key s ~slow:(Ids.asn ~isd:1 ~num:n2)).material in
+      not (Bytes.equal k1 k2))
+
+let suite =
+  [
+    Alcotest.test_case "fast/slow agreement" `Quick fast_slow_agreement;
+    Alcotest.test_case "keys differ by peer and direction" `Quick
+      keys_differ_by_peer_and_direction;
+    Alcotest.test_case "epoch rotation" `Quick epoch_rotation;
+    Alcotest.test_case "epoch arithmetic" `Quick epoch_arithmetic;
+    Alcotest.test_case "hierarchy separation" `Quick hierarchy_separation;
+    Alcotest.test_case "control/AEAD keys usable cross-side" `Quick
+      control_and_aead_keys_usable;
+    Alcotest.test_case "cache hit and expiry" `Quick cache_hit_and_expiry;
+    Alcotest.test_case "seeded secrets deterministic" `Quick deterministic_secret;
+    QCheck_alcotest.to_alcotest prop_derivation_injective_in_peer;
+  ]

@@ -1,0 +1,108 @@
+(** Tests for the end-host stack (§3.2): automatic EER renewal, demand
+    adjustment at renewal time, fallback on route failure, close
+    semantics. *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+module G = Topology_gen.Two_isd
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+let ok = function Ok v -> v | Error e -> Alcotest.fail e
+
+(* Deployment with SegRs from S towards both of its cores, kept alive
+   by periodic renewal+activation so long runs don't lose the
+   underlay. *)
+let rig ?(keep_segrs_alive = true) () =
+  let d = Deployment.create (Topology_gen.two_isd ()) in
+  let db = Deployment.seg_db d in
+  let segrs =
+    Segments.Db.up_segments db ~src:G.s
+    |> List.map (fun (u : Segments.t) ->
+           ok
+             (Deployment.setup_segr d ~path:u.Segments.path ~kind:Reservation.Up
+                ~max_bw:(gbps 1.) ~min_bw:(mbps 1.)))
+  in
+  if keep_segrs_alive then
+    Net.Engine.every (Deployment.engine d) ~every:(Reservation.segr_lifetime /. 2.)
+      (fun () ->
+        List.iter
+          (fun (segr : Reservation.segr) ->
+            match
+              Deployment.setup_segr ~renew:segr.key d ~path:segr.path
+                ~kind:Reservation.Up ~max_bw:(gbps 1.) ~min_bw:(mbps 1.)
+            with
+            | Ok _ -> (
+                match Deployment.activate_segr d ~key:segr.key with
+                | Ok () -> ()
+                | Error _ -> ())
+            | Error _ -> ())
+          segrs;
+        true);
+  d
+
+let flow_outlives_eer_lifetime () =
+  let d = rig () in
+  let stack = Host_stack.create d ~asn:G.s ~host:(Ids.host 1) in
+  let flow = ok (Host_stack.open_flow stack ~dst:G.y1 ~dst_host:(Ids.host 2) ~bw:(mbps 20.)) in
+  (* Run for 60 s — almost four EER lifetimes — sending periodically. *)
+  let failures = ref 0 in
+  for _ = 1 to 120 do
+    Deployment.advance d 0.5;
+    match Host_stack.send flow ~payload_len:500 with
+    | Host_stack.Delivered -> ()
+    | _ -> incr failures
+  done;
+  Alcotest.(check int) "no delivery failures over 60s" 0 !failures;
+  Alcotest.(check bool)
+    (Printf.sprintf "renewed automatically (%d times)" (Host_stack.renewals flow))
+    true
+    (Host_stack.renewals flow >= 3);
+  Alcotest.(check int) "all packets delivered" 120 (Host_stack.delivered flow)
+
+let bandwidth_adjusts_at_renewal () =
+  let d = rig () in
+  let stack = Host_stack.create d ~asn:G.s ~host:(Ids.host 1) in
+  let flow = ok (Host_stack.open_flow stack ~dst:G.y1 ~dst_host:(Ids.host 2) ~bw:(mbps 10.)) in
+  Alcotest.(check (float 1e3)) "initial bw" 10e6
+    (Bandwidth.to_bps (Host_stack.flow_bw flow));
+  Host_stack.set_bandwidth flow (mbps 40.);
+  (* After one renewal cycle the guarantee follows the demand. *)
+  Deployment.advance d (Reservation.eer_lifetime +. 2.);
+  Alcotest.(check bool) "renewed" true (Host_stack.renewals flow >= 1);
+  Alcotest.(check (float 1e3)) "bw raised at renewal" 40e6
+    (Bandwidth.to_bps (Host_stack.flow_bw flow))
+
+let close_stops_renewal () =
+  let d = rig () in
+  let stack = Host_stack.create d ~asn:G.s ~host:(Ids.host 1) in
+  let flow = ok (Host_stack.open_flow stack ~dst:G.y1 ~dst_host:(Ids.host 2) ~bw:(mbps 10.)) in
+  Alcotest.(check int) "flow registered" 1 (Host_stack.open_flows stack);
+  Host_stack.close flow;
+  Alcotest.(check int) "flow unregistered" 0 (Host_stack.open_flows stack);
+  Deployment.advance d (2. *. Reservation.eer_lifetime);
+  Alcotest.(check int) "no renewals after close" 0 (Host_stack.renewals flow);
+  Alcotest.(check bool) "sends refused after close" true
+    (Host_stack.send flow ~payload_len:100 = Host_stack.Dropped_at_gateway)
+
+let renewal_failure_counted_when_underlay_gone () =
+  (* Without SegR keep-alive the underlay lapses after ~300 s; the
+     stack's renewals then fail and are counted. *)
+  let d = rig ~keep_segrs_alive:false () in
+  let stack = Host_stack.create d ~asn:G.s ~host:(Ids.host 1) in
+  let flow = ok (Host_stack.open_flow stack ~dst:G.y1 ~dst_host:(Ids.host 2) ~bw:(mbps 10.)) in
+  Deployment.advance d (Reservation.segr_lifetime +. 30.);
+  Alcotest.(check bool) "renewal failures recorded" true
+    (Host_stack.renewal_failures flow > 0);
+  Alcotest.(check bool) "flow no longer delivers" true
+    (Host_stack.send flow ~payload_len:100 <> Host_stack.Delivered)
+
+let suite =
+  [
+    Alcotest.test_case "flow outlives EER lifetime" `Quick flow_outlives_eer_lifetime;
+    Alcotest.test_case "bandwidth adjusts at renewal" `Quick bandwidth_adjusts_at_renewal;
+    Alcotest.test_case "close stops renewal" `Quick close_stops_renewal;
+    Alcotest.test_case "renewal failure when underlay gone" `Quick
+      renewal_failure_counted_when_underlay_gone;
+  ]

@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "colibri"
+    [
+      ("crypto", Test_crypto.suite);
+      ("types", Test_types.suite);
+      ("drkey", Test_drkey.suite);
+      ("topology", Test_topology.suite);
+      ("segments", Test_segments.suite);
+      ("monitor", Test_monitor.suite);
+      ("net", Test_net.suite);
+      ("packet", Test_packet.suite);
+      ("admission", Test_admission.suite);
+      ("cserv", Test_cserv.suite);
+      ("dataplane", Test_dataplane.suite);
+      ("deployment", Test_deployment.suite);
+      ("distributed", Test_distributed.suite);
+      ("baseline", Test_baseline.suite);
+      ("host_stack", Test_host_stack.suite);
+      ("settlement", Test_settlement.suite);
+      ("protocol", Test_protocol.suite);
+      ("reservation", Test_reservation.suite);
+      ("dataplane_unit", Test_dataplane_unit.suite);
+      ("e2e_random", Test_e2e_random.suite);
+      ("control_net", Test_control_net.suite);
+    ]

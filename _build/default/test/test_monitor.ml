@@ -1,0 +1,268 @@
+(** Tests for monitoring and policing: token bucket, duplicate filter,
+    overuse-flow detector, blocklist. *)
+
+open Colibri_types
+
+(* ---------- Token bucket ---------- *)
+
+let tb_conforming_flow_passes () =
+  (* 1 Mbps flow sending 1 Mbps of 1250-byte packets: all admitted. *)
+  let rate = Bandwidth.of_mbps 1. in
+  let tb = Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:0. in
+  let bytes = 1250 in
+  let interval = 8. *. float_of_int bytes /. Bandwidth.to_bps rate in
+  let ok = ref true in
+  for i = 1 to 1000 do
+    let now = float_of_int i *. interval in
+    if not (Monitor.Token_bucket.admit tb ~now ~bytes) then ok := false
+  done;
+  Alcotest.(check bool) "all admitted" true !ok
+
+let tb_overuse_dropped () =
+  (* Sending at 2× the rate: about half the volume must be dropped. *)
+  let rate = Bandwidth.of_mbps 1. in
+  let tb = Monitor.Token_bucket.create ~rate ~burst:0.05 ~now:0. in
+  let bytes = 1250 in
+  let interval = 8. *. float_of_int bytes /. (2. *. Bandwidth.to_bps rate) in
+  let admitted = ref 0 and total = 2000 in
+  for i = 1 to total do
+    let now = float_of_int i *. interval in
+    if Monitor.Token_bucket.admit tb ~now ~bytes then incr admitted
+  done;
+  let ratio = float_of_int !admitted /. float_of_int total in
+  Alcotest.(check bool) (Printf.sprintf "about half admitted (%.2f)" ratio) true
+    (ratio > 0.45 && ratio < 0.60)
+
+let tb_burst_allowance () =
+  (* A fresh bucket allows a burst of rate×burst bits at once. *)
+  let rate = Bandwidth.of_mbps 8. in
+  (* burst 0.1 s → 800 kbit = 100 kB *)
+  let tb = Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:0. in
+  Alcotest.(check bool) "100 kB burst fits" true
+    (Monitor.Token_bucket.admit tb ~now:0. ~bytes:100_000);
+  Alcotest.(check bool) "next packet rejected" false
+    (Monitor.Token_bucket.admit tb ~now:0. ~bytes:1000);
+  (* After 10 ms, 8 Mbps × 10 ms = 10 kB refilled. *)
+  Alcotest.(check bool) "refill after 10ms" true
+    (Monitor.Token_bucket.admit tb ~now:0.01 ~bytes:9_000)
+
+let tb_set_rate () =
+  let tb = Monitor.Token_bucket.create ~rate:(Bandwidth.of_mbps 1.) ~burst:0.1 ~now:0. in
+  ignore (Monitor.Token_bucket.admit tb ~now:0. ~bytes:12_500);
+  Monitor.Token_bucket.set_rate tb ~rate:(Bandwidth.of_mbps 10.) ~now:0.;
+  Alcotest.(check (float 1e-6)) "rate updated" 10e6
+    (Bandwidth.to_bps (Monitor.Token_bucket.rate tb));
+  (* Burst duration preserved: capacity is now 10 Mbps × 0.1 s. *)
+  Alcotest.(check bool) "larger burst after 1s" true
+    (Monitor.Token_bucket.admit tb ~now:1. ~bytes:125_000)
+
+let tb_invalid_args () =
+  Alcotest.(check bool) "zero rate" true
+    (try ignore (Monitor.Token_bucket.create ~rate:Bandwidth.zero ~burst:0.1 ~now:0.); false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "zero burst" true
+    (try ignore (Monitor.Token_bucket.create ~rate:(Bandwidth.of_mbps 1.) ~burst:0. ~now:0.); false
+     with Invalid_argument _ -> true)
+
+let prop_tb_never_exceeds_rate_plus_burst =
+  QCheck2.Test.make ~name:"token bucket: admitted volume ≤ rate·t + burst" ~count:50
+    QCheck2.Gen.(list_size (return 500) (pair (1 -- 1500) (1 -- 20)))
+    (fun pkts ->
+      let rate = Bandwidth.of_mbps 1. in
+      let tb = Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:0. in
+      let now = ref 0. and admitted_bits = ref 0. in
+      List.for_all
+        (fun (bytes, dt_ms) ->
+          now := !now +. (float_of_int dt_ms /. 1000.);
+          if Monitor.Token_bucket.admit tb ~now:!now ~bytes then
+            admitted_bits := !admitted_bits +. (8. *. float_of_int bytes);
+          !admitted_bits <= (Bandwidth.to_bps rate *. !now) +. (Bandwidth.to_bps rate *. 0.1) +. 1e-6)
+        pkts)
+
+(* ---------- Duplicate filter ---------- *)
+
+let dup_catches_replay () =
+  let f = Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4 ~window:2. ~now:0. in
+  Alcotest.(check bool) "first sighting" true
+    (Monitor.Duplicate_filter.check_and_insert f ~now:0. 12345);
+  Alcotest.(check bool) "replay caught" false
+    (Monitor.Duplicate_filter.check_and_insert f ~now:0.5 12345);
+  Alcotest.(check bool) "still caught in previous window" false
+    (Monitor.Duplicate_filter.check_and_insert f ~now:2.5 12345)
+
+let dup_ages_out () =
+  let f = Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4 ~window:1. ~now:0. in
+  ignore (Monitor.Duplicate_filter.check_and_insert f ~now:0. 77);
+  (* After two full windows the entry is forgotten. *)
+  ignore (Monitor.Duplicate_filter.check_and_insert f ~now:1.1 1);
+  ignore (Monitor.Duplicate_filter.check_and_insert f ~now:2.2 2);
+  Alcotest.(check bool) "aged out" true
+    (Monitor.Duplicate_filter.check_and_insert f ~now:2.3 77)
+
+let dup_no_false_negatives () =
+  (* Within the window, every inserted key must be caught on replay. *)
+  let f = Monitor.Duplicate_filter.create ~expected:50_000 ~fp_rate:1e-3 ~window:10. ~now:0. in
+  for k = 1 to 10_000 do
+    ignore (Monitor.Duplicate_filter.check_and_insert f ~now:0.1 k)
+  done;
+  let missed = ref 0 in
+  for k = 1 to 10_000 do
+    if Monitor.Duplicate_filter.check_and_insert f ~now:0.2 k then incr missed
+  done;
+  Alcotest.(check int) "no false negatives" 0 !missed
+
+let dup_false_positive_rate () =
+  let f = Monitor.Duplicate_filter.create ~expected:50_000 ~fp_rate:1e-3 ~window:10. ~now:0. in
+  for k = 1 to 50_000 do
+    ignore (Monitor.Duplicate_filter.check_and_insert f ~now:0.1 k)
+  done;
+  (* Fresh keys should almost always be accepted. *)
+  let fp = ref 0 in
+  for k = 1_000_000 to 1_010_000 do
+    if not (Monitor.Duplicate_filter.check_and_insert f ~now:0.2 k) then incr fp
+  done;
+  Alcotest.(check bool) (Printf.sprintf "fp rate ok (%d/10000)" !fp) true (!fp < 100)
+
+let dup_memory_bounded () =
+  let f = Monitor.Duplicate_filter.create ~expected:1_000_000 ~fp_rate:1e-4 ~window:2. ~now:0. in
+  (* ~2.4 MB per filter generation for 1M packets at 1e-4. *)
+  Alcotest.(check bool) "under 8 MB" true (Monitor.Duplicate_filter.memory_bytes f < 8_000_000)
+
+(* ---------- Overuse flow detector ---------- *)
+
+let key src_num id : Ids.res_key = { src_as = Ids.asn ~isd:1 ~num:src_num; res_id = id }
+
+(* Drive [n] packets of a flow at [factor]× its reservation over [window]s. *)
+let drive_flow ofd ~key ~factor ~window ~n =
+  let flagged = ref false in
+  for i = 1 to n do
+    let now = window *. float_of_int i /. float_of_int n in
+    let normalized = factor *. window /. float_of_int n in
+    match Monitor.Ofd.observe ofd ~now ~key ~normalized with
+    | `Suspect -> flagged := true
+    | `Ok -> ()
+  done;
+  !flagged
+
+let ofd_flags_overuser () =
+  let ofd = Monitor.Ofd.create ~window:1.0 ~threshold:1.2 ~now:0. () in
+  Alcotest.(check bool) "2x overuser flagged" true
+    (drive_flow ofd ~key:(key 1 1) ~factor:2.0 ~window:1.0 ~n:100)
+
+let ofd_spares_conforming () =
+  let ofd = Monitor.Ofd.create ~window:1.0 ~threshold:1.2 ~now:0. () in
+  Alcotest.(check bool) "conforming not flagged" false
+    (drive_flow ofd ~key:(key 1 2) ~factor:0.9 ~window:1.0 ~n:100)
+
+let ofd_no_false_negative_for_heavy_flow () =
+  (* The count-min estimate never under-counts, so a flow whose true
+     usage exceeds the threshold is always flagged within the window. *)
+  let ofd = Monitor.Ofd.create ~width:256 ~depth:2 ~window:1.0 ~threshold:1.2 ~now:0. () in
+  (* Background noise. *)
+  for i = 1 to 500 do
+    ignore (Monitor.Ofd.observe ofd ~now:0.1 ~key:(key 2 i) ~normalized:0.001)
+  done;
+  Alcotest.(check bool) "heavy flow flagged despite noise" true
+    (drive_flow ofd ~key:(key 1 3) ~factor:3.0 ~window:0.8 ~n:50)
+
+let ofd_window_reset () =
+  let ofd = Monitor.Ofd.create ~window:1.0 ~threshold:1.2 ~now:0. () in
+  (* Stay inside the first window so the suspect set is inspectable
+     before rotation clears it. *)
+  ignore (drive_flow ofd ~key:(key 1 4) ~factor:2.5 ~window:0.9 ~n:100);
+  Alcotest.(check bool) "suspect recorded" true
+    (List.exists (fun k -> Ids.equal_res_key k (key 1 4)) (Monitor.Ofd.suspects ofd));
+  (* New window: counters and suspects reset. *)
+  ignore (Monitor.Ofd.observe ofd ~now:2.5 ~key:(key 1 5) ~normalized:0.001);
+  Alcotest.(check (list int)) "suspects cleared" []
+    (List.map (fun _ -> 0) (Monitor.Ofd.suspects ofd));
+  Alcotest.(check bool) "estimate reset" true
+    (Monitor.Ofd.estimate ofd (key 1 4) < 0.1)
+
+let ofd_versions_share_flow () =
+  (* Packets with the same (SrcAS, ResId) aggregate regardless of which
+     EER version produced them — tested via the shared key. *)
+  let ofd = Monitor.Ofd.create ~window:1.0 ~threshold:1.0 ~now:0. () in
+  let k = key 3 9 in
+  let flagged = ref false in
+  for i = 1 to 100 do
+    let now = float_of_int i /. 100. in
+    (* two "versions" interleaved, each at 0.75x → combined 1.5x *)
+    (match Monitor.Ofd.observe ofd ~now ~key:k ~normalized:0.0075 with
+    | `Suspect -> flagged := true
+    | `Ok -> ());
+    match Monitor.Ofd.observe ofd ~now ~key:k ~normalized:0.0075 with
+    | `Suspect -> flagged := true
+    | `Ok -> ()
+  done;
+  Alcotest.(check bool) "combined versions flagged" true !flagged
+
+let ofd_memory_bounded () =
+  let ofd = Monitor.Ofd.create ~width:4096 ~depth:4 ~window:1.0 ~threshold:1.2 ~now:0. () in
+  Alcotest.(check int) "footprint" (4096 * 4 * 8) (Monitor.Ofd.memory_bytes ofd)
+
+let prop_ofd_never_underestimates =
+  QCheck2.Test.make ~name:"ofd: estimate ≥ true usage" ~count:30
+    QCheck2.Gen.(list_size (10 -- 100) (pair (1 -- 20) (1 -- 100)))
+    (fun obs ->
+      let ofd = Monitor.Ofd.create ~width:64 ~depth:2 ~window:100. ~threshold:10. ~now:0. () in
+      let truth = Hashtbl.create 16 in
+      List.iter
+        (fun (flow, amount) ->
+          let k = key 1 flow in
+          let v = float_of_int amount /. 1000. in
+          Hashtbl.replace truth flow
+            (Option.value ~default:0. (Hashtbl.find_opt truth flow) +. v);
+          ignore (Monitor.Ofd.observe ofd ~now:1. ~key:k ~normalized:v))
+        obs;
+      Hashtbl.fold
+        (fun flow total acc ->
+          acc && Monitor.Ofd.estimate ofd (key 1 flow) >= total -. 1e-9)
+        truth true)
+
+(* ---------- Blocklist ---------- *)
+
+let blocklist_basics () =
+  let sim = Timebase.Sim_clock.create () in
+  let bl = Monitor.Blocklist.create ~clock:(Timebase.Sim_clock.clock sim) () in
+  let bad = Ids.asn ~isd:1 ~num:666 in
+  Alcotest.(check bool) "initially clear" false (Monitor.Blocklist.is_blocked bl bad);
+  Monitor.Blocklist.block bl bad ~duration:None;
+  Alcotest.(check bool) "blocked" true (Monitor.Blocklist.is_blocked bl bad);
+  Alcotest.(check int) "size" 1 (Monitor.Blocklist.size bl);
+  Monitor.Blocklist.unblock bl bad;
+  Alcotest.(check bool) "unblocked" false (Monitor.Blocklist.is_blocked bl bad)
+
+let blocklist_expiry () =
+  let sim = Timebase.Sim_clock.create () in
+  let bl = Monitor.Blocklist.create ~clock:(Timebase.Sim_clock.clock sim) () in
+  let bad = Ids.asn ~isd:1 ~num:667 in
+  Monitor.Blocklist.block bl bad ~duration:(Some 60.);
+  Alcotest.(check bool) "blocked now" true (Monitor.Blocklist.is_blocked bl bad);
+  Timebase.Sim_clock.advance sim 61.;
+  Alcotest.(check bool) "expired" false (Monitor.Blocklist.is_blocked bl bad);
+  Alcotest.(check int) "entry purged" 0 (Monitor.Blocklist.size bl)
+
+let suite =
+  [
+    Alcotest.test_case "token bucket: conforming flow passes" `Quick tb_conforming_flow_passes;
+    Alcotest.test_case "token bucket: overuse dropped" `Quick tb_overuse_dropped;
+    Alcotest.test_case "token bucket: burst allowance" `Quick tb_burst_allowance;
+    Alcotest.test_case "token bucket: rate change" `Quick tb_set_rate;
+    Alcotest.test_case "token bucket: invalid args" `Quick tb_invalid_args;
+    QCheck_alcotest.to_alcotest prop_tb_never_exceeds_rate_plus_burst;
+    Alcotest.test_case "duplicate filter: catches replay" `Quick dup_catches_replay;
+    Alcotest.test_case "duplicate filter: ages out" `Quick dup_ages_out;
+    Alcotest.test_case "duplicate filter: no false negatives" `Quick dup_no_false_negatives;
+    Alcotest.test_case "duplicate filter: false-positive rate" `Quick dup_false_positive_rate;
+    Alcotest.test_case "duplicate filter: memory bounded" `Quick dup_memory_bounded;
+    Alcotest.test_case "OFD: flags overuser" `Quick ofd_flags_overuser;
+    Alcotest.test_case "OFD: spares conforming flow" `Quick ofd_spares_conforming;
+    Alcotest.test_case "OFD: heavy flow found despite noise" `Quick ofd_no_false_negative_for_heavy_flow;
+    Alcotest.test_case "OFD: window reset" `Quick ofd_window_reset;
+    Alcotest.test_case "OFD: versions share one flow" `Quick ofd_versions_share_flow;
+    Alcotest.test_case "OFD: memory bounded" `Quick ofd_memory_bounded;
+    QCheck_alcotest.to_alcotest prop_ofd_never_underestimates;
+    Alcotest.test_case "blocklist: basics" `Quick blocklist_basics;
+    Alcotest.test_case "blocklist: expiry" `Quick blocklist_expiry;
+  ]

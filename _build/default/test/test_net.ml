@@ -1,0 +1,227 @@
+(** Tests for the discrete-event engine, link model, schedulers, and
+    traffic sources. *)
+
+open Colibri_types
+
+(* ---------- Engine ---------- *)
+
+let engine_ordering () =
+  let e = Net.Engine.create () in
+  let log = ref [] in
+  Net.Engine.schedule e ~delay:2. (fun () -> log := "b" :: !log);
+  Net.Engine.schedule e ~delay:1. (fun () -> log := "a" :: !log);
+  Net.Engine.schedule e ~delay:3. (fun () -> log := "c" :: !log);
+  Net.Engine.run e;
+  Alcotest.(check (list string)) "time order" [ "a"; "b"; "c" ] (List.rev !log);
+  Alcotest.(check (float 0.)) "clock at last event" 3. (Net.Engine.now e)
+
+let engine_fifo_ties () =
+  let e = Net.Engine.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Net.Engine.schedule e ~delay:1. (fun () -> log := i :: !log)
+  done;
+  Net.Engine.run e;
+  Alcotest.(check (list int)) "FIFO among ties" [ 1; 2; 3; 4; 5 ] (List.rev !log)
+
+let engine_until () =
+  let e = Net.Engine.create () in
+  let ran = ref 0 in
+  Net.Engine.schedule e ~delay:1. (fun () -> incr ran);
+  Net.Engine.schedule e ~delay:5. (fun () -> incr ran);
+  Net.Engine.run e ~until:2.;
+  Alcotest.(check int) "only early event" 1 !ran;
+  Alcotest.(check (float 0.)) "clock at until" 2. (Net.Engine.now e);
+  Net.Engine.run e;
+  Alcotest.(check int) "rest runs" 2 !ran
+
+let engine_nested_scheduling () =
+  let e = Net.Engine.create () in
+  let hits = ref [] in
+  Net.Engine.schedule e ~delay:1. (fun () ->
+      hits := Net.Engine.now e :: !hits;
+      Net.Engine.schedule e ~delay:1. (fun () -> hits := Net.Engine.now e :: !hits));
+  Net.Engine.run e;
+  Alcotest.(check (list (float 0.))) "nested times" [ 1.; 2. ] (List.rev !hits)
+
+let engine_negative_delay () =
+  let e = Net.Engine.create () in
+  Alcotest.check_raises "negative delay" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Net.Engine.schedule e ~delay:(-1.) ignore)
+
+let engine_every () =
+  let e = Net.Engine.create () in
+  let count = ref 0 in
+  Net.Engine.every e ~every:1. (fun () ->
+      incr count;
+      !count < 3);
+  Net.Engine.run e;
+  Alcotest.(check int) "three ticks" 3 !count
+
+(* ---------- Link ---------- *)
+
+let mbps = Bandwidth.of_mbps
+
+let link_serialization_rate () =
+  (* 8 Mbps link, 1000-byte packets → 1 ms per packet. *)
+  let e = Net.Engine.create () in
+  let deliveries = ref [] in
+  let link =
+    Net.Link.create ~engine:e ~capacity:(mbps 8.) ~delay:0.
+      ~deliver:(fun _ -> deliveries := Net.Engine.now e :: !deliveries)
+      ()
+  in
+  for _ = 1 to 3 do
+    Net.Link.send link ~bytes:1000 ~cls:Net.Traffic_class.Best_effort ()
+  done;
+  Net.Engine.run e;
+  (match List.rev !deliveries with
+  | [ t1; t2; t3 ] ->
+      Alcotest.(check (float 1e-9)) "1st at 1ms" 0.001 t1;
+      Alcotest.(check (float 1e-9)) "2nd at 2ms" 0.002 t2;
+      Alcotest.(check (float 1e-9)) "3rd at 3ms" 0.003 t3
+  | _ -> Alcotest.fail "expected 3 deliveries");
+  let c = Net.Link.counters link Net.Traffic_class.Best_effort in
+  Alcotest.(check int) "delivered pkts" 3 c.delivered_pkts;
+  Alcotest.(check int) "delivered bytes" 3000 c.delivered_bytes
+
+let link_propagation_delay () =
+  let e = Net.Engine.create () in
+  let at = ref 0. in
+  let link =
+    Net.Link.create ~engine:e ~capacity:(mbps 8.) ~delay:0.05
+      ~deliver:(fun _ -> at := Net.Engine.now e)
+      ()
+  in
+  Net.Link.send link ~bytes:1000 ~cls:Net.Traffic_class.Best_effort ();
+  Net.Engine.run e;
+  Alcotest.(check (float 1e-9)) "serialization + propagation" 0.051 !at
+
+let link_priority_protects_colibri () =
+  (* Saturate with best effort, then inject Colibri data: the Colibri
+     packet is served before the queued best-effort backlog. *)
+  let e = Net.Engine.create () in
+  let order = ref [] in
+  let link =
+    Net.Link.create ~engine:e ~capacity:(mbps 8.) ~delay:0.
+      ~scheduler:Net.Link.Strict_priority
+      ~deliver:(fun (p : unit Net.Link.packet) -> order := p.cls :: !order)
+      ()
+  in
+  for _ = 1 to 5 do
+    Net.Link.send link ~bytes:1000 ~cls:Net.Traffic_class.Best_effort ()
+  done;
+  Net.Link.send link ~bytes:1000 ~cls:Net.Traffic_class.Colibri_data ();
+  Net.Link.send link ~bytes:1000 ~cls:Net.Traffic_class.Colibri_control ();
+  Net.Engine.run e;
+  (* First delivery was already in flight (best effort); control and
+     data must preempt the remaining queue, control first. *)
+  (match List.rev !order with
+  | first :: second :: third :: _ ->
+      Alcotest.(check bool) "first was in-flight BE" true
+        (first = Net.Traffic_class.Best_effort);
+      Alcotest.(check bool) "control preempts" true
+        (second = Net.Traffic_class.Colibri_control);
+      Alcotest.(check bool) "data next" true (third = Net.Traffic_class.Colibri_data)
+  | _ -> Alcotest.fail "expected deliveries")
+
+let link_tail_drop () =
+  let e = Net.Engine.create () in
+  let link =
+    Net.Link.create ~engine:e ~capacity:(mbps 1.) ~queue_limit_bytes:2000
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  for _ = 1 to 10 do
+    Net.Link.send link ~bytes:1000 ~cls:Net.Traffic_class.Best_effort ()
+  done;
+  Net.Engine.run e;
+  let c = Net.Link.counters link Net.Traffic_class.Best_effort in
+  Alcotest.(check int) "offered" 10 c.offered_pkts;
+  Alcotest.(check bool) "some dropped" true (c.dropped_pkts > 0);
+  Alcotest.(check int) "conservation" 10 (c.delivered_pkts + c.dropped_pkts)
+
+let cbwfq_shares () =
+  (* Two saturating classes with CBWFQ weights 0.25/0.75 split the link
+     accordingly. *)
+  let e = Net.Engine.create () in
+  let link =
+    Net.Link.create ~engine:e ~capacity:(mbps 8.)
+      ~scheduler:(Net.Link.Cbwfq [| 0.25; 0.0; 0.75 |])
+      ~queue_limit_bytes:(50 * 1000)
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  (* Keep queues saturated via sources. *)
+  let feed cls rate =
+    let src =
+      Net.Source.create ~engine:e ~rate ~packet_bytes:1000 ~emit:(fun bytes ->
+          Net.Link.send link ~bytes ~cls ())
+    in
+    Net.Source.start src;
+    src
+  in
+  let s1 = feed Net.Traffic_class.Best_effort (mbps 16.) in
+  let s2 = feed Net.Traffic_class.Colibri_data (mbps 16.) in
+  Net.Engine.run e ~until:5.;
+  Net.Source.stop s1;
+  Net.Source.stop s2;
+  let be = (Net.Link.counters link Net.Traffic_class.Best_effort).delivered_bytes in
+  let cd = (Net.Link.counters link Net.Traffic_class.Colibri_data).delivered_bytes in
+  let share = float_of_int cd /. float_of_int (be + cd) in
+  Alcotest.(check bool) (Printf.sprintf "data share ≈ 0.75 (%.3f)" share) true
+    (share > 0.70 && share < 0.80)
+
+let cbwfq_work_conserving () =
+  (* With only best effort offered, it gets the whole link despite its
+     20 % weight — unused Colibri bandwidth is scavenged (§3.4). *)
+  let e = Net.Engine.create () in
+  let link =
+    Net.Link.create ~engine:e ~capacity:(mbps 8.)
+      ~scheduler:(Net.Link.Cbwfq [| 0.20; 0.05; 0.75 |])
+      ~deliver:(fun _ -> ())
+      ()
+  in
+  let src =
+    Net.Source.create ~engine:e ~rate:(mbps 8.) ~packet_bytes:1000 ~emit:(fun bytes ->
+        Net.Link.send link ~bytes ~cls:Net.Traffic_class.Best_effort ())
+  in
+  Net.Source.start src;
+  Net.Engine.run e ~until:2.;
+  Net.Source.stop src;
+  let c = Net.Link.counters link Net.Traffic_class.Best_effort in
+  let achieved = 8. *. float_of_int c.delivered_bytes /. 2. in
+  Alcotest.(check bool) (Printf.sprintf "BE gets full link (%.0f bps)" achieved) true
+    (achieved > 0.95 *. 8e6)
+
+let source_rate () =
+  let e = Net.Engine.create () in
+  let bytes_sent = ref 0 in
+  let src =
+    Net.Source.create ~engine:e ~rate:(mbps 4.) ~packet_bytes:500 ~emit:(fun b ->
+        bytes_sent := !bytes_sent + b)
+  in
+  Net.Source.start src;
+  Net.Engine.run e ~until:2.;
+  Net.Source.stop src;
+  Net.Engine.run e;
+  let rate = 8. *. float_of_int !bytes_sent /. 2. in
+  Alcotest.(check bool) (Printf.sprintf "≈4 Mbps (%.0f)" rate) true
+    (rate > 0.97 *. 4e6 && rate < 1.03 *. 4e6)
+
+let suite =
+  [
+    Alcotest.test_case "engine: time ordering" `Quick engine_ordering;
+    Alcotest.test_case "engine: FIFO ties" `Quick engine_fifo_ties;
+    Alcotest.test_case "engine: run until" `Quick engine_until;
+    Alcotest.test_case "engine: nested scheduling" `Quick engine_nested_scheduling;
+    Alcotest.test_case "engine: negative delay rejected" `Quick engine_negative_delay;
+    Alcotest.test_case "engine: every" `Quick engine_every;
+    Alcotest.test_case "link: serialization rate" `Quick link_serialization_rate;
+    Alcotest.test_case "link: propagation delay" `Quick link_propagation_delay;
+    Alcotest.test_case "link: priority protects Colibri" `Quick link_priority_protects_colibri;
+    Alcotest.test_case "link: tail drop" `Quick link_tail_drop;
+    Alcotest.test_case "link: CBWFQ shares" `Quick cbwfq_shares;
+    Alcotest.test_case "link: CBWFQ work conserving" `Quick cbwfq_work_conserving;
+    Alcotest.test_case "source: rate accuracy" `Quick source_rate;
+  ]

@@ -1,0 +1,129 @@
+(** Unit tests for the control-plane message layer: digest
+    sensitivity, request authentication, and reply-hop MACs. *)
+
+open Colibri_types
+open Colibri
+
+let asn n = Ids.asn ~isd:1 ~num:n
+let mbps = Bandwidth.of_mbps
+
+let path : Path.t =
+  [
+    Path.hop ~asn:(asn 1) ~ingress:0 ~egress:1;
+    Path.hop ~asn:(asn 2) ~ingress:1 ~egress:2;
+    Path.hop ~asn:(asn 3) ~ingress:1 ~egress:0;
+  ]
+
+let res_info : Packet.res_info =
+  { src_as = asn 1; res_id = 5; bw = mbps 100.; exp_time = 300.; version = 1 }
+
+let seg_req : Protocol.seg_request =
+  { res_info; min_bw = mbps 10.; kind = Reservation.Up; path; renewal = false }
+
+let eer_req : Protocol.eer_request =
+  {
+    res_info;
+    eer_info = { src_host = Ids.host 1; dst_host = Ids.host 2 };
+    path;
+    segr_keys = [ { src_as = asn 1; res_id = 3 } ];
+    renewal = false;
+  }
+
+let seg_digest_sensitivity () =
+  let base = Protocol.seg_request_digest seg_req in
+  let differs r = not (Bytes.equal base (Protocol.seg_request_digest r)) in
+  Alcotest.(check bool) "bw" true
+    (differs { seg_req with res_info = { res_info with bw = mbps 101. } });
+  Alcotest.(check bool) "min_bw" true (differs { seg_req with min_bw = mbps 11. });
+  Alcotest.(check bool) "kind" true (differs { seg_req with kind = Reservation.Core });
+  Alcotest.(check bool) "renewal flag" true (differs { seg_req with renewal = true });
+  Alcotest.(check bool) "path" true
+    (differs { seg_req with path = Path.reverse path });
+  Alcotest.(check bool) "deterministic" true
+    (Bytes.equal base (Protocol.seg_request_digest seg_req))
+
+let eer_digest_sensitivity () =
+  let base = Protocol.eer_request_digest eer_req in
+  let differs r = not (Bytes.equal base (Protocol.eer_request_digest r)) in
+  Alcotest.(check bool) "hosts" true
+    (differs
+       { eer_req with eer_info = { eer_req.eer_info with dst_host = Ids.host 3 } });
+  Alcotest.(check bool) "segr keys" true
+    (differs { eer_req with segr_keys = [ { src_as = asn 1; res_id = 4 } ] });
+  Alcotest.(check bool) "seg and eer digests distinct" true
+    (not (Bytes.equal (Protocol.seg_request_digest seg_req) base))
+
+let request_auth_roundtrip () =
+  let digest = Protocol.seg_request_digest seg_req in
+  let keys = Hashtbl.create 3 in
+  List.iter
+    (fun a ->
+      Hashtbl.replace keys a
+        (Crypto.Cmac.of_secret (Bytes.make 16 (Char.chr (a.Ids.num + 65)))))
+    (Path.ases path);
+  let auth =
+    Protocol.authenticate_request ~digest ~key_for:(Hashtbl.find keys)
+      ~ases:(Path.ases path)
+  in
+  Alcotest.(check int) "one MAC per AS" 3 (List.length auth);
+  List.iter
+    (fun a ->
+      Alcotest.(check bool)
+        (Fmt.str "verifies at %a" Ids.pp_asn a)
+        true
+        (Protocol.verify_request ~digest ~asn:a ~key:(Hashtbl.find keys a) ~auth))
+    (Path.ases path);
+  (* Wrong key, absent AS, tampered digest all fail. *)
+  Alcotest.(check bool) "wrong key" false
+    (Protocol.verify_request ~digest ~asn:(asn 1)
+       ~key:(Crypto.Cmac.of_secret (Bytes.make 16 'z'))
+       ~auth);
+  Alcotest.(check bool) "absent AS" false
+    (Protocol.verify_request ~digest ~asn:(asn 9) ~key:(Hashtbl.find keys (asn 1)) ~auth);
+  let tampered = Protocol.seg_request_digest { seg_req with min_bw = mbps 999. } in
+  Alcotest.(check bool) "tampered digest" false
+    (Protocol.verify_request ~digest:tampered ~asn:(asn 1)
+       ~key:(Hashtbl.find keys (asn 1)) ~auth)
+
+let reply_hop_mac () =
+  let digest = Protocol.eer_request_digest eer_req in
+  let key = Crypto.Cmac.of_secret (Bytes.make 16 'r') in
+  let hop =
+    Protocol.make_reply_hop ~digest ~key ~asn:(asn 2) ~granted:(mbps 80.)
+      ~material:(Bytes.of_string "sealed-sigma")
+  in
+  Alcotest.(check bool) "verifies" true (Protocol.verify_reply_hop ~digest ~key hop);
+  Alcotest.(check bool) "granted tampering caught" false
+    (Protocol.verify_reply_hop ~digest ~key { hop with granted = mbps 200. });
+  Alcotest.(check bool) "material tampering caught" false
+    (Protocol.verify_reply_hop ~digest ~key
+       { hop with material = Bytes.of_string "sealed-sigmb" });
+  Alcotest.(check bool) "binding to request" false
+    (Protocol.verify_reply_hop
+       ~digest:(Protocol.eer_request_digest { eer_req with renewal = true })
+       ~key hop)
+
+let prop_auth_binds_to_as =
+  (* A MAC produced for AS i never verifies at AS j with j's key. *)
+  QCheck2.Test.make ~name:"protocol: per-AS MACs are not transferable" ~count:50
+    QCheck2.Gen.(pair (1 -- 20) (1 -- 20))
+    (fun (i, j) ->
+      QCheck2.assume (i <> j);
+      let digest = Protocol.seg_request_digest seg_req in
+      let key_of n = Crypto.Cmac.of_secret (Bytes.make 16 (Char.chr (n + 40))) in
+      let auth =
+        Protocol.authenticate_request ~digest ~key_for:(fun a -> key_of a.Ids.num)
+          ~ases:[ asn i ]
+      in
+      (* Rebind the MAC list to AS j: verification with j's key fails. *)
+      let forged = List.map (fun (_, m) -> (asn j, m)) auth in
+      not (Protocol.verify_request ~digest ~asn:(asn j) ~key:(key_of j) ~auth:forged))
+
+let suite =
+  [
+    Alcotest.test_case "SegReq digest sensitivity" `Quick seg_digest_sensitivity;
+    Alcotest.test_case "EEReq digest sensitivity" `Quick eer_digest_sensitivity;
+    Alcotest.test_case "request auth roundtrip" `Quick request_auth_roundtrip;
+    Alcotest.test_case "reply hop MAC" `Quick reply_hop_mac;
+    QCheck_alcotest.to_alcotest prop_auth_binds_to_as;
+  ]

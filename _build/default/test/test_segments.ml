@@ -1,0 +1,160 @@
+(** Tests for beaconing and segment combination. *)
+
+open Colibri_types
+open Colibri_topology
+
+let module_db = ()
+
+let discover_two_isd () =
+  let topo = Topology_gen.two_isd () in
+  let db = Segments.discover topo in
+  let module G = Topology_gen.Two_isd in
+  (* S has up-segments to the cores of its ISD. *)
+  let ups = Segments.Db.up_segments db ~src:G.s in
+  Alcotest.(check bool) "S has up segments" true (List.length ups >= 1);
+  List.iter
+    (fun (s : Segments.t) ->
+      Alcotest.(check bool) "kind up" true (s.kind = Segments.Up);
+      Alcotest.(check bool) "starts at S" true (Ids.equal_asn (Segments.source s) G.s);
+      Alcotest.(check bool) "ends at a core" true
+        (Topology.is_core topo (Segments.destination s));
+      Alcotest.(check bool) "path valid" true (Path.validate s.path = Ok ());
+      Alcotest.(check bool) "path realizable" true
+        (Topology.validate_path topo s.path = Ok ()))
+    ups;
+  (* D has down-segments from its core. *)
+  let downs = Segments.Db.down_segments db ~dst:G.d in
+  Alcotest.(check bool) "D has down segments" true (List.length downs >= 1);
+  List.iter
+    (fun (s : Segments.t) ->
+      Alcotest.(check bool) "ends at D" true (Ids.equal_asn (Segments.destination s) G.d);
+      Alcotest.(check bool) "realizable" true (Topology.validate_path topo s.path = Ok ()))
+    downs;
+  (* Core segments between the two ISDs' cores exist in both directions. *)
+  Alcotest.(check bool) "Y1→W1 core segs" true
+    (List.length (Segments.Db.core_segments db ~src:G.y1 ~dst:G.w1) >= 1);
+  Alcotest.(check bool) "W1→Y1 core segs" true
+    (List.length (Segments.Db.core_segments db ~src:G.w1 ~dst:G.y1) >= 1)
+
+let combination_leaf_to_leaf () =
+  let topo = Topology_gen.two_isd () in
+  let db = Segments.discover topo in
+  let module G = Topology_gen.Two_isd in
+  let combos = Segments.Db.combinations db ~src:G.s ~dst:G.d in
+  Alcotest.(check bool) "has combinations" true (List.length combos >= 1);
+  List.iter
+    (fun combo ->
+      Alcotest.(check bool) "at most 3 segments" true (List.length combo <= 3);
+      let p = Segments.Db.join_path combo in
+      Alcotest.(check bool) "joined path valid" true (Path.validate p = Ok ());
+      Alcotest.(check bool) "realizable" true (Topology.validate_path topo p = Ok ());
+      Alcotest.(check bool) "src" true (Ids.equal_asn (Path.source p) G.s);
+      Alcotest.(check bool) "dst" true (Ids.equal_asn (Path.destination p) G.d))
+    combos;
+  (* Shortest-first ordering. *)
+  let lengths = List.map (fun c -> Path.length (Segments.Db.join_path c)) combos in
+  Alcotest.(check bool) "sorted by length" true
+    (List.sort compare lengths = lengths)
+
+let combination_with_core_endpoints () =
+  let topo = Topology_gen.two_isd () in
+  let db = Segments.discover topo in
+  let module G = Topology_gen.Two_isd in
+  (* core → core: single core segment. *)
+  let cc = Segments.Db.combinations db ~src:G.y1 ~dst:G.w1 in
+  Alcotest.(check bool) "core→core nonempty" true (cc <> []);
+  List.iter (fun c -> Alcotest.(check int) "single segment" 1 (List.length c)) cc;
+  (* leaf → core. *)
+  let lc = Segments.Db.combinations db ~src:G.s ~dst:G.w1 in
+  Alcotest.(check bool) "leaf→core nonempty" true (lc <> []);
+  (* core → leaf. *)
+  let cl = Segments.Db.combinations db ~src:G.y1 ~dst:G.d in
+  Alcotest.(check bool) "core→leaf nonempty" true (cl <> []);
+  (* same AS: no combination needed. *)
+  Alcotest.(check (list (list int))) "same AS empty" []
+    (List.map (List.map (fun _ -> 0)) (Segments.Db.combinations db ~src:G.s ~dst:G.s))
+
+let shared_core_no_core_segment () =
+  (* S and T2 under the same core: up+down with no core segment. *)
+  let topo = Topology.create () in
+  let core = Ids.asn ~isd:1 ~num:1 in
+  let s = Ids.asn ~isd:1 ~num:10 and d = Ids.asn ~isd:1 ~num:11 in
+  Topology.add_as topo ~asn:core ~core:true;
+  Topology.add_as topo ~asn:s ~core:false;
+  Topology.add_as topo ~asn:d ~core:false;
+  Topology.connect topo ~a:core ~a_iface:1 ~b:s ~b_iface:1
+    ~capacity:(Bandwidth.of_gbps 10.) ~kind:Topology.Parent_child;
+  Topology.connect topo ~a:core ~a_iface:2 ~b:d ~b_iface:1
+    ~capacity:(Bandwidth.of_gbps 10.) ~kind:Topology.Parent_child;
+  let db = Segments.discover topo in
+  let combos = Segments.Db.combinations db ~src:s ~dst:d in
+  Alcotest.(check bool) "found" true (combos <> []);
+  let shortest = List.hd combos in
+  Alcotest.(check int) "up+down only" 2 (List.length shortest);
+  let p = Segments.Db.join_path shortest in
+  Alcotest.(check int) "3-AS path" 3 (Path.length p);
+  Alcotest.(check bool) "realizable" true (Topology.validate_path topo p = Ok ())
+
+let max_len_respected () =
+  let topo = Topology_gen.linear ~n:8 ~capacity:(Bandwidth.of_gbps 10.) in
+  let db = Segments.discover ~max_len:3 topo in
+  let a1 = Ids.asn ~isd:1 ~num:1 and a8 = Ids.asn ~isd:1 ~num:8 in
+  Alcotest.(check (list int)) "too far for max_len" []
+    (List.map Segments.length (Segments.Db.core_segments db ~src:a1 ~dst:a8));
+  let a4 = Ids.asn ~isd:1 ~num:4 in
+  Alcotest.(check bool) "within max_len" true
+    (Segments.Db.core_segments db ~src:a1 ~dst:a4 <> [])
+
+let prop_random_topology_paths_realizable =
+  QCheck2.Test.make ~name:"segments: all combined paths are realizable" ~count:15
+    QCheck2.Gen.(pair (2 -- 3) (2 -- 4))
+    (fun (isds, leaves) ->
+      let rng = Random.State.make [| isds; leaves; 99 |] in
+      let topo = Topology_gen.random ~rng ~isds ~cores:2 ~leaves in
+      let db = Segments.discover topo in
+      let ases = Topology.ases topo in
+      (* Check a sample of src/dst pairs. *)
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun dst ->
+              if Ids.equal_asn src dst then true
+              else
+                Segments.Db.paths db ~src ~dst ~limit:4
+                |> List.for_all (fun p ->
+                       Path.validate p = Ok ()
+                       && Topology.validate_path topo p = Ok ()
+                       && Ids.equal_asn (Path.source p) src
+                       && Ids.equal_asn (Path.destination p) dst))
+            (List.filteri (fun i _ -> i < 4) ases))
+        (List.filteri (fun i _ -> i < 4) ases))
+
+let prop_connected_leaves_have_routes =
+  QCheck2.Test.make ~name:"segments: leaf pairs in a connected random topo have routes"
+    ~count:10
+    QCheck2.Gen.(2 -- 3)
+    (fun isds ->
+      let rng = Random.State.make [| isds; 123 |] in
+      let topo = Topology_gen.random ~rng ~isds ~cores:2 ~leaves:3 in
+      let db = Segments.discover topo in
+      let leaves = List.filter (fun a -> not (Topology.is_core topo a)) (Topology.ases topo) in
+      List.for_all
+        (fun src ->
+          List.for_all
+            (fun dst ->
+              Ids.equal_asn src dst
+              || Segments.Db.combinations db ~src ~dst <> [])
+            leaves)
+        leaves)
+
+let suite =
+  ignore module_db;
+  [
+    Alcotest.test_case "discover on two-ISD topo" `Quick discover_two_isd;
+    Alcotest.test_case "leaf-to-leaf combination" `Quick combination_leaf_to_leaf;
+    Alcotest.test_case "core endpoint combinations" `Quick combination_with_core_endpoints;
+    Alcotest.test_case "shared core needs no core segment" `Quick shared_core_no_core_segment;
+    Alcotest.test_case "max_len respected" `Quick max_len_respected;
+    QCheck_alcotest.to_alcotest prop_random_topology_paths_realizable;
+    QCheck_alcotest.to_alcotest prop_connected_leaves_have_routes;
+  ]

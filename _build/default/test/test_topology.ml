@@ -1,0 +1,150 @@
+(** Tests for the topology substrate and its generators. *)
+
+open Colibri_types
+open Colibri_topology
+
+let gbps = Bandwidth.of_gbps
+
+let build_and_query () =
+  let t = Topology.create () in
+  let a = Ids.asn ~isd:1 ~num:1 and b = Ids.asn ~isd:1 ~num:2 in
+  Topology.add_as t ~asn:a ~core:true;
+  Topology.add_as t ~asn:b ~core:false;
+  Topology.connect t ~a ~a_iface:1 ~b ~b_iface:1 ~capacity:(gbps 10.)
+    ~kind:Topology.Parent_child;
+  Alcotest.(check bool) "a core" true (Topology.is_core t a);
+  Alcotest.(check bool) "b not core" false (Topology.is_core t b);
+  Alcotest.(check int) "isds" 1 (List.length (Topology.isds t));
+  Alcotest.(check int) "ases" 2 (List.length (Topology.ases t));
+  Alcotest.(check int) "core ases" 1 (List.length (Topology.core_ases t));
+  (match Topology.link_via t a 1 with
+  | Some l ->
+      Alcotest.(check bool) "link remote" true (Ids.equal_asn l.remote_as b);
+      Alcotest.(check int) "remote iface" 1 l.remote_iface;
+      Alcotest.(check bool) "kind" true (l.kind = Topology.Parent_child)
+  | None -> Alcotest.fail "missing link");
+  (* Reverse direction must exist with flipped kind. *)
+  (match Topology.link_via t b 1 with
+  | Some l -> Alcotest.(check bool) "flipped kind" true (l.kind = Topology.Child_parent)
+  | None -> Alcotest.fail "missing reverse link");
+  Alcotest.(check int) "children of a" 1 (List.length (Topology.children t a));
+  Alcotest.(check int) "parents of b" 1 (List.length (Topology.parents t b));
+  Alcotest.(check (float 0.)) "egress capacity" 10e9
+    (Bandwidth.to_bps (Topology.egress_capacity t a 1))
+
+let connect_errors () =
+  let t = Topology.create () in
+  let a = Ids.asn ~isd:1 ~num:1 and b = Ids.asn ~isd:1 ~num:2 in
+  Topology.add_as t ~asn:a ~core:true;
+  Topology.add_as t ~asn:b ~core:true;
+  Topology.connect t ~a ~a_iface:1 ~b ~b_iface:1 ~capacity:(gbps 1.)
+    ~kind:Topology.Core_link;
+  Alcotest.(check bool) "duplicate AS raises" true
+    (try
+       Topology.add_as t ~asn:a ~core:false;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "iface reuse raises" true
+    (try
+       Topology.connect t ~a ~a_iface:1 ~b ~b_iface:2 ~capacity:(gbps 1.)
+         ~kind:Topology.Core_link;
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool) "iface 0 raises" true
+    (try
+       Topology.connect t ~a ~a_iface:0 ~b ~b_iface:3 ~capacity:(gbps 1.)
+         ~kind:Topology.Core_link;
+       false
+     with Invalid_argument _ -> true)
+
+let linear_topology () =
+  let t = Topology_gen.linear ~n:5 ~capacity:(gbps 40.) in
+  Alcotest.(check int) "ases" 5 (List.length (Topology.ases t));
+  let p = Topology_gen.linear_path ~n:5 in
+  Alcotest.(check bool) "path valid" true (Path.validate p = Ok ());
+  Alcotest.(check bool) "path realizable" true (Topology.validate_path t p = Ok ());
+  Alcotest.(check int) "path length" 5 (Path.length p)
+
+let two_isd_topology () =
+  let t = Topology_gen.two_isd () in
+  let module G = Topology_gen.Two_isd in
+  Alcotest.(check int) "isds" 2 (List.length (Topology.isds t));
+  Alcotest.(check int) "core ases" 4 (List.length (Topology.core_ases t));
+  Alcotest.(check bool) "S is leaf" false (Topology.is_core t G.s);
+  Alcotest.(check bool) "Y1 is core" true (Topology.is_core t G.y1);
+  (* Path diversity: X1 has two providers. *)
+  Alcotest.(check int) "x1 providers" 2 (List.length (Topology.parents t G.x1))
+
+let validate_path_errors () =
+  let t = Topology_gen.linear ~n:3 ~capacity:(gbps 1.) in
+  let bogus_as =
+    [
+      Path.hop ~asn:(Ids.asn ~isd:9 ~num:9) ~ingress:0 ~egress:0;
+    ]
+  in
+  (match Topology.validate_path t bogus_as with
+  | Error (Topology.Unknown_as _) -> ()
+  | _ -> Alcotest.fail "expected Unknown_as");
+  let wrong_iface =
+    [
+      Path.hop ~asn:(Ids.asn ~isd:1 ~num:1) ~ingress:0 ~egress:7;
+      Path.hop ~asn:(Ids.asn ~isd:1 ~num:2) ~ingress:1 ~egress:0;
+    ]
+  in
+  (match Topology.validate_path t wrong_iface with
+  | Error (Topology.No_link _) -> ()
+  | _ -> Alcotest.fail "expected No_link");
+  let mismatched =
+    [
+      Path.hop ~asn:(Ids.asn ~isd:1 ~num:1) ~ingress:0 ~egress:2;
+      Path.hop ~asn:(Ids.asn ~isd:1 ~num:3) ~ingress:1 ~egress:0;
+    ]
+  in
+  (match Topology.validate_path t mismatched with
+  | Error (Topology.Link_mismatch _) -> ()
+  | _ -> Alcotest.fail "expected Link_mismatch")
+
+let random_generator () =
+  let rng = Random.State.make [| 11 |] in
+  let t = Topology_gen.random ~rng ~isds:3 ~cores:2 ~leaves:4 in
+  Alcotest.(check int) "core count" 6 (List.length (Topology.core_ases t));
+  Alcotest.(check int) "total" 18 (List.length (Topology.ases t));
+  (* Every leaf has at least one provider. *)
+  Topology.ases t
+  |> List.iter (fun a ->
+         if not (Topology.is_core t a) then
+           Alcotest.(check bool)
+             (Fmt.str "%a has provider" Ids.pp_asn a)
+             true
+             (List.length (Topology.parents t a) >= 1));
+  (* Determinism under the same seed. *)
+  let t2 = Topology_gen.random ~rng:(Random.State.make [| 11 |]) ~isds:3 ~cores:2 ~leaves:4 in
+  Alcotest.(check int) "deterministic" (List.length (Topology.ases t)) (List.length (Topology.ases t2))
+
+let prop_random_links_bidirectional =
+  QCheck2.Test.make ~name:"topology: every link has a consistent reverse" ~count:20
+    QCheck2.Gen.(pair (1 -- 3) (1 -- 3))
+    (fun (isds, cores) ->
+      let rng = Random.State.make [| isds; cores |] in
+      let t = Topology_gen.random ~rng ~isds ~cores ~leaves:3 in
+      Topology.ases t
+      |> List.for_all (fun a ->
+             Topology.links t a
+             |> List.for_all (fun (l : Topology.link) ->
+                    match Topology.link_via t l.remote_as l.remote_iface with
+                    | Some back ->
+                        Ids.equal_asn back.remote_as a
+                        && back.remote_iface = l.local_iface
+                        && Bandwidth.equal back.capacity l.capacity
+                    | None -> false)))
+
+let suite =
+  [
+    Alcotest.test_case "build and query" `Quick build_and_query;
+    Alcotest.test_case "connect errors" `Quick connect_errors;
+    Alcotest.test_case "linear generator" `Quick linear_topology;
+    Alcotest.test_case "two-ISD generator" `Quick two_isd_topology;
+    Alcotest.test_case "validate_path errors" `Quick validate_path_errors;
+    Alcotest.test_case "random generator" `Quick random_generator;
+    QCheck_alcotest.to_alcotest prop_random_links_bidirectional;
+  ]

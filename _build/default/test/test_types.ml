@@ -1,0 +1,187 @@
+(** Tests for the foundational types: identifiers, bandwidth, time,
+    and paths. *)
+
+open Colibri_types
+
+let asn = Ids.asn
+
+let ids_encoding () =
+  let a = asn ~isd:3 ~num:42 in
+  let b = Ids.asn_to_bytes a in
+  Alcotest.(check int) "8 bytes" 8 (Bytes.length b);
+  let a' = Ids.asn_of_bytes b ~off:0 in
+  Alcotest.(check bool) "roundtrip" true (Ids.equal_asn a a')
+
+let ids_ordering () =
+  let a = asn ~isd:1 ~num:5 and b = asn ~isd:1 ~num:6 and c = asn ~isd:2 ~num:1 in
+  Alcotest.(check bool) "same isd" true (Ids.compare_asn a b < 0);
+  Alcotest.(check bool) "isd dominates" true (Ids.compare_asn b c < 0);
+  Alcotest.(check bool) "equal" true (Ids.compare_asn a a = 0);
+  let k1 : Ids.res_key = { src_as = a; res_id = 1 }
+  and k2 : Ids.res_key = { src_as = a; res_id = 2 } in
+  Alcotest.(check bool) "res_key order" true (Ids.compare_res_key k1 k2 < 0);
+  Alcotest.(check bool) "res_key equal" true (Ids.equal_res_key k1 k1)
+
+let bandwidth_units () =
+  Alcotest.(check (float 1e-6)) "gbps" 1e9 (Bandwidth.to_bps (Bandwidth.of_gbps 1.));
+  Alcotest.(check (float 1e-6)) "mbps" 2e6 (Bandwidth.to_bps (Bandwidth.of_mbps 2.));
+  Alcotest.(check (float 1e-6)) "kbps" 3e3 (Bandwidth.to_bps (Bandwidth.of_kbps 3.));
+  Alcotest.(check (float 1e-9)) "sub floors at zero" 0.
+    (Bandwidth.to_bps (Bandwidth.sub (Bandwidth.of_bps 1.) (Bandwidth.of_bps 2.)));
+  Alcotest.(check (float 1e-9)) "div by zero" 0. (Bandwidth.div 5. 0.);
+  Alcotest.(check bool) "tolerant leq" true Bandwidth.(of_gbps 1. <=~ of_bps (1e9 -. 1e-4));
+  Alcotest.(check bool) "is_positive" true (Bandwidth.is_positive (Bandwidth.of_bps 1.));
+  Alcotest.(check bool) "zero not positive" false (Bandwidth.is_positive Bandwidth.zero)
+
+let timebase_ts () =
+  let exp_time = 100. in
+  let ts = Timebase.Ts.of_times ~exp_time ~now:99.5 in
+  Alcotest.(check int) "microsecond ticks" 500_000 (Timebase.Ts.to_int ts);
+  Alcotest.(check (float 1e-9)) "inverse" 99.5 (Timebase.Ts.to_time ~exp_time ts);
+  Alcotest.check_raises "expired" (Invalid_argument "Ts.of_times: expired") (fun () ->
+      ignore (Timebase.Ts.of_times ~exp_time ~now:100.5))
+
+let timebase_clock () =
+  let c = Timebase.Sim_clock.create () in
+  Alcotest.(check (float 0.)) "epoch" 0. (Timebase.Sim_clock.now c);
+  Timebase.Sim_clock.advance c 1.5;
+  Alcotest.(check (float 0.)) "advance" 1.5 (Timebase.Sim_clock.now c);
+  let skewed = Timebase.Sim_clock.skewed c 0.05 in
+  Alcotest.(check (float 1e-9)) "skewed" 1.55 (skewed ());
+  Alcotest.(check bool) "skew within paper bound" true (0.05 <= Timebase.max_skew)
+
+let hop = Path.hop
+
+let sample_path () : Path.t =
+  [
+    hop ~asn:(asn ~isd:1 ~num:1) ~ingress:0 ~egress:2;
+    hop ~asn:(asn ~isd:1 ~num:2) ~ingress:1 ~egress:3;
+    hop ~asn:(asn ~isd:1 ~num:3) ~ingress:1 ~egress:0;
+  ]
+
+let path_validate_ok () =
+  Alcotest.(check bool) "valid" true (Path.validate (sample_path ()) = Ok ());
+  (* single-AS path: both interfaces local *)
+  let single = [ hop ~asn:(asn ~isd:1 ~num:1) ~ingress:0 ~egress:0 ] in
+  Alcotest.(check bool) "single hop" true (Path.validate single = Ok ())
+
+let path_validate_errors () =
+  let bad_src = [ hop ~asn:(asn ~isd:1 ~num:1) ~ingress:5 ~egress:0 ] in
+  Alcotest.(check bool) "bad source ingress" true
+    (Path.validate bad_src = Error Path.Bad_source_ingress);
+  let bad_dst =
+    [
+      hop ~asn:(asn ~isd:1 ~num:1) ~ingress:0 ~egress:1;
+      hop ~asn:(asn ~isd:1 ~num:2) ~ingress:1 ~egress:9;
+    ]
+  in
+  Alcotest.(check bool) "bad destination egress" true
+    (Path.validate bad_dst = Error Path.Bad_destination_egress);
+  Alcotest.(check bool) "empty" true (Path.validate [] = Error Path.Empty);
+  let zero_mid =
+    [
+      hop ~asn:(asn ~isd:1 ~num:1) ~ingress:0 ~egress:1;
+      hop ~asn:(asn ~isd:1 ~num:2) ~ingress:0 ~egress:1;
+      hop ~asn:(asn ~isd:1 ~num:3) ~ingress:1 ~egress:0;
+    ]
+  in
+  (match Path.validate zero_mid with
+  | Error (Path.Zero_transit_iface a) ->
+      Alcotest.(check bool) "zero transit at 1-2" true (Ids.equal_asn a (asn ~isd:1 ~num:2))
+  | _ -> Alcotest.fail "expected Zero_transit_iface");
+  let repeated =
+    [
+      hop ~asn:(asn ~isd:1 ~num:1) ~ingress:0 ~egress:1;
+      hop ~asn:(asn ~isd:1 ~num:2) ~ingress:1 ~egress:2;
+      hop ~asn:(asn ~isd:1 ~num:1) ~ingress:3 ~egress:0;
+    ]
+  in
+  (match Path.validate repeated with
+  | Error (Path.Repeated_as _) -> ()
+  | _ -> Alcotest.fail "expected Repeated_as")
+
+let path_reverse () =
+  let p = sample_path () in
+  let r = Path.reverse p in
+  Alcotest.(check bool) "reverse valid" true (Path.validate r = Ok ());
+  Alcotest.(check bool) "source/dest swapped" true
+    (Ids.equal_asn (Path.source r) (Path.destination p));
+  Alcotest.(check bool) "double reverse" true (Path.equal (Path.reverse r) p)
+
+let path_join () =
+  let a =
+    [
+      hop ~asn:(asn ~isd:1 ~num:1) ~ingress:0 ~egress:2;
+      hop ~asn:(asn ~isd:1 ~num:2) ~ingress:1 ~egress:0;
+    ]
+  in
+  let b =
+    [
+      hop ~asn:(asn ~isd:1 ~num:2) ~ingress:0 ~egress:5;
+      hop ~asn:(asn ~isd:1 ~num:3) ~ingress:1 ~egress:0;
+    ]
+  in
+  let j = Path.join a b in
+  Alcotest.(check int) "length" 3 (Path.length j);
+  Alcotest.(check bool) "valid" true (Path.validate j = Ok ());
+  (* joint AS keeps a's ingress and b's egress *)
+  (match j with
+  | [ _; joint; _ ] ->
+      Alcotest.(check int) "joint ingress" 1 joint.ingress;
+      Alcotest.(check int) "joint egress" 5 joint.egress
+  | _ -> Alcotest.fail "unexpected shape");
+  Alcotest.check_raises "mismatched join"
+    (Invalid_argument "Path.join: fragments do not share an AS") (fun () ->
+      ignore (Path.join a a))
+
+let path_serialization () =
+  let p = sample_path () in
+  let b = Path.to_bytes p in
+  Alcotest.(check int) "size" (3 * Path.hop_byte_size) (Bytes.length b);
+  let p' = Path.of_bytes b ~off:0 ~count:3 in
+  Alcotest.(check bool) "roundtrip" true (Path.equal p p')
+
+(* Property: generated random valid paths roundtrip through bytes. *)
+let arbitrary_path_gen =
+  QCheck2.Gen.(
+    let* n = 1 -- 16 in
+    let* nums = list_size (return n) (1 -- 1000) in
+    let* ifaces = list_size (return (2 * n)) (1 -- 64) in
+    let nums = List.mapi (fun i x -> (i * 1001) + x) nums (* distinct *) in
+    let arr = Array.of_list ifaces in
+    return
+      (List.mapi
+         (fun i num ->
+           hop ~asn:(asn ~isd:1 ~num)
+             ~ingress:(if i = 0 then 0 else arr.(2 * i))
+             ~egress:(if i = n - 1 then 0 else arr.((2 * i) + 1)))
+         nums))
+
+let prop_path_roundtrip =
+  QCheck2.Test.make ~name:"path: bytes roundtrip" ~count:200 arbitrary_path_gen
+    (fun p ->
+      let b = Path.to_bytes p in
+      Path.equal p (Path.of_bytes b ~off:0 ~count:(List.length p)))
+
+let prop_path_reverse_involutive =
+  QCheck2.Test.make ~name:"path: reverse involutive and valid" ~count:200
+    arbitrary_path_gen (fun p ->
+      Path.validate p = Ok ()
+      && Path.validate (Path.reverse p) = Ok ()
+      && Path.equal (Path.reverse (Path.reverse p)) p)
+
+let suite =
+  [
+    Alcotest.test_case "AS id encoding" `Quick ids_encoding;
+    Alcotest.test_case "AS id ordering" `Quick ids_ordering;
+    Alcotest.test_case "bandwidth units" `Quick bandwidth_units;
+    Alcotest.test_case "timestamp encoding" `Quick timebase_ts;
+    Alcotest.test_case "sim clock" `Quick timebase_clock;
+    Alcotest.test_case "path validate ok" `Quick path_validate_ok;
+    Alcotest.test_case "path validate errors" `Quick path_validate_errors;
+    Alcotest.test_case "path reverse" `Quick path_reverse;
+    Alcotest.test_case "path join" `Quick path_join;
+    Alcotest.test_case "path serialization" `Quick path_serialization;
+    QCheck_alcotest.to_alcotest prop_path_roundtrip;
+    QCheck_alcotest.to_alcotest prop_path_reverse_involutive;
+  ]
