@@ -1,1 +1,1 @@
-lib/core/deployment.ml: Bandwidth Colibri_topology Colibri_types Cserv Drkey Fmt Gateway Hashtbl Ids List Net Option Packet Path Protocol Random Reservation Result Router Segments Timebase Topology
+lib/core/deployment.ml: Bandwidth Colibri_topology Colibri_types Cserv Drkey Fmt Gateway Ids List Net Option Packet Path Protocol Random Reservation Result Router Segments Timebase Topology

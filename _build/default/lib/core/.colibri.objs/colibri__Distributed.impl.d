@@ -1,1 +1,1 @@
-lib/core/distributed.ml: Admission Bandwidth Colibri_types Hashtbl Ids Timebase
+lib/core/distributed.ml: Admission Bandwidth Colibri_types Fmt Ids List Timebase

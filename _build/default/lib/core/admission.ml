@@ -90,17 +90,46 @@ let pp_decision ppf = function
   | Granted bw -> Fmt.pf ppf "granted %a" Bandwidth.pp bw
   | Denied { available } -> Fmt.pf ppf "denied (available %a)" Bandwidth.pp available
 
-(* Float-sum accumulators in hash tables keyed by small tuples. *)
-module Acc = struct
-  type 'k t = ('k, float) Hashtbl.t
+(* Float-sum accumulators in keyed hash tables (lint rule [poly-hash]:
+   no polymorphic hashing of identifier keys on the admission path). *)
+module Acc (T : Hashtbl.S) = struct
+  type t = float T.t
 
-  let create n : _ t = Hashtbl.create n
-  let get t k = Option.value ~default:0. (Hashtbl.find_opt t k)
+  let create n : t = T.create n
+  let get (t : t) k = Option.value ~default:0. (T.find_opt t k)
 
-  let add t k dv =
+  let add (t : t) k dv =
     let v = get t k +. dv in
-    if v <= 1e-9 then Hashtbl.remove t k else Hashtbl.replace t k v
+    if v <= 1e-9 then T.remove t k else T.replace t k v
+
+  (* Recompute-and-diff support for [audit]: fold [items] into a fresh
+     accumulator with [fold], then report every key whose recomputed
+     sum differs from the incremental one beyond float drift. *)
+  let close a b = Float.abs (a -. b) <= 1e-6 *. Float.max 1. (Float.max (Float.abs a) (Float.abs b))
+
+  let diff ~(what : string) ~(pp_key : T.key Fmt.t) (stored : t) (fresh : t) : string list
+      =
+    let errs = ref [] in
+    let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+    T.iter
+      (fun k fresh_v ->
+        let stored_v = get stored k in
+        if not (close stored_v fresh_v) then
+          err "%s[%a]: stored %.6g, recomputed %.6g" what pp_key k stored_v fresh_v)
+      fresh;
+    T.iter
+      (fun k stored_v ->
+        if not (T.mem fresh k) && not (close stored_v 0.) then
+          err "%s[%a]: stored %.6g, recomputed 0 (stale key)" what pp_key k stored_v)
+      stored;
+    !errs
 end
+
+module Iface_acc = Acc (Ids.Iface_tbl)
+module Tube_acc = Acc (Ids.Iface_pair_tbl)
+module Src_acc = Acc (Ids.Src_egress_tbl)
+module Res_acc = Acc (Ids.Res_key_tbl)
+module Pair_acc = Acc (Ids.Res_pair_tbl)
 
 module Seg = struct
   (* A version of a SegR currently counted in the aggregates. *)
@@ -119,12 +148,12 @@ module Seg = struct
   type t = {
     capacity : Ids.iface -> Bandwidth.t; (* raw interface capacity *)
     share : float; (* fraction of capacity available to SegRs *)
-    in_demand : Ids.iface Acc.t;
-    tube_demand : (Ids.iface * Ids.iface) Acc.t;
-    src_demand : (int * int * Ids.iface) Acc.t; (* (isd, asnum, egress) *)
-    egress_adjusted : Ids.iface Acc.t;
-    egress_allocated : Ids.iface Acc.t;
-    entries : (Ids.res_key * int, entry) Hashtbl.t; (* keyed by (res, version) *)
+    in_demand : Iface_acc.t;
+    tube_demand : Tube_acc.t;
+    src_demand : Src_acc.t; (* (source AS, egress) *)
+    egress_adjusted : Iface_acc.t;
+    egress_allocated : Iface_acc.t;
+    entries : entry Ids.Res_ver_tbl.t; (* keyed by (res, version) *)
     expiry : Expiry.t;
     mutable admissions : int;
   }
@@ -133,12 +162,12 @@ module Seg = struct
     {
       capacity;
       share;
-      in_demand = Acc.create 64;
-      tube_demand = Acc.create 64;
-      src_demand = Acc.create 256;
-      egress_adjusted = Acc.create 64;
-      egress_allocated = Acc.create 64;
-      entries = Hashtbl.create 1024;
+      in_demand = Iface_acc.create 64;
+      tube_demand = Tube_acc.create 64;
+      src_demand = Src_acc.create 256;
+      egress_adjusted = Iface_acc.create 64;
+      egress_allocated = Iface_acc.create 64;
+      entries = Ids.Res_ver_tbl.create 1024;
       expiry = Expiry.create ();
       admissions = 0;
     }
@@ -147,17 +176,17 @@ module Seg = struct
     if iface = Ids.local_iface then Float.max_float
     else t.share *. Bandwidth.to_bps (t.capacity iface)
 
-  let src_key (src : Ids.asn) (egress : Ids.iface) = (src.Ids.isd, src.Ids.num, egress)
+  let src_key (src : Ids.asn) (egress : Ids.iface) = (src, egress)
 
   let unaccount (t : t) ((rk, ver) : Ids.res_key * int) (e : entry) =
     if not e.removed then begin
       e.removed <- true;
-      Acc.add t.in_demand e.ingress (-.e.demand);
-      Acc.add t.tube_demand (e.ingress, e.egress) (-.e.adj1);
-      Acc.add t.src_demand (src_key e.src e.egress) (-.e.adj2);
-      Acc.add t.egress_adjusted e.egress (-.e.adj3);
-      Acc.add t.egress_allocated e.egress (-.e.granted);
-      Hashtbl.remove t.entries (rk, ver)
+      Iface_acc.add t.in_demand e.ingress (-.e.demand);
+      Tube_acc.add t.tube_demand (e.ingress, e.egress) (-.e.adj1);
+      Src_acc.add t.src_demand (src_key e.src e.egress) (-.e.adj2);
+      Iface_acc.add t.egress_adjusted e.egress (-.e.adj3);
+      Iface_acc.add t.egress_allocated e.egress (-.e.granted);
+      Ids.Res_ver_tbl.remove t.entries (rk, ver)
     end
 
   (** Admit (tentatively) one SegR version. [demand] is the requested
@@ -171,24 +200,24 @@ module Seg = struct
       =
     Expiry.sweep t.expiry ~now;
     t.admissions <- t.admissions + 1;
-    if Hashtbl.mem t.entries (key, version) then
+    if Ids.Res_ver_tbl.mem t.entries (key, version) then
       Denied { available = Bandwidth.zero } (* duplicate setup *)
     else begin
       let d = Bandwidth.to_bps demand in
       let cap_in = colibri_cap t ingress and cap_eg = colibri_cap t egress in
       (* Rule 1: ingress capacity bounds total ingress demand. *)
-      let in_total = Acc.get t.in_demand ingress +. d in
+      let in_total = Iface_acc.get t.in_demand ingress +. d in
       let adj1 = d *. Float.min 1. (cap_in /. in_total) in
       (* Rule 2: egress capacity bounds the (ingress,egress) tube. *)
-      let tube_total = Acc.get t.tube_demand (ingress, egress) +. adj1 in
+      let tube_total = Tube_acc.get t.tube_demand (ingress, egress) +. adj1 in
       let adj2 = adj1 *. Float.min 1. (cap_eg /. tube_total) in
       (* Rule 3: egress capacity bounds any single source AS. *)
-      let src_total = Acc.get t.src_demand (src_key src egress) +. adj2 in
+      let src_total = Src_acc.get t.src_demand (src_key src egress) +. adj2 in
       let adj3 = adj2 *. Float.min 1. (cap_eg /. src_total) in
       (* Proportional share of the egress capacity, and hard free-capacity
          cap so that the sum of grants never exceeds the egress. *)
-      let ideal = cap_eg *. adj3 /. (Acc.get t.egress_adjusted egress +. adj3) in
-      let free = Float.max 0. (cap_eg -. Acc.get t.egress_allocated egress) in
+      let ideal = cap_eg *. adj3 /. (Iface_acc.get t.egress_adjusted egress +. adj3) in
+      let free = Float.max 0. (cap_eg -. Iface_acc.get t.egress_allocated egress) in
       let granted = Float.min adj3 (Float.min ideal free) in
       if granted +. 1e-9 < Bandwidth.to_bps min_bw then
         Denied { available = Bandwidth.of_bps granted }
@@ -196,12 +225,12 @@ module Seg = struct
         let entry =
           { src; ingress; egress; demand = d; adj1; adj2; adj3; granted; removed = false }
         in
-        Hashtbl.replace t.entries (key, version) entry;
-        Acc.add t.in_demand ingress d;
-        Acc.add t.tube_demand (ingress, egress) adj1;
-        Acc.add t.src_demand (src_key src egress) adj2;
-        Acc.add t.egress_adjusted egress adj3;
-        Acc.add t.egress_allocated egress granted;
+        Ids.Res_ver_tbl.replace t.entries (key, version) entry;
+        Iface_acc.add t.in_demand ingress d;
+        Tube_acc.add t.tube_demand (ingress, egress) adj1;
+        Src_acc.add t.src_demand (src_key src egress) adj2;
+        Iface_acc.add t.egress_adjusted egress adj3;
+        Iface_acc.add t.egress_allocated egress granted;
         Expiry.push t.expiry ~at:exp_time (fun () -> unaccount t (key, version) entry);
         Granted (Bandwidth.of_bps granted)
       end
@@ -211,13 +240,13 @@ module Seg = struct
       pass of the setup). Raising above the local grant is refused. *)
   let set_granted (t : t) ~(key : Ids.res_key) ~(version : int)
       ~(granted : Bandwidth.t) : (unit, string) result =
-    match Hashtbl.find_opt t.entries (key, version) with
+    match Ids.Res_ver_tbl.find_opt t.entries (key, version) with
     | None -> Error "unknown reservation version"
     | Some e ->
         let g = Bandwidth.to_bps granted in
         if g > e.granted +. 1e-6 then Error "cannot raise grant"
         else begin
-          Acc.add t.egress_allocated e.egress (g -. e.granted);
+          Iface_acc.add t.egress_allocated e.egress (g -. e.granted);
           e.granted <- g;
           Ok ()
         end
@@ -225,18 +254,76 @@ module Seg = struct
   (** Remove one version (cleanup of a failed setup, or deactivation
       after a version switch). Idempotent. *)
   let remove (t : t) ~(key : Ids.res_key) ~(version : int) =
-    match Hashtbl.find_opt t.entries (key, version) with
+    match Ids.Res_ver_tbl.find_opt t.entries (key, version) with
     | Some e -> unaccount t (key, version) e
     | None -> ()
 
   let granted_of (t : t) ~key ~version =
-    Option.map (fun e -> Bandwidth.of_bps e.granted) (Hashtbl.find_opt t.entries (key, version))
+    Option.map
+      (fun e -> Bandwidth.of_bps e.granted)
+      (Ids.Res_ver_tbl.find_opt t.entries (key, version))
 
-  let count (t : t) = Hashtbl.length t.entries
+  let count (t : t) = Ids.Res_ver_tbl.length t.entries
   let admissions (t : t) = t.admissions
 
   let allocated_on (t : t) ~(egress : Ids.iface) : Bandwidth.t =
-    Bandwidth.of_bps (Acc.get t.egress_allocated egress)
+    Bandwidth.of_bps (Iface_acc.get t.egress_allocated egress)
+
+  let pp_iface = Fmt.int
+  let pp_tube ppf (i, e) = Fmt.pf ppf "%d→%d" i e
+  let pp_src_egress ppf (src, e) = Fmt.pf ppf "%a→%d" Ids.pp_asn src e
+
+  (** Recompute every memoized aggregate from the entry table and diff
+      it against the incremental state — the sanitizer for the
+      constant-cost admission bookkeeping (Fig. 3). Returns one message
+      per discrepancy; [[]] means the state is consistent. *)
+  let audit (t : t) : string list =
+    let in_demand = Iface_acc.create 64 in
+    let tube_demand = Tube_acc.create 64 in
+    let src_demand = Src_acc.create 64 in
+    let egress_adjusted = Iface_acc.create 64 in
+    let egress_allocated = Iface_acc.create 64 in
+    let errs = ref [] in
+    Ids.Res_ver_tbl.iter
+      (fun (rk, ver) e ->
+        if e.removed then
+          errs :=
+            Fmt.str "entries[%a#%d]: removed entry still in table" Ids.pp_res_key rk ver
+            :: !errs;
+        if e.granted < -1e-9 || Float.is_nan e.granted then
+          errs :=
+            Fmt.str "entries[%a#%d]: invalid grant %.6g" Ids.pp_res_key rk ver e.granted
+            :: !errs;
+        Iface_acc.add in_demand e.ingress e.demand;
+        Tube_acc.add tube_demand (e.ingress, e.egress) e.adj1;
+        Src_acc.add src_demand (src_key e.src e.egress) e.adj2;
+        Iface_acc.add egress_adjusted e.egress e.adj3;
+        Iface_acc.add egress_allocated e.egress e.granted)
+      t.entries;
+    (* The sum of grants must never exceed an egress's Colibri share
+       (bounded tube fairness, §4.7). *)
+    Ids.Iface_tbl.iter
+      (fun egress alloc ->
+        let cap = colibri_cap t egress in
+        if alloc > cap +. 1e-6 *. Float.max 1. cap then
+          errs :=
+            Fmt.str "egress %d oversubscribed: %.6g allocated > %.6g capacity" egress
+              alloc cap
+            :: !errs)
+      egress_allocated;
+    !errs
+    @ Iface_acc.diff ~what:"in_demand" ~pp_key:pp_iface t.in_demand in_demand
+    @ Tube_acc.diff ~what:"tube_demand" ~pp_key:pp_tube t.tube_demand tube_demand
+    @ Src_acc.diff ~what:"src_demand" ~pp_key:pp_src_egress t.src_demand src_demand
+    @ Iface_acc.diff ~what:"egress_adjusted" ~pp_key:pp_iface t.egress_adjusted
+        egress_adjusted
+    @ Iface_acc.diff ~what:"egress_allocated" ~pp_key:pp_iface t.egress_allocated
+        egress_allocated
+
+  (** Deliberately skew one memoized aggregate so tests can verify that
+      {!audit} detects corruption. Never call outside tests. *)
+  let corrupt_for_test (t : t) =
+    Iface_acc.add t.in_demand Ids.local_iface 1.0e6
 end
 
 module Eer = struct
@@ -252,7 +339,7 @@ module Eer = struct
     (* Σ EER bandwidth currently allocated over each SegR. *)
     alloc : float Ids.Res_key_tbl.t;
     (* Per (core-SegR, up-SegR): EER demand competing for the core SegR. *)
-    up_demand : (Ids.res_key * Ids.res_key, float) Hashtbl.t;
+    up_demand : float Ids.Res_pair_tbl.t;
     up_total : float Ids.Res_key_tbl.t; (* per core-SegR: Σ over up-SegRs *)
     flows : flow Ids.Res_key_tbl.t;
     expiry : Expiry.t;
@@ -262,7 +349,7 @@ module Eer = struct
   let create () : t =
     {
       alloc = Ids.Res_key_tbl.create 4096;
-      up_demand = Hashtbl.create 64;
+      up_demand = Ids.Res_pair_tbl.create 64;
       up_total = Ids.Res_key_tbl.create 64;
       flows = Ids.Res_key_tbl.create 4096;
       expiry = Expiry.create ();
@@ -277,11 +364,13 @@ module Eer = struct
     if v <= 1e-9 then Ids.Res_key_tbl.remove t.alloc segr
     else Ids.Res_key_tbl.replace t.alloc segr v
 
-  let up_demand_of (t : t) slot = Option.value ~default:0. (Hashtbl.find_opt t.up_demand slot)
+  let up_demand_of (t : t) slot =
+    Option.value ~default:0. (Ids.Res_pair_tbl.find_opt t.up_demand slot)
 
   let add_up_demand (t : t) ((core, _up) as slot) dv =
     let v = up_demand_of t slot +. dv in
-    if v <= 1e-9 then Hashtbl.remove t.up_demand slot else Hashtbl.replace t.up_demand slot v;
+    if v <= 1e-9 then Ids.Res_pair_tbl.remove t.up_demand slot
+    else Ids.Res_pair_tbl.replace t.up_demand slot v;
     let tot = Option.value ~default:0. (Ids.Res_key_tbl.find_opt t.up_total core) +. dv in
     if tot <= 1e-9 then Ids.Res_key_tbl.remove t.up_total core
     else Ids.Res_key_tbl.replace t.up_total core tot
@@ -408,4 +497,46 @@ module Eer = struct
 
   let flow_count (t : t) = Ids.Res_key_tbl.length t.flows
   let admissions (t : t) = t.admissions
+
+  let pp_pair ppf (core, up) = Fmt.pf ppf "%a/%a" Ids.pp_res_key core Ids.pp_res_key up
+
+  (** Recompute the per-SegR allocation and the transfer-AS competition
+      aggregates from the flow table and diff them against the
+      incremental state; also re-derive each flow's contribution (max
+      over live versions, §4.2). [[]] means consistent. *)
+  let audit (t : t) : string list =
+    let alloc = Res_acc.create 64 in
+    let up_demand = Pair_acc.create 64 in
+    let up_total = Res_acc.create 64 in
+    let errs = ref [] in
+    Ids.Res_key_tbl.iter
+      (fun key (f : flow) ->
+        if f.versions = [] then
+          errs :=
+            Fmt.str "flows[%a]: empty flow still in table" Ids.pp_res_key key :: !errs;
+        let expected =
+          List.fold_left (fun acc (_, bw, _) -> Float.max acc bw) 0. f.versions
+        in
+        if not (Float.equal expected f.contribution) then
+          errs :=
+            Fmt.str "flows[%a]: contribution %.6g, max over versions %.6g"
+              Ids.pp_res_key key f.contribution expected
+            :: !errs;
+        List.iter (fun segr -> Res_acc.add alloc segr f.contribution) f.segrs;
+        match f.via_up with
+        | Some ((core, _) as slot) ->
+            Pair_acc.add up_demand slot f.contribution;
+            Res_acc.add up_total core f.contribution
+        | None -> ())
+      t.flows;
+    !errs
+    @ Res_acc.diff ~what:"alloc" ~pp_key:Ids.pp_res_key t.alloc alloc
+    @ Pair_acc.diff ~what:"up_demand" ~pp_key:pp_pair t.up_demand up_demand
+    @ Res_acc.diff ~what:"up_total" ~pp_key:Ids.pp_res_key t.up_total up_total
+
+  (** Deliberately skew one memoized aggregate so tests can verify that
+      {!audit} detects corruption. Never call outside tests. *)
+  let corrupt_for_test (t : t) =
+    let phantom = { Ids.src_as = { Ids.isd = 999; num = 999 }; res_id = max_int } in
+    add_alloc t phantom 1.0e6
 end

@@ -67,6 +67,18 @@ module Seg : sig
   val allocated_on : t -> egress:Ids.iface -> Bandwidth.t
   (** Σ of current grants on an egress interface — never exceeds the
       interface's Colibri share. *)
+
+  val audit : t -> string list
+  (** Recompute every memoized aggregate (per-ingress demand, per-tube
+      demand, per-(source, egress) demand, per-egress adjusted demand
+      and allocation) from the entry table and diff it against the
+      incremental state; also checks that no egress is oversubscribed.
+      [[]] means the state is consistent — the sanitizer for the
+      constant-cost admission bookkeeping Fig. 3 depends on. *)
+
+  val corrupt_for_test : t -> unit
+  (** Deliberately skew one memoized aggregate so tests can verify that
+      {!audit} detects corruption. Never call outside tests. *)
 end
 
 (** Per-AS admission state for end-to-end reservations. *)
@@ -102,4 +114,14 @@ module Eer : sig
 
   val flow_count : t -> int
   val admissions : t -> int
+
+  val audit : t -> string list
+  (** Recompute the per-SegR allocations and transfer-AS competition
+      aggregates from the flow table (contribution = max over live
+      versions, §4.2) and diff them against the incremental state.
+      [[]] means consistent. *)
+
+  val corrupt_for_test : t -> unit
+  (** Deliberately skew one memoized aggregate so tests can verify that
+      {!audit} detects corruption. Never call outside tests. *)
 end

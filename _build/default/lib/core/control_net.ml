@@ -32,7 +32,7 @@ type t = {
   engine : Net.Engine.t;
   topo : Topology.t;
   (* One directed link per topology edge, keyed by (src, dst). *)
-  links : (Ids.asn * Ids.asn, message Net.Link.t) Hashtbl.t;
+  links : message Net.Link.t Ids.Asn_pair_tbl.t;
   scheduler : Net.Link.scheduler;
   delay : float;
 }
@@ -44,14 +44,14 @@ let link_key (a : Ids.asn) (b : Ids.asn) = (a, b)
     per-link propagation delay. *)
 let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
     ~(engine : Net.Engine.t) (topo : Topology.t) : t =
-  let t = { engine; topo; links = Hashtbl.create 64; scheduler; delay } in
+  let t = { engine; topo; links = Ids.Asn_pair_tbl.create 64; scheduler; delay } in
   Topology.ases topo
   |> List.iter (fun asn ->
          Topology.links topo asn
          |> List.iter (fun (l : Topology.link) ->
                 let key = link_key asn l.remote_as in
-                if not (Hashtbl.mem t.links key) then
-                  Hashtbl.replace t.links key
+                if not (Ids.Asn_pair_tbl.mem t.links key) then
+                  Ids.Asn_pair_tbl.replace t.links key
                     (Net.Link.create ~engine ~capacity:l.capacity ~delay ~scheduler
                        ~deliver:(fun (p : message Net.Link.packet) ->
                          p.payload.deliver ())
@@ -59,7 +59,7 @@ let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
   t
 
 let link (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : message Net.Link.t option =
-  Hashtbl.find_opt t.links (link_key src dst)
+  Ids.Asn_pair_tbl.find_opt t.links (link_key src dst)
 
 (** Inject best-effort background traffic on the [src → dst] link — the
     flooding adversary of §5.3. Returns the source so tests can stop

@@ -26,6 +26,8 @@ module Sharded_gateway = struct
   type t = { shards : Gateway.t array }
 
   let create ?burst ~(clock : Timebase.clock) ~(shards : int) (asn : Ids.asn) : t =
+    (* Construction-time validation; never on the per-packet path. *)
+    (* lint: allow hot-path-exn *)
     if shards < 1 then invalid_arg "Sharded_gateway.create: shards < 1";
     { shards = Array.init shards (fun _ -> Gateway.create ?burst ~clock asn) }
 
@@ -63,6 +65,8 @@ module Sharded_router = struct
 
   let create ?freshness_window ?(monitoring = false) ~(secret : Hvf.as_secret)
       ~(clock : Timebase.clock) ~(shards : int) (asn : Ids.asn) : t =
+    (* Construction-time validation; never on the per-packet path. *)
+    (* lint: allow hot-path-exn *)
     if shards < 1 then invalid_arg "Sharded_router.create: shards < 1";
     let mk _ =
       if monitoring then Router.create ?freshness_window ~secret ~clock asn
@@ -75,8 +79,10 @@ module Sharded_router = struct
   let shard_count (t : t) = Array.length t.shards
   let shard (t : t) (i : int) : Router.t = t.shards.(i)
 
-  (* Routers are stateless: any spreading works; use packet Ts. *)
+  (* Routers are stateless: any spreading works; use packet Ts. Shard
+     selection is load balancing, not authentication. *)
   let process_bytes (t : t) ~(raw : bytes) ~(payload_len : int) =
+    (* lint: allow poly-hash *)
     let i = abs (Hashtbl.hash (Bytes.length raw, Bytes.get raw 8)) mod Array.length t.shards in
     Router.process_bytes t.shards.(i) ~raw ~payload_len
 end

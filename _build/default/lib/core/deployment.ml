@@ -51,7 +51,7 @@ let create ?(policy_for = fun _ -> Cserv.default_policy) ?(router_monitoring = t
   let t = { topo; engine; nodes; seg_db } in
   Topology.ases topo
   |> List.iter (fun asn ->
-         let rng = Random.State.make [| seed; Hashtbl.hash (asn.Ids.isd, asn.Ids.num) |] in
+         let rng = Random.State.make [| seed; Ids.hash_asn asn |] in
          let cserv =
            Cserv.create ~policy:(policy_for asn) ~rng ~clock:clk ~topo asn
          in

@@ -27,29 +27,28 @@ type sub_service = {
 
 type t = {
   coordinator : Admission.Seg.t;
-  ingress : (Ids.iface, sub_service) Hashtbl.t;
-  egress : (Ids.iface, sub_service) Hashtbl.t;
+  ingress : sub_service Ids.Iface_tbl.t;
+  egress : sub_service Ids.Iface_tbl.t;
   (* The balancer's pinning of SegRs to sub-services. *)
-  pin : (Ids.res_key, sub_service) Hashtbl.t;
+  pin : sub_service Ids.Res_key_tbl.t;
 }
 
 let create ~(capacity : Ids.iface -> Bandwidth.t) ?share () : t =
   {
     coordinator = Admission.Seg.create ~capacity ?share ();
-    ingress = Hashtbl.create 16;
-    egress = Hashtbl.create 16;
-    pin = Hashtbl.create 1024;
+    ingress = Ids.Iface_tbl.create 16;
+    egress = Ids.Iface_tbl.create 16;
+    pin = Ids.Res_key_tbl.create 1024;
   }
 
 let coordinator (t : t) = t.coordinator
 
-let sub_service (tbl : (Ids.iface, sub_service) Hashtbl.t) (iface : Ids.iface) :
-    sub_service =
-  match Hashtbl.find_opt tbl iface with
+let sub_service (tbl : sub_service Ids.Iface_tbl.t) (iface : Ids.iface) : sub_service =
+  match Ids.Iface_tbl.find_opt tbl iface with
   | Some s -> s
   | None ->
       let s = { iface; admission = Admission.Eer.create (); handled = 0 } in
-      Hashtbl.replace tbl iface s;
+      Ids.Iface_tbl.replace tbl iface s;
       s
 
 (** The load balancer: EEReqs over SegR [segr_key] (which enters this
@@ -63,11 +62,11 @@ let sub_service (tbl : (Ids.iface, sub_service) Hashtbl.t) (iface : Ids.iface) :
     accounting exact without cross-service coordination). *)
 let service_for (t : t) ~(segr_key : Ids.res_key) ~(segr_ingress : Ids.iface) :
     sub_service =
-  match Hashtbl.find_opt t.pin segr_key with
+  match Ids.Res_key_tbl.find_opt t.pin segr_key with
   | Some s -> s
   | None ->
       let s = sub_service t.ingress segr_ingress in
-      Hashtbl.replace t.pin segr_key s;
+      Ids.Res_key_tbl.replace t.pin segr_key s;
       s
 
 (** EER admission, dispatched to the pinned sub-service. Same
@@ -86,6 +85,40 @@ let admit_eer (t : t) ~(key : Ids.res_key) ~(version : int)
         ~now
 
 let ingress_services (t : t) : (Ids.iface * int) list =
-  Hashtbl.fold (fun iface s acc -> (iface, s.handled) :: acc) t.ingress []
+  Ids.Iface_tbl.fold (fun iface s acc -> (iface, s.handled) :: acc) t.ingress []
 
-let service_count (t : t) = Hashtbl.length t.ingress + Hashtbl.length t.egress
+let service_count (t : t) = Ids.Iface_tbl.length t.ingress + Ids.Iface_tbl.length t.egress
+
+(** Audit the whole decomposed service: the coordinator's SegR
+    aggregates, every sub-service's EER aggregates, and the balancer's
+    pinning discipline (each pin points at the sub-service registered
+    under its interface; dispatch counters match the sub-service's
+    admission counters). [[]] means consistent. *)
+let audit (t : t) : string list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  List.iter (fun e -> err "coordinator: %s" e) (Admission.Seg.audit t.coordinator);
+  let audit_services what tbl =
+    Ids.Iface_tbl.iter
+      (fun iface s ->
+        if s.iface <> iface then
+          err "%s[%d]: registered under interface %d" what iface s.iface;
+        if s.handled <> Admission.Eer.admissions s.admission then
+          err "%s[%d]: dispatched %d requests but admission saw %d" what iface s.handled
+            (Admission.Eer.admissions s.admission);
+        List.iter (fun e -> err "%s[%d]: %s" what iface e) (Admission.Eer.audit s.admission))
+      tbl
+  in
+  audit_services "ingress" t.ingress;
+  audit_services "egress" t.egress;
+  Ids.Res_key_tbl.iter
+    (fun segr s ->
+      match Ids.Iface_tbl.find_opt t.ingress s.iface with
+      | Some s' when s' == s -> ()
+      | _ -> err "pin[%a]: not the sub-service registered for interface %d" Ids.pp_res_key segr s.iface)
+    t.pin;
+  !errs
+
+(** Deliberately corrupt the coordinator's aggregates so tests can
+    verify that {!audit} detects it. Never call outside tests. *)
+let corrupt_for_test (t : t) = Admission.Seg.corrupt_for_test t.coordinator

@@ -40,3 +40,15 @@ val ingress_services : t -> (Ids.iface * int) list
     handled. *)
 
 val service_count : t -> int
+
+val audit : t -> string list
+(** Audit the whole decomposed service: the coordinator's SegR
+    aggregates ({!Admission.Seg.audit}), every sub-service's EER
+    aggregates ({!Admission.Eer.audit}), and the balancer's pinning
+    discipline (each pin points at the sub-service registered under
+    its interface; dispatch counters match the sub-services' admission
+    counters). [[]] means consistent. *)
+
+val corrupt_for_test : t -> unit
+(** Deliberately corrupt the coordinator's aggregates so tests can
+    verify that {!audit} detects it. Never call outside tests. *)

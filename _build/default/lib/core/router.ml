@@ -183,7 +183,10 @@ let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
                 match t.duplicates with
                 | None -> true
                 | Some f ->
+                    (* Bloom indexing, not authentication: a collision
+                       costs one false-positive drop. *)
                     Monitor.Duplicate_filter.check_and_insert f ~now
+                      (* lint: allow poly-hash *)
                       (Hashtbl.hash
                          ( key.src_as.isd,
                            key.src_as.num,

@@ -39,11 +39,18 @@ module Secret = struct
     { asn; epoch; prf = Crypto.Prf.of_secret (Crypto.Prf.random_secret ~rng) }
 
   (** Deterministic variant used by benchmarks so that repeated runs
-      measure identical work. *)
+      measure identical work. The secret is derived with the project
+      PRF over a canonical byte encoding of [(asn, epoch)] keyed by the
+      seed — portable across OCaml versions, unlike the polymorphic
+      structural hash it replaces. *)
   let of_seed ~asn ~epoch ~seed =
-    let material = Bytes.create 16 in
-    Bytes.set_int64_be material 0 (Int64.of_int seed);
-    Bytes.set_int64_be material 8 (Int64.of_int (Hashtbl.hash (asn, epoch)));
+    let seed_key = Bytes.create 16 in
+    Bytes.set_int64_be seed_key 0 (Int64.of_int seed);
+    Bytes.set_int64_be seed_key 8 (Int64.lognot (Int64.of_int seed));
+    let input = Bytes.create 12 in
+    Bytes.blit (Ids.asn_to_bytes asn) 0 input 0 8;
+    Bytes.set_int32_be input 8 (Int32.of_int epoch);
+    let material = Crypto.Prf.derive (Crypto.Prf.of_secret seed_key) input in
     { asn; epoch; prf = Crypto.Prf.of_secret material }
 end
 
@@ -125,15 +132,15 @@ end
 (** Slow-side cache of fetched keys with epoch expiry. *)
 module Cache = struct
   type entry = { key : as_key; expires : Timebase.t }
-  type t = { owner : Ids.asn; clock : Timebase.clock; table : (Ids.asn, entry) Hashtbl.t }
+  type t = { owner : Ids.asn; clock : Timebase.clock; table : entry Ids.Asn_tbl.t }
 
-  let create ~clock owner = { owner; clock; table = Hashtbl.create 64 }
+  let create ~clock owner = { owner; clock; table = Ids.Asn_tbl.create 64 }
 
   let find (t : t) ~(fast : Ids.asn) : as_key option =
-    match Hashtbl.find_opt t.table fast with
+    match Ids.Asn_tbl.find_opt t.table fast with
     | Some e when Timebase.( < ) (t.clock ()) e.expires -> Some e.key
     | Some _ ->
-        Hashtbl.remove t.table fast;
+        Ids.Asn_tbl.remove t.table fast;
         None
     | None -> None
 
@@ -145,8 +152,8 @@ module Cache = struct
     | Some k -> k
     | None ->
         let key = fetch () in
-        Hashtbl.replace t.table fast { key; expires = Epoch.end_ key.epoch };
+        Ids.Asn_tbl.replace t.table fast { key; expires = Epoch.end_ key.epoch };
         key
 
-  let size (t : t) = Hashtbl.length t.table
+  let size (t : t) = Ids.Asn_tbl.length t.table
 end

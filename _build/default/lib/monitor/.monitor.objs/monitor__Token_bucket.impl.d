@@ -1,1 +1,1 @@
-lib/monitor/token_bucket.ml: Bandwidth Colibri_types Float Timebase
+lib/monitor/token_bucket.ml: Bandwidth Colibri_types Float Fmt Timebase

@@ -34,6 +34,8 @@ let bit_set b i =
     [fp_rate]. *)
 let create ~(expected : int) ~(fp_rate : float) ~(window : float) ~(now : float) : t =
   if expected <= 0 || fp_rate <= 0. || fp_rate >= 1. || window <= 0. then
+    (* Construction-time validation; never on the per-packet path. *)
+    (* lint: allow hot-path-exn *)
     invalid_arg "Duplicate_filter.create";
   let ln2 = Float.log 2. in
   let bits =
@@ -64,8 +66,12 @@ let maybe_rotate (t : t) ~now =
     t.inserted <- 0
   end
 
-(* Double hashing: h_i = h1 + i*h2, standard Bloom technique. *)
+(* Double hashing: h_i = h1 + i*h2, standard Bloom technique. The
+   seeded polymorphic hash is intentional here: Bloom indexing needs a
+   fast non-cryptographic spread, not authentication — a collision only
+   costs a bounded false-positive drop, never a forged acceptance. *)
 let indexes (t : t) (key : int) =
+  (* lint: allow poly-hash *)
   let h1 = Hashtbl.hash (key, 0x9e3779b9) and h2 = Hashtbl.hash (key, 0x85ebca6b) in
   let h2 = (h2 lor 1) land max_int in
   Array.init t.hashes (fun i -> abs (h1 + (i * h2)) mod t.bits)

@@ -38,6 +38,8 @@ type t = {
 let create ?(width = 4096) ?(depth = 4) ~(window : float) ~(threshold : float)
     ~(now : float) () : t =
   if width <= 0 || depth <= 0 || window <= 0. || threshold <= 0. then
+    (* Construction-time validation; never on the per-packet path. *)
+    (* lint: allow hot-path-exn *)
     invalid_arg "Ofd.create";
   {
     width;
@@ -59,7 +61,12 @@ let maybe_rotate (t : t) ~now =
     t.observed_packets <- 0
   end
 
+(* The seeded polymorphic hash is intentional here: count-min sketch
+   indexing needs a fast non-cryptographic spread, not authentication —
+   a collision only inflates an estimate (a false suspect escalated to
+   exact monitoring), never hides overuse. *)
 let slot (t : t) (key : Ids.res_key) (row : int) =
+  (* lint: allow poly-hash *)
   abs (Hashtbl.hash (key.src_as.isd, key.src_as.num, key.res_id, t.seeds.(row)))
   mod t.width
 
@@ -78,7 +85,10 @@ let estimate (t : t) (key : Ids.res_key) : float =
 let observe (t : t) ~(now : float) ~(key : Ids.res_key) ~(normalized : float) :
     [ `Ok | `Suspect ] =
   maybe_rotate t ~now;
-  if normalized < 0. then invalid_arg "Ofd.observe: negative normalized size";
+  (* Per-packet path: must not raise. A negative normalized size cannot
+     come from a well-formed packet (sizes and reserved bandwidths are
+     positive); clamp defensively instead of trusting the caller. *)
+  let normalized = Float.max 0. normalized in
   t.observed_packets <- t.observed_packets + 1;
   for row = 0 to t.depth - 1 do
     let i = slot t key row in

@@ -19,7 +19,10 @@ type t = {
     burst allowance in {e seconds at rate}: the bucket holds
     [rate * burst] bits. A typical value is 0.05–0.2 s. *)
 let create ~(rate : Bandwidth.t) ~(burst : float) ~(now : Timebase.t) : t =
+  (* Construction-time validation; never on the per-packet path. *)
+  (* lint: allow hot-path-exn *)
   if not (Bandwidth.is_positive rate) then invalid_arg "Token_bucket.create: rate <= 0";
+  (* lint: allow hot-path-exn *)
   if burst <= 0. then invalid_arg "Token_bucket.create: burst <= 0";
   let cap = Bandwidth.to_bps rate *. burst in
   { rate; burst = cap; tokens = cap; last = now }
@@ -52,3 +55,23 @@ let set_rate (t : t) ~(rate : Bandwidth.t) ~(now : Timebase.t) =
 
 let rate (t : t) = t.rate
 let available_bits (t : t) ~now = refill t ~now; t.tokens
+
+(** Check the bucket's state invariants: positive rate and capacity, a
+    fill within [0, capacity], and no NaN leaking into the counters the
+    per-flow monitor depends on (§4.8). [[]] means consistent. *)
+let audit (t : t) : string list =
+  let errs = ref [] in
+  let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
+  let rate_bps = Bandwidth.to_bps t.rate in
+  if not (Bandwidth.is_positive t.rate) then err "rate %.6g <= 0" rate_bps;
+  if not (t.burst > 0.) then err "burst capacity %.6g <= 0" t.burst;
+  if Float.is_nan t.tokens then err "token count is NaN";
+  if t.tokens < -1e-9 then err "token count %.6g < 0" t.tokens;
+  if t.tokens > t.burst +. 1e-6 *. Float.max 1. t.burst then
+    err "token count %.6g exceeds capacity %.6g" t.tokens t.burst;
+  if Float.is_nan t.last || Float.is_nan t.burst then err "non-finite refill state";
+  !errs
+
+(** Deliberately overfill the bucket so tests can verify that {!audit}
+    detects corruption. Never call outside tests. *)
+let corrupt_for_test (t : t) = t.tokens <- t.burst +. (2. *. Float.max 1. t.burst)

@@ -23,3 +23,12 @@ val set_rate : t -> rate:Bandwidth.t -> now:Timebase.t -> unit
 
 val rate : t -> Bandwidth.t
 val available_bits : t -> now:Timebase.t -> float
+
+val audit : t -> string list
+(** Check the bucket's state invariants: positive rate and capacity, a
+    fill within [0, capacity], and no NaN in the counters the per-flow
+    monitor depends on (§4.8). [[]] means consistent. *)
+
+val corrupt_for_test : t -> unit
+(** Deliberately overfill the bucket so tests can verify that {!audit}
+    detects corruption. Never call outside tests. *)

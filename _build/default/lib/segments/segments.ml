@@ -186,12 +186,12 @@ let intra_isd_beacons (topo : Topology.t) ~(core : Ids.asn) ~(db : Db.t)
    to [max_per_pair] simple core paths to every other core AS. *)
 let core_beacons (topo : Topology.t) ~(src_core : Ids.asn) ~(db : Db.t)
     ~(max_len : int) ~(max_per_pair : int) =
-  let found : (Ids.asn, int) Hashtbl.t = Hashtbl.create 16 in
+  let found : int Ids.Asn_tbl.t = Ids.Asn_tbl.create 16 in
   let rec dfs (path_rev : Path.hop list) (at : Ids.asn) (in_iface : Ids.iface) depth =
     if not (Ids.equal_asn at src_core) then begin
-      let n = Option.value ~default:0 (Hashtbl.find_opt found at) in
+      let n = Option.value ~default:0 (Ids.Asn_tbl.find_opt found at) in
       if n < max_per_pair then begin
-        Hashtbl.replace found at (n + 1);
+        Ids.Asn_tbl.replace found at (n + 1);
         let path =
           List.rev (Path.hop ~asn:at ~ingress:in_iface ~egress:Ids.local_iface :: path_rev)
         in

@@ -1,1 +1,1 @@
-lib/topology/topology_gen.ml: Bandwidth Colibri_types Hashtbl Ids List Option Path Random Topology
+lib/topology/topology_gen.ml: Bandwidth Colibri_types Ids List Option Path Random Topology

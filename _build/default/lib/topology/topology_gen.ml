@@ -109,10 +109,10 @@ let random ~(rng : Random.State.t) ~(isds : int) ~(cores : int) ~(leaves : int) 
     Topology.t =
   if isds < 1 || cores < 1 || leaves < 0 then invalid_arg "Topology_gen.random";
   let t = Topology.create () in
-  let iface_counters : (Ids.asn, int) Hashtbl.t = Hashtbl.create 97 in
+  let iface_counters : int Ids.Asn_tbl.t = Ids.Asn_tbl.create 97 in
   let fresh_iface asn =
-    let v = Option.value ~default:0 (Hashtbl.find_opt iface_counters asn) + 1 in
-    Hashtbl.replace iface_counters asn v;
+    let v = Option.value ~default:0 (Ids.Asn_tbl.find_opt iface_counters asn) + 1 in
+    Ids.Asn_tbl.replace iface_counters asn v;
     v
   in
   let cap () = gbps (10. +. (90. *. Random.State.float rng 1.)) in

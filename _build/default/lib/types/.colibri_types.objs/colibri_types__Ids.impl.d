@@ -1,1 +1,1 @@
-lib/types/ids.ml: Bytes Fmt Hashtbl Int32 Map Set
+lib/types/ids.ml: Bytes Fmt Hashtbl Int Int32 List Map Set

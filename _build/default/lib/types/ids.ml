@@ -45,6 +45,22 @@ let compare_res_key (a : res_key) (b : res_key) =
 
 let equal_res_key a b = compare_res_key a b = 0
 
+(* FNV-1a-style mixing over the integer components: the hash primitive
+   for the keyed tables below, and the single place the lint rule
+   [poly-hash] funnels every composite-key hash through. *)
+let hash_mix (h : int) (k : int) : int =
+  let h = (h lxor (k land 0xffff)) * 0x01000193 in
+  let h = (h lxor ((k lsr 16) land 0xffff)) * 0x01000193 in
+  (h lxor (k lsr 32)) * 0x01000193
+
+let hash_fold ints = List.fold_left hash_mix 0x811c9dc5 ints land max_int
+
+let hash_iface (i : iface) = hash_fold [ i ]
+
+(* [hash_asn]/[hash_res_key] keep the seed implementation (structural
+   hash of the integer components — this module is the one place the
+   lint rule permits it): long-standing simulation traces depend on
+   the iteration order of [Asn_tbl]/[Res_key_tbl]. *)
 let hash_asn (a : asn) = Hashtbl.hash (a.isd, a.num)
 let hash_res_key (k : res_key) = Hashtbl.hash (k.src_as.isd, k.src_as.num, k.res_id)
 
@@ -96,4 +112,54 @@ module Res_key_tbl = Hashtbl.Make (struct
 
   let equal = equal_res_key
   let hash = hash_res_key
+end)
+
+(* Keyed hash tables for every composite key used on the admission and
+   data-plane hot paths. The lint rule [poly-hash] forbids polymorphic
+   [Hashtbl.t] over identifier types outside this module, so each key
+   shape gets a functor instance here. *)
+
+module Iface_tbl = Hashtbl.Make (struct
+  type t = iface
+
+  let equal (a : iface) (b : iface) = Int.equal a b
+  let hash = hash_iface
+end)
+
+module Iface_pair_tbl = Hashtbl.Make (struct
+  type t = iface * iface
+
+  let equal (a1, a2) (b1, b2) = Int.equal a1 b1 && Int.equal a2 b2
+  let hash (i, j) = hash_fold [ i; j ]
+end)
+
+module Src_egress_tbl = Hashtbl.Make (struct
+  type t = asn * iface
+
+  let equal (a, i) (b, j) = equal_asn a b && Int.equal i j
+  let hash ((a, i) : t) = hash_fold [ a.isd; a.num; i ]
+end)
+
+module Res_ver_tbl = Hashtbl.Make (struct
+  type t = res_key * int
+
+  let equal (k1, v1) (k2, v2) = equal_res_key k1 k2 && Int.equal v1 v2
+  let hash ((k, v) : t) = hash_fold [ k.src_as.isd; k.src_as.num; k.res_id; v ]
+end)
+
+module Res_pair_tbl = Hashtbl.Make (struct
+  type t = res_key * res_key
+
+  let equal (a1, a2) (b1, b2) = equal_res_key a1 b1 && equal_res_key a2 b2
+
+  let hash ((a, b) : t) =
+    hash_fold
+      [ a.src_as.isd; a.src_as.num; a.res_id; b.src_as.isd; b.src_as.num; b.res_id ]
+end)
+
+module Asn_pair_tbl = Hashtbl.Make (struct
+  type t = asn * asn
+
+  let equal (a1, a2) (b1, b2) = equal_asn a1 b1 && equal_asn a2 b2
+  let hash ((a, b) : t) = hash_fold [ a.isd; a.num; b.isd; b.num ]
 end)

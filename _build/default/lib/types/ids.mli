@@ -35,6 +35,14 @@ val equal_res_key : res_key -> res_key -> bool
 val hash_asn : asn -> int
 val hash_res_key : res_key -> int
 
+val hash_iface : iface -> int
+
+val hash_fold : int list -> int
+(** FNV-1a-style mixing over integer components — the only hash
+    primitive identifier keys may use. Unlike the polymorphic
+    [Hashtbl.hash] it is stable across OCaml versions and record
+    layouts; every keyed table below is built on it. *)
+
 val pp_asn : asn Fmt.t
 val pp_host : host Fmt.t
 val pp_res_key : res_key Fmt.t
@@ -50,3 +58,15 @@ module Asn_set : Set.S with type elt = asn
 module Res_key_map : Map.S with type key = res_key
 module Asn_tbl : Hashtbl.S with type key = asn
 module Res_key_tbl : Hashtbl.S with type key = res_key
+
+(** Keyed hash tables for the composite keys used on the admission and
+    data-plane hot paths. The lint rule [poly-hash] forbids polymorphic
+    [Hashtbl.t] over identifier types outside {!Ids}; use these
+    instead. *)
+
+module Iface_tbl : Hashtbl.S with type key = iface
+module Iface_pair_tbl : Hashtbl.S with type key = iface * iface
+module Src_egress_tbl : Hashtbl.S with type key = asn * iface
+module Res_ver_tbl : Hashtbl.S with type key = res_key * int
+module Res_pair_tbl : Hashtbl.S with type key = res_key * res_key
+module Asn_pair_tbl : Hashtbl.S with type key = asn * asn

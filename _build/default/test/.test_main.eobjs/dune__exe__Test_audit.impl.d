@@ -1,0 +1,1 @@
+test/test_audit.ml: Admission Alcotest Bandwidth Colibri Colibri_types Distributed Fmt Ids List Monitor QCheck2 QCheck_alcotest Random

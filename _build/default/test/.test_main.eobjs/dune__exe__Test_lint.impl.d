@@ -1,0 +1,1 @@
+test/test_lint.ml: Alcotest Astring Fmt Lint List Printf Sys

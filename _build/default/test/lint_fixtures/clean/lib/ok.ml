@@ -1,0 +1,10 @@
+(* Fixture: must trigger nothing. Mentions of Hashtbl.hash, failwith,
+   Bytes.equal and Unix.gettimeofday in comments or strings are masked,
+   and pragma-annotated intentional uses are allowed. *)
+
+let doc = "Hashtbl.hash Bytes.equal failwith Unix.gettimeofday"
+
+(* lint: allow poly-hash *)
+let seeded_bucket key ~width = Hashtbl.hash (key, 0x9e3779b9) mod width
+
+let also_allowed key = Hashtbl.hash key (* lint: allow poly-hash *)

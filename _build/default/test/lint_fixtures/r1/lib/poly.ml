@@ -1,0 +1,6 @@
+(* Fixture: must trigger [poly-hash] (R1) — polymorphic hashing of
+   reservation-key types, and a polymorphic table keyed by them. *)
+
+type cache = { slots : (Ids.res_key, int) Hashtbl.t }
+
+let bucket (asn : Ids.asn) ~width = Hashtbl.hash asn mod width

@@ -1,0 +1,4 @@
+(* Fixture: must trigger [nondet] (R5) — wall-clock time leaking into
+   lib/ breaks simulation determinism. *)
+
+let now () = Unix.gettimeofday ()

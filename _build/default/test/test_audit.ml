@@ -1,0 +1,270 @@
+(** Randomized invariant auditing: drive the memoizing admission
+    structures ({!Admission.Seg}, {!Admission.Eer}, {!Distributed}) and
+    the monitor's {!Monitor.Token_bucket} through QCheck-generated
+    admit/renew/remove/expire sequences, and after {e every} single
+    operation recompute all memoized aggregates from scratch via
+    [audit] — any drift between the incremental state and the
+    recomputed truth fails the property. Separate unit tests check
+    that a deliberately corrupted aggregate is detected. *)
+
+open Colibri_types
+open Colibri
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+let asn n = Ids.asn ~isd:1 ~num:n
+let key src id : Ids.res_key = { src_as = asn src; res_id = id }
+
+let check_clean what errs =
+  match errs with
+  | [] -> true
+  | errs ->
+      QCheck2.Test.fail_reportf "%s audit found drift:@.%a" what
+        Fmt.(list ~sep:(any "@.") string)
+        errs
+
+(* --- Admission.Seg ------------------------------------------------- *)
+
+(* Heterogeneous capacities so the three demand-adjustment layers
+   (ingress cap, tube cap, per-source cap) all actually bind. *)
+let seg_capacity iface = gbps (float_of_int (2 + (iface mod 3)))
+
+let run_seg_sequence seed =
+  let rng = Random.State.make [| seed; 0xA0D17 |] in
+  let t = Admission.Seg.create ~capacity:seg_capacity ~share:0.8 () in
+  let live = ref [] in
+  for step = 1 to 50 do
+    let now = float_of_int step in
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 ->
+        (* Admit: strictly positive demand, small key space so renewals
+           (same key, higher version) and collisions are common. *)
+        let k = key (1 + Random.State.int rng 5) (1 + Random.State.int rng 8) in
+        let version = 1 + Random.State.int rng 3 in
+        let demand = mbps (1. +. Random.State.float rng 3000.) in
+        (match
+           Admission.Seg.admit t ~key:k ~version
+             ~src:(asn (1 + Random.State.int rng 4))
+             ~ingress:(1 + Random.State.int rng 3)
+             ~egress:(1 + Random.State.int rng 3)
+             ~demand
+             ~min_bw:(mbps (Random.State.float rng 5.))
+             ~exp_time:(now +. 100.) ~now
+         with
+        | Admission.Granted _ -> live := (k, version) :: !live
+        | Admission.Denied _ -> ())
+    | 6 | 7 -> (
+        (* Renewal backward pass: shrink a live grant to the path-wide
+           minimum (a fraction of the local grant). *)
+        match !live with
+        | [] -> ()
+        | l ->
+            let k, version = List.nth l (Random.State.int rng (List.length l)) in
+            (match Admission.Seg.granted_of t ~key:k ~version with
+            | Some g ->
+                let granted =
+                  Bandwidth.scale (0.1 +. Random.State.float rng 0.9) g
+                in
+                ignore (Admission.Seg.set_granted t ~key:k ~version ~granted)
+            | None -> ()))
+    | 8 -> (
+        (* Cleanup of a live version. *)
+        match !live with
+        | [] -> ()
+        | l ->
+            let k, version = List.nth l (Random.State.int rng (List.length l)) in
+            Admission.Seg.remove t ~key:k ~version;
+            live := List.filter (fun e -> e <> (k, version)) !live)
+    | _ ->
+        (* Remove of a (likely) absent version must be a clean no-op. *)
+        Admission.Seg.remove t
+          ~key:(key (1 + Random.State.int rng 9) (1 + Random.State.int rng 20))
+          ~version:(1 + Random.State.int rng 3));
+    ignore (check_clean "Seg" (Admission.Seg.audit t))
+  done;
+  true
+
+let prop_seg_audit_clean =
+  QCheck2.Test.make ~name:"seg: audit stays empty under random sequences"
+    ~count:200
+    QCheck2.Gen.(1 -- 1_000_000)
+    run_seg_sequence
+
+(* --- Admission.Eer ------------------------------------------------- *)
+
+let run_eer_sequence seed =
+  let rng = Random.State.make [| seed; 0xEE12 |] in
+  let t = Admission.Eer.create () in
+  let segr i : Ids.res_key = { src_as = asn (100 + i); res_id = i } in
+  let now = ref 0. in
+  for _step = 1 to 50 do
+    now := !now +. Random.State.float rng 3.;
+    let flow = key (1 + Random.State.int rng 6) (1 + Random.State.int rng 12) in
+    let version = 1 + Random.State.int rng 3 in
+    (match Random.State.int rng 10 with
+    | 0 | 1 | 2 | 3 | 4 | 5 | 6 ->
+        let s1 = segr (1 + Random.State.int rng 3) in
+        let segrs =
+          if Random.State.bool rng then [ (s1, gbps 1.) ]
+          else [ (s1, gbps 1.); (segr 4, gbps 2.) ]
+        in
+        let via_up =
+          (* Transfer-AS admission: a core SegR shared between up-SegRs
+             (§4.7), exercising the pair-competition aggregates. *)
+          if Random.State.int rng 3 = 0 then
+            Some (segr 9, segr (1 + Random.State.int rng 2), gbps 1.)
+          else None
+        in
+        ignore
+          (Admission.Eer.admit
+             ~partial:(Random.State.bool rng)
+             t ~key:flow ~version ~segrs ~via_up
+             ~demand:(mbps (1. +. Random.State.float rng 400.))
+             ~exp_time:(!now +. Random.State.float rng 20.)
+             ~now:!now)
+    | 7 | 8 ->
+        (* Failed-setup cleanup: also hits absent (key, version). *)
+        Admission.Eer.remove_version t ~key:flow ~version ~now:!now
+    | _ ->
+        (* Let time pass so versions expire (step + expiry is the
+           "expire" op of the sequence). *)
+        now := !now +. 25.);
+    ignore (check_clean "Eer" (Admission.Eer.audit t))
+  done;
+  true
+
+let prop_eer_audit_clean =
+  QCheck2.Test.make ~name:"eer: audit stays empty under random sequences"
+    ~count:200
+    QCheck2.Gen.(1 -- 1_000_000)
+    run_eer_sequence
+
+(* --- Distributed --------------------------------------------------- *)
+
+let run_distributed_sequence seed =
+  let rng = Random.State.make [| seed; 0xD157 |] in
+  let t = Distributed.create ~capacity:seg_capacity () in
+  let segr i : Ids.res_key = { src_as = asn (100 + i); res_id = i } in
+  for step = 1 to 40 do
+    let now = float_of_int step in
+    let ingress = 1 + Random.State.int rng 4 in
+    let s = segr (1 + Random.State.int rng 5) in
+    ignore
+      (Distributed.admit_eer t
+         ~key:(key (1 + Random.State.int rng 6) step)
+         ~version:(1 + Random.State.int rng 2)
+         ~segrs:[ (s, gbps 1.) ]
+         ~via_up:None ~segr_ingress:ingress
+         ~demand:(mbps (1. +. Random.State.float rng 200.))
+         ~exp_time:(now +. 30.) ~now);
+    ignore (check_clean "Distributed" (Distributed.audit t))
+  done;
+  true
+
+let prop_distributed_audit_clean =
+  QCheck2.Test.make ~name:"distributed: audit stays empty under random sequences"
+    ~count:150
+    QCheck2.Gen.(1 -- 1_000_000)
+    run_distributed_sequence
+
+(* --- Monitor.Token_bucket ------------------------------------------ *)
+
+let run_bucket_sequence seed =
+  let rng = Random.State.make [| seed; 0xB0C4E7 |] in
+  let rate = mbps (10. +. Random.State.float rng 990.) in
+  let burst = 0.05 +. Random.State.float rng 0.15 in
+  let b = Monitor.Token_bucket.create ~rate ~burst ~now:0. in
+  let now = ref 0. in
+  for _ = 1 to 60 do
+    now := !now +. Random.State.float rng 0.01;
+    (if Random.State.int rng 12 = 0 then
+       Monitor.Token_bucket.set_rate b
+         ~rate:(mbps (10. +. Random.State.float rng 990.))
+         ~now:!now
+     else
+       ignore
+         (Monitor.Token_bucket.admit b ~now:!now
+            ~bytes:(Random.State.int rng 3000)));
+    ignore (check_clean "Token_bucket" (Monitor.Token_bucket.audit b))
+  done;
+  true
+
+let prop_bucket_audit_clean =
+  QCheck2.Test.make ~name:"token bucket: audit stays empty under random sequences"
+    ~count:150
+    QCheck2.Gen.(1 -- 1_000_000)
+    run_bucket_sequence
+
+(* --- Corruption detection ------------------------------------------ *)
+
+let corrupted_is_caught name audit corrupt apply_workload () =
+  let errs_before = audit () in
+  Alcotest.(check (list string)) (name ^ ": clean after workload") [] errs_before;
+  apply_workload ();
+  Alcotest.(check (list string)) (name ^ ": still clean") [] (audit ());
+  corrupt ();
+  Alcotest.(check bool)
+    (name ^ ": corruption detected")
+    true
+    (audit () <> [])
+
+let seg_detects_corruption () =
+  let t = Admission.Seg.create ~capacity:seg_capacity () in
+  corrupted_is_caught "seg"
+    (fun () -> Admission.Seg.audit t)
+    (fun () -> Admission.Seg.corrupt_for_test t)
+    (fun () ->
+      ignore
+        (Admission.Seg.admit t ~key:(key 1 1) ~version:1 ~src:(asn 1) ~ingress:1
+           ~egress:2 ~demand:(mbps 100.) ~min_bw:(mbps 1.) ~exp_time:100.
+           ~now:0.))
+    ()
+
+let eer_detects_corruption () =
+  let t = Admission.Eer.create () in
+  corrupted_is_caught "eer"
+    (fun () -> Admission.Eer.audit t)
+    (fun () -> Admission.Eer.corrupt_for_test t)
+    (fun () ->
+      ignore
+        (Admission.Eer.admit t ~key:(key 1 1) ~version:1
+           ~segrs:[ (key 100 1, gbps 1.) ]
+           ~via_up:None ~demand:(mbps 10.) ~exp_time:16. ~now:0.))
+    ()
+
+let distributed_detects_corruption () =
+  let t = Distributed.create ~capacity:seg_capacity () in
+  corrupted_is_caught "distributed"
+    (fun () -> Distributed.audit t)
+    (fun () -> Distributed.corrupt_for_test t)
+    (fun () ->
+      ignore
+        (Distributed.admit_eer t ~key:(key 1 1) ~version:1
+           ~segrs:[ (key 100 1, gbps 1.) ]
+           ~via_up:None ~segr_ingress:1 ~demand:(mbps 10.) ~exp_time:16.
+           ~now:0.))
+    ()
+
+let bucket_detects_corruption () =
+  let b = Monitor.Token_bucket.create ~rate:(mbps 100.) ~burst:0.1 ~now:0. in
+  corrupted_is_caught "token bucket"
+    (fun () -> Monitor.Token_bucket.audit b)
+    (fun () -> Monitor.Token_bucket.corrupt_for_test b)
+    (fun () -> ignore (Monitor.Token_bucket.admit b ~now:0.001 ~bytes:100))
+    ()
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_seg_audit_clean;
+    QCheck_alcotest.to_alcotest prop_eer_audit_clean;
+    QCheck_alcotest.to_alcotest prop_distributed_audit_clean;
+    QCheck_alcotest.to_alcotest prop_bucket_audit_clean;
+    Alcotest.test_case "seg: corrupt_for_test is detected" `Quick
+      seg_detects_corruption;
+    Alcotest.test_case "eer: corrupt_for_test is detected" `Quick
+      eer_detects_corruption;
+    Alcotest.test_case "distributed: corrupt_for_test is detected" `Quick
+      distributed_detects_corruption;
+    Alcotest.test_case "token bucket: corrupt_for_test is detected" `Quick
+      bucket_detects_corruption;
+  ]

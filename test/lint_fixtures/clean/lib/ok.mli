@@ -1,0 +1,3 @@
+val doc : string
+val seeded_bucket : int -> width:int -> int
+val also_allowed : int -> int

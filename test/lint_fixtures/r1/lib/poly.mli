@@ -1,0 +1,3 @@
+type cache
+
+val bucket : Ids.asn -> width:int -> int

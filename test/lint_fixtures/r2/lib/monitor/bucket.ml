@@ -1,0 +1,6 @@
+(* Fixture: must trigger [hot-path-exn] (R2) — raising on the
+   per-packet path of a monitor module. *)
+
+let admit tokens ~need =
+  if need < 0 then invalid_arg "bucket: negative packet size";
+  tokens >= need

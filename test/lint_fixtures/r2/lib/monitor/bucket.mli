@@ -1,0 +1,1 @@
+val admit : float -> need:float -> bool

@@ -1,0 +1,4 @@
+(* Fixture: must trigger [mac-compare] (R3) — variable-time comparison
+   of authenticator bytes outside lib/crypto. *)
+
+let tag_ok ~(expected : bytes) ~(got : bytes) = Bytes.equal expected got

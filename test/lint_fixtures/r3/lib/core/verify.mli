@@ -1,0 +1,1 @@
+val tag_ok : expected:bytes -> got:bytes -> bool

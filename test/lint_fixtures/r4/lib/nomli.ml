@@ -1,0 +1,4 @@
+(* Fixture: must trigger [missing-mli] (R4) — a lib module without an
+   interface file. The body itself is clean. *)
+
+let answer = 42

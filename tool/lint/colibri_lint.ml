@@ -1,0 +1,5 @@
+(* colibri-lint entry point: [colibri_lint <dir>...] — typically
+   [colibri_lint lib bin bench] from the repository root, as wired into
+   [dune build @lint] and [dune runtest]. *)
+
+let () = exit (Lint.run_cli (List.tl (Array.to_list Sys.argv)))
