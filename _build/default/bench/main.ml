@@ -18,6 +18,35 @@
 let quick = Array.exists (fun a -> a = "--quick") Sys.argv
 
 (* ------------------------------------------------------------------ *)
+(* Metrics export: every benchmark records the telemetry snapshots of   *)
+(* its rigs (DESIGN.md §7); the collected sections are written as one   *)
+(* JSON object next to the timing output when the run finishes.         *)
+(* ------------------------------------------------------------------ *)
+
+let metric_sections : (string * Obs.snapshot) list ref = ref []
+
+let record_metrics (name : string) (snap : Obs.snapshot) =
+  metric_sections := (name, snap) :: !metric_sections
+
+let write_metrics () =
+  match List.rev !metric_sections with
+  | [] -> ()
+  | sections ->
+      let path = "colibri-metrics.json" in
+      let oc = open_out path in
+      output_string oc "{";
+      List.iteri
+        (fun i (name, snap) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "%S:%s" name (Obs.to_json snap))
+        sections;
+      output_string oc "}\n";
+      close_out oc;
+      Printf.printf "\nMetrics snapshot written to %s (%d section%s)\n" path
+        (List.length sections)
+        (if List.length sections = 1 then "" else "s")
+
+(* ------------------------------------------------------------------ *)
 (* Fig. 3: SegR admission latency.                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -89,6 +118,7 @@ let fig5 () =
   Printf.printf "%-10s" "#ASes";
   List.iter (fun r -> Printf.printf "r=2^%-10.0f" (Float.round (log (float_of_int r) /. log 2.))) r_values;
   print_newline ();
+  let last_snap = ref [] in
   List.iter
     (fun path_len ->
       Printf.printf "%-10d" path_len;
@@ -97,11 +127,13 @@ let fig5 () =
           let rig = Workloads.gateway_rig ~path_len ~reservations () in
           let rate = Measure.throughput ~n:sends rig.send in
           Printf.printf "%9.4f Mpps " (Measure.mpps rate);
+          last_snap := Obs.Registry.snapshot (Colibri.Gateway.metrics rig.gateway);
           (* Encourage prompt release of the big tables. *)
           Gc.compact ())
         r_values;
       print_newline ())
     path_lens;
+  record_metrics "fig5/gateway" !last_snap;
   print_newline ();
   Printf.printf
     "Paper shape: decreasing in path length (more MACs) and in r (cache misses);\n\
@@ -121,6 +153,9 @@ let fig6 () =
   let gw_rate = Measure.throughput ~n:sends gw_rig.send in
   let br_rig = Workloads.router_rig ~path_len:4 ~distinct_packets:4096 () in
   let br_rate = Measure.throughput ~n:sends br_rig.process in
+  record_metrics "fig6/gateway" (Obs.Registry.snapshot (Colibri.Gateway.metrics gw_rig.gateway));
+  record_metrics "fig6/border_router"
+    (Obs.Registry.snapshot (Colibri.Router.metrics br_rig.router));
   (* Sharding overhead: route the send through the sharded dispatcher
      and compare; the shards are shared-nothing, so k cores run k
      dispatch-free shards in parallel (DESIGN.md §3: this container has
@@ -236,6 +271,7 @@ let doc () =
     "§5.3 DoC: control-message latency (ms) under best-effort link floods";
   let gbps = Colibri_types.Bandwidth.of_gbps in
   let flood_factors = [ 0.; 0.5; 1.; 2.; 4. ] in
+  let cn_snaps = ref [] in
   Printf.printf "%-14s %-22s %-22s\n" "flood [x cap]" "prioritized control"
     "unprotected (BE)";
   List.iter
@@ -265,6 +301,7 @@ let doc () =
           Colibri.Control_net.measure_latency cn ~route ~cls ~bytes:500 ~timeout:2.0
         in
         Option.iter Net.Source.stop flood_src;
+        cn_snaps := Obs.Registry.snapshot (Colibri.Control_net.metrics cn) :: !cn_snaps;
         r
       in
       let show = function
@@ -277,7 +314,8 @@ let doc () =
     flood_factors;
   Printf.printf
     "\nPrioritized control traffic (App. B) is flood-immune; naive best-effort\n\
-     requests starve once the link saturates - the DoC attack of §5.3.\n"
+     requests starve once the link saturates - the DoC attack of §5.3.\n";
+  record_metrics "doc/control_net" (Obs.merge !cn_snaps)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure.           *)
@@ -361,7 +399,7 @@ let () =
   let requested =
     Array.to_list Sys.argv |> List.tl |> List.filter (fun a -> a <> "--quick")
   in
-  match requested with
+  (match requested with
   | [] -> all ()
   | names ->
       List.iter
@@ -372,4 +410,5 @@ let () =
               Printf.eprintf "unknown benchmark %S; available: %s\n" name
                 (String.concat ", " (List.map fst cmds));
               exit 1)
-        names
+        names);
+  write_metrics ()

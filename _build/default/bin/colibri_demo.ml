@@ -191,7 +191,17 @@ let reserve_cmd =
           | Error e -> Fmt.pr "  gateway: %a@." Gateway.pp_drop_reason e
         done;
         Fmt.pr "%d/%d packets delivered across %d border routers each.@." !delivered
-          packets (Path.length eer.path)
+          packets (Path.length eer.path);
+        (* Exit telemetry (DESIGN.md §7): the source gateway's and the
+           first transit router's drop accounting for this run. *)
+        Fmt.pr "@.Gateway metrics (%a):@.%a@." Ids.pp_asn src Obs.pp_text
+          (Obs.Registry.snapshot (Gateway.metrics (Deployment.gateway deployment src)));
+        (match eer.path with
+        | _ :: (second : Path.hop) :: _ ->
+            Fmt.pr "@.Router metrics (%a):@.%a@." Ids.pp_asn second.asn Obs.pp_text
+              (Obs.Registry.snapshot
+                 (Router.metrics (Deployment.router deployment second.asn)))
+        | _ -> ())
   in
   Cmd.v
     (Cmd.info "reserve"
@@ -253,7 +263,14 @@ let attack_cmd =
       !forwarded !policed st.suspects_flagged st.confirmed_overuse;
     if st.confirmed_overuse > 0 then
       Fmt.pr "Future reservations from %a are now denied at the transit AS.@."
-        Ids.pp_asn G.t
+        Ids.pp_asn G.t;
+    (* Exit telemetry (DESIGN.md §7): the rogue gateway never drops (its
+       bucket is sabotaged); the transit router's counters carry the
+       policing story told above. *)
+    Fmt.pr "@.Rogue gateway metrics:@.%a@." Obs.pp_text
+      (Obs.Registry.snapshot (Gateway.metrics rogue));
+    Fmt.pr "@.Transit router metrics:@.%a@." Obs.pp_text
+      (Obs.Registry.snapshot (Router.metrics transit))
   in
   Cmd.v
     (Cmd.info "attack" ~doc:"Run the reservation-overuse attack and watch policing.")

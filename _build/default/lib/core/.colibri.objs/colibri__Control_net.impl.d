@@ -1,1 +1,1 @@
-lib/core/control_net.ml: Bandwidth Colibri_topology Colibri_types Ids List Net Topology
+lib/core/control_net.ml: Bandwidth Colibri_topology Colibri_types Ids List Net Obs Topology

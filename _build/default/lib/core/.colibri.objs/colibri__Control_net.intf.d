@@ -1,1 +1,1 @@
-lib/core/control_net.mli: Bandwidth Colibri_topology Colibri_types Ids Net Topology
+lib/core/control_net.mli: Bandwidth Colibri_topology Colibri_types Ids Net Obs Topology

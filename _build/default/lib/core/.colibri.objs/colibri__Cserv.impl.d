@@ -1,1 +1,1 @@
-lib/core/cserv.ml: Admission Bandwidth Colibri_topology Colibri_types Crypto Drkey Fmt Fun Hvf Ids List Option Packet Path Protocol Reservation Timebase Topology
+lib/core/cserv.ml: Admission Bandwidth Colibri_topology Colibri_types Crypto Drkey Fmt Fun Hvf Ids List Obs Option Packet Path Protocol Reservation Timebase Topology

@@ -1,1 +1,1 @@
-lib/core/cserv.mli: Admission Bandwidth Colibri_topology Colibri_types Drkey Hvf Ids Packet Path Protocol Random Reservation Timebase Topology
+lib/core/cserv.mli: Admission Bandwidth Colibri_topology Colibri_types Drkey Hvf Ids Obs Packet Path Protocol Random Reservation Timebase Topology

@@ -1,1 +1,1 @@
-lib/core/dataplane_shard.ml: Array Bytes Colibri_types Gateway Hashtbl Hvf Ids Packet Reservation Router Timebase
+lib/core/dataplane_shard.ml: Array Bytes Char Colibri_types Gateway Hashtbl Hvf Ids Obs Packet Reservation Router Timebase

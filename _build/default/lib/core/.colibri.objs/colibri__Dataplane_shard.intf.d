@@ -1,1 +1,1 @@
-lib/core/dataplane_shard.mli: Colibri_types Gateway Hvf Ids Packet Reservation Router Timebase
+lib/core/dataplane_shard.mli: Colibri_types Gateway Hvf Ids Obs Packet Reservation Router Timebase

@@ -1,1 +1,1 @@
-lib/core/gateway.ml: Array Colibri_types Fmt Hashtbl Hvf Ids List Monitor Packet Path Reservation Timebase
+lib/core/gateway.ml: Array Colibri_types Fmt Hashtbl Hvf Ids List Monitor Obs Packet Path Reservation Timebase

@@ -1,1 +1,1 @@
-lib/core/gateway.mli: Colibri_types Fmt Hvf Ids Packet Reservation Timebase
+lib/core/gateway.mli: Colibri_types Fmt Hvf Ids Obs Packet Reservation Timebase

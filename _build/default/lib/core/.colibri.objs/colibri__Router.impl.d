@@ -1,1 +1,1 @@
-lib/core/router.ml: Array Bandwidth Bytes Colibri_types Float Fmt Hashtbl Hvf Ids Monitor Option Packet Path Timebase
+lib/core/router.ml: Array Bandwidth Bytes Colibri_types Float Fmt Hashtbl Hvf Ids Monitor Obs Option Packet Path Timebase

@@ -1,1 +1,1 @@
-lib/core/router.mli: Bandwidth Colibri_types Fmt Hvf Ids Monitor Packet Timebase
+lib/core/router.mli: Bandwidth Colibri_types Fmt Hvf Ids Monitor Obs Packet Timebase

@@ -28,6 +28,15 @@ open Colibri_topology
 
 type message = { bytes : int; deliver : unit -> unit }
 
+(* Round-trip accounting (DESIGN.md §7): sent vs. delivered exposes
+   the DoC loss rate directly; the difference is tail-dropped
+   messages. *)
+type metrics = {
+  m_sent : Obs.Counter.t;
+  m_delivered : Obs.Counter.t;
+  m_flood_packets : Obs.Counter.t;
+}
+
 type t = {
   engine : Net.Engine.t;
   topo : Topology.t;
@@ -35,6 +44,8 @@ type t = {
   links : message Net.Link.t Ids.Asn_pair_tbl.t;
   scheduler : Net.Link.scheduler;
   delay : float;
+  registry : Obs.Registry.t;
+  metrics : metrics;
 }
 
 let link_key (a : Ids.asn) (b : Ids.asn) = (a, b)
@@ -43,8 +54,21 @@ let link_key (a : Ids.asn) (b : Ids.asn) = (a, b)
     to the strict-priority queuing of Appendix B; [delay] is the
     per-link propagation delay. *)
 let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
-    ~(engine : Net.Engine.t) (topo : Topology.t) : t =
-  let t = { engine; topo; links = Ids.Asn_pair_tbl.create 64; scheduler; delay } in
+    ?(registry = Obs.Registry.create ()) ~(engine : Net.Engine.t) (topo : Topology.t)
+    : t =
+  let metrics =
+    {
+      m_sent = Obs.Registry.counter registry "control_net_messages_sent_total";
+      m_delivered =
+        Obs.Registry.counter registry "control_net_messages_delivered_total";
+      m_flood_packets =
+        Obs.Registry.counter registry "control_net_flood_packets_total";
+    }
+  in
+  let t =
+    { engine; topo; links = Ids.Asn_pair_tbl.create 64; scheduler; delay;
+      registry; metrics }
+  in
   Topology.ases topo
   |> List.iter (fun asn ->
          Topology.links topo asn
@@ -61,6 +85,8 @@ let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
 let link (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : message Net.Link.t option =
   Ids.Asn_pair_tbl.find_opt t.links (link_key src dst)
 
+let metrics (t : t) = t.registry
+
 (** Inject best-effort background traffic on the [src → dst] link — the
     flooding adversary of §5.3. Returns the source so tests can stop
     it. *)
@@ -71,6 +97,7 @@ let flood (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(rate : Bandwidth.t)
   | Some l ->
       let s =
         Net.Source.create ~engine:t.engine ~rate ~packet_bytes ~emit:(fun bytes ->
+            Obs.Counter.incr t.metrics.m_flood_packets;
             Net.Link.send l ~bytes ~cls:Net.Traffic_class.Best_effort
               { bytes; deliver = ignore })
       in
@@ -84,8 +111,11 @@ let flood (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(rate : Bandwidth.t)
     unprotected setup requests. *)
 let send_along (t : t) ~(route : Ids.asn list) ~(cls : Net.Traffic_class.t)
     ~(bytes : int) ~(deliver : unit -> unit) : unit =
+  Obs.Counter.incr t.metrics.m_sent;
   let rec hop = function
-    | [] | [ _ ] -> deliver ()
+    | [] | [ _ ] ->
+        Obs.Counter.incr t.metrics.m_delivered;
+        deliver ()
     | a :: (b :: _ as rest) -> (
         match link t ~src:a ~dst:b with
         | None -> () (* broken route: lost *)

@@ -15,11 +15,24 @@ type t
 type message = { bytes : int; deliver : unit -> unit }
 
 val create :
-  ?scheduler:Net.Link.scheduler -> ?delay:float -> engine:Net.Engine.t -> Topology.t -> t
+  ?scheduler:Net.Link.scheduler ->
+  ?delay:float ->
+  ?registry:Obs.Registry.t ->
+  engine:Net.Engine.t ->
+  Topology.t ->
+  t
 (** Build the directed link mesh of the topology (strict-priority
-    queuing and 5 ms per-link delay by default). *)
+    queuing and 5 ms per-link delay by default). [registry] receives
+    the delivery metrics (DESIGN.md §7); a private registry is created
+    when omitted. *)
 
 val link : t -> src:Ids.asn -> dst:Ids.asn -> message Net.Link.t option
+
+val metrics : t -> Obs.Registry.t
+(** Delivery accounting: [control_net_messages_sent_total] /
+    [control_net_messages_delivered_total] (their difference is the
+    DoC loss) and [control_net_flood_packets_total] for injected
+    adversarial traffic. *)
 
 val flood :
   t -> src:Ids.asn -> dst:Ids.asn -> rate:Bandwidth.t -> ?packet_bytes:int -> unit ->

@@ -51,6 +51,18 @@ type segr_descr = {
   exp_time : Timebase.t;
 }
 
+(* Admission-outcome accounting (DESIGN.md §7): grants and denials per
+   reservation class, plus a per-source-AS denial family over the keyed
+   Ids tables. *)
+type metrics = {
+  m_seg_granted : Obs.Counter.t;
+  m_seg_denied : Obs.Counter.t;
+  m_eer_granted : Obs.Counter.t;
+  m_eer_denied : Obs.Counter.t;
+  m_misbehavior : Obs.Counter.t;
+  m_denied_by_src : Obs.Asn_counters.t;
+}
+
 type t = {
   asn : Ids.asn;
   clock : Timebase.clock;
@@ -72,11 +84,26 @@ type t = {
   mutable denied_sources : Ids.Asn_set.t;
       (* source ASes with confirmed misbehavior: future reservations
          refused (§4.8 "Policing") *)
+  obs : Obs.Registry.t;
+  metrics : metrics;
 }
 
 let create ?(policy = default_policy) ?(renewal_min_interval = 1.0) ?rng
-    ~(clock : Timebase.clock) ~(topo : Topology.t) (asn : Ids.asn) : t =
+    ?(registry = Obs.Registry.create ()) ~(clock : Timebase.clock)
+    ~(topo : Topology.t) (asn : Ids.asn) : t =
   let key_server = Drkey.Key_server.create ?rng ~clock asn in
+  let metrics =
+    {
+      m_seg_granted = Obs.Registry.counter registry "cserv_seg_granted_total";
+      m_seg_denied = Obs.Registry.counter registry "cserv_seg_denied_total";
+      m_eer_granted = Obs.Registry.counter registry "cserv_eer_granted_total";
+      m_eer_denied = Obs.Registry.counter registry "cserv_eer_denied_total";
+      m_misbehavior =
+        Obs.Registry.counter registry "cserv_misbehavior_reports_total";
+      m_denied_by_src =
+        Obs.Asn_counters.create registry ~name:"cserv_denied_total" ~label:"src_as";
+    }
+  in
   {
     asn;
     clock;
@@ -97,10 +124,25 @@ let create ?(policy = default_policy) ?(renewal_min_interval = 1.0) ?rng
     renewal_min_interval;
     policy;
     denied_sources = Ids.Asn_set.empty;
+    obs = registry;
+    metrics;
   }
 
 let asn (t : t) = t.asn
 let key_server (t : t) = t.key_server
+let metrics (t : t) = t.obs
+
+(* Count one admission verdict; denials also feed the per-source-AS
+   family so a misbehaving or misconfigured neighbor is visible by
+   name in the snapshot. *)
+let account_verdict (t : t) ~(granted : Obs.Counter.t) ~(denied : Obs.Counter.t)
+    ~(src : Ids.asn) (verdict : [ `Continue of Bandwidth.t | `Deny of Protocol.deny_reason ]) =
+  (match verdict with
+  | `Continue _ -> Obs.Counter.incr granted
+  | `Deny _ ->
+      Obs.Counter.incr denied;
+      Obs.Counter.incr (Obs.Asn_counters.get t.metrics.m_denied_by_src src));
+  verdict
 
 (** The AS-specific secret [K_i] for hop tokens/authenticators,
     derived from the current DRKey secret value. *)
@@ -189,6 +231,9 @@ let handle_seg_request_forward (t : t) ~(req : Protocol.seg_request)
     [ `Continue of Bandwidth.t | `Deny of Protocol.deny_reason ] =
   let now = t.clock () in
   let src = req.res_info.src_as in
+  account_verdict t ~granted:t.metrics.m_seg_granted ~denied:t.metrics.m_seg_denied
+    ~src
+  @@
   if Ids.Asn_set.mem src t.denied_sources then `Deny Protocol.Policy_refused
   else begin
     let digest = Protocol.seg_request_digest req in
@@ -483,6 +528,9 @@ let handle_eer_request_forward (t : t) ~(req : Protocol.eer_request)
     [ `Continue of Bandwidth.t | `Deny of Protocol.deny_reason ] =
   let now = t.clock () in
   let src = req.res_info.src_as in
+  account_verdict t ~granted:t.metrics.m_eer_granted ~denied:t.metrics.m_eer_denied
+    ~src
+  @@
   if Ids.Asn_set.mem src t.denied_sources then `Deny Protocol.Policy_refused
   else begin
     let digest = Protocol.eer_request_digest req in
@@ -651,6 +699,7 @@ let process_eer_reply (t : t) ~(req : Protocol.eer_request)
 (** Report of confirmed overuse from a border router: deny future
     reservations from the offending source AS. *)
 let report_misbehavior (t : t) ~(src : Ids.asn) =
+  Obs.Counter.incr t.metrics.m_misbehavior;
   t.denied_sources <- Ids.Asn_set.add src t.denied_sources
 
 let is_denied (t : t) ~(src : Ids.asn) = Ids.Asn_set.mem src t.denied_sources

@@ -50,13 +50,23 @@ val create :
   ?policy:policy ->
   ?renewal_min_interval:Timebase.t ->
   ?rng:Random.State.t ->
+  ?registry:Obs.Registry.t ->
   clock:Timebase.clock ->
   topo:Topology.t ->
   Ids.asn ->
   t
+(** [registry] receives the CServ's admission-outcome metrics
+    (DESIGN.md §7); a private registry is created when omitted. *)
 
 val asn : t -> Ids.asn
 val key_server : t -> Drkey.Key_server.t
+
+val metrics : t -> Obs.Registry.t
+(** The CServ's metric registry: [cserv_seg_granted_total] /
+    [cserv_seg_denied_total] / [cserv_eer_granted_total] /
+    [cserv_eer_denied_total] admission outcomes,
+    [cserv_misbehavior_reports_total], and the per-source-AS
+    [cserv_denied_total{src_as=...}] family. *)
 
 val hop_secret : t -> Hvf.as_secret
 (** The AS-specific secret [K_i] for hop tokens/authenticators,

@@ -33,9 +33,12 @@ module Sharded_gateway = struct
 
   let shard_count (t : t) = Array.length t.shards
 
-  (* ResId → shard. A multiplicative hash spreads sequential ResIds. *)
+  (* ResId → shard. A multiplicative hash spreads sequential ResIds.
+     [land max_int] clears the sign bit; [abs] would keep the product
+     negative when it lands on [min_int] and the negative [mod] then
+     indexes out of range. *)
   let shard_of (t : t) (res_id : Ids.res_id) : int =
-    abs (res_id * 0x9e3779b1) mod Array.length t.shards
+    res_id * 0x9e3779b1 land max_int mod Array.length t.shards
 
   let shard (t : t) (i : int) : Gateway.t = t.shards.(i)
 
@@ -58,6 +61,16 @@ module Sharded_gateway = struct
         let n = Gateway.reservation_count g in
         (min lo n, max hi n))
       (max_int, 0) t.shards
+
+  let shard_metrics (t : t) (i : int) : Obs.snapshot =
+    Obs.Registry.snapshot (Gateway.metrics t.shards.(i))
+
+  (** Aggregate telemetry across shards: counters and histograms sum,
+      so the merged snapshot reads like one big gateway. *)
+  let metrics (t : t) : Obs.snapshot =
+    Obs.merge
+      (Array.to_list
+         (Array.map (fun g -> Obs.Registry.snapshot (Gateway.metrics g)) t.shards))
 end
 
 module Sharded_router = struct
@@ -79,10 +92,27 @@ module Sharded_router = struct
   let shard_count (t : t) = Array.length t.shards
   let shard (t : t) (i : int) : Router.t = t.shards.(i)
 
-  (* Routers are stateless: any spreading works; use packet Ts. Shard
-     selection is load balancing, not authentication. *)
+  (* Routers are stateless: any spreading works; use a byte of the
+     packet Ts. Shard selection is load balancing, not authentication.
+     A packet too short to carry that byte still goes to a shard — the
+     router's parser is the single place that renders the malformed
+     verdict, so the caller sees [Error (Parse_error _)], never an
+     exception from the dispatcher. *)
   let process_bytes (t : t) ~(raw : bytes) ~(payload_len : int) =
-    (* lint: allow poly-hash *)
-    let i = abs (Hashtbl.hash (Bytes.length raw, Bytes.get raw 8)) mod Array.length t.shards in
+    let dispatch = if Bytes.length raw > 8 then Char.code (Bytes.get raw 8) else 0 in
+    let i =
+      (* lint: allow poly-hash *)
+      Hashtbl.hash (Bytes.length raw, dispatch) land max_int mod Array.length t.shards
+    in
     Router.process_bytes t.shards.(i) ~raw ~payload_len
+
+  let shard_metrics (t : t) (i : int) : Obs.snapshot =
+    Obs.Registry.snapshot (Router.metrics t.shards.(i))
+
+  (** Aggregate telemetry across shards (counters sum; occupancy gauges
+      sum too, giving totals over all shards' monitors). *)
+  let metrics (t : t) : Obs.snapshot =
+    Obs.merge
+      (Array.to_list
+         (Array.map (fun r -> Obs.Registry.snapshot (Router.metrics r)) t.shards))
 end

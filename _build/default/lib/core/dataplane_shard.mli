@@ -39,6 +39,13 @@ module Sharded_gateway : sig
   val balance : t -> int * int
   (** (min, max) reservations per shard — the tests use this to check
       the hash spreads load. *)
+
+  val shard_metrics : t -> int -> Obs.snapshot
+  (** One shard's metric snapshot. *)
+
+  val metrics : t -> Obs.snapshot
+  (** Aggregate telemetry across shards: counters and histograms sum,
+      so the merged snapshot reads like one big gateway. *)
 end
 
 module Sharded_router : sig
@@ -58,4 +65,15 @@ module Sharded_router : sig
 
   val process_bytes :
     t -> raw:bytes -> payload_len:int -> (Router.action, Router.drop_reason) result
+  (** Dispatch to a shard and run the full fast path. Malformed input
+      (including packets too short for the dispatch byte) comes back as
+      [Error (Parse_error _)] from the shard's parser — the dispatcher
+      itself never raises. *)
+
+  val shard_metrics : t -> int -> Obs.snapshot
+  (** One shard's metric snapshot. *)
+
+  val metrics : t -> Obs.snapshot
+  (** Aggregate telemetry across shards (counters sum; occupancy
+      gauges sum, giving totals over all shards' monitors). *)
 end

@@ -51,22 +51,51 @@ type stats = {
   mutable dropped_other : int;
 }
 
+(* Pre-resolved counters so the per-packet path is a field read plus an
+   allocation-free increment (DESIGN.md §7). *)
+type metrics = {
+  m_sent_pkts : Obs.Counter.t;
+  m_sent_bytes : Obs.Counter.t;
+  m_drop_unknown : Obs.Counter.t;
+  m_drop_expired : Obs.Counter.t;
+  m_drop_rate : Obs.Counter.t;
+  m_pkt_size : Obs.Histogram.t;
+}
+
 type t = {
   asn : Ids.asn;
   clock : Timebase.clock;
   burst : float; (* token-bucket burst allowance, seconds at rate *)
   entries : (int, entry) Hashtbl.t; (* by ResId: reservations of own AS only *)
   stats : stats;
+  registry : Obs.Registry.t;
+  metrics : metrics;
 }
 
-let create ?(burst = 0.1) ~(clock : Timebase.clock) (asn : Ids.asn) : t =
-  {
-    asn;
-    clock;
-    burst;
-    entries = Hashtbl.create 4096;
+let drop_counter (registry : Obs.Registry.t) (reason : string) : Obs.Counter.t =
+  Obs.Registry.counter registry
+    (Obs.labeled "gateway_dropped_total" [ ("reason", reason) ])
+
+let create ?(burst = 0.1) ?(registry = Obs.Registry.create ())
+    ~(clock : Timebase.clock) (asn : Ids.asn) : t =
+  let entries = Hashtbl.create 4096 in
+  let metrics =
+    {
+      m_sent_pkts = Obs.Registry.counter registry "gateway_sent_packets_total";
+      m_sent_bytes = Obs.Registry.counter registry "gateway_sent_bytes_total";
+      m_drop_unknown = drop_counter registry "unknown_reservation";
+      m_drop_expired = drop_counter registry "expired";
+      m_drop_rate = drop_counter registry "rate_exceeded";
+      m_pkt_size = Obs.Registry.histogram registry "gateway_packet_bytes";
+    }
+  in
+  Obs.Registry.gauge_fn registry "gateway_reservations" (fun () ->
+      float_of_int (Hashtbl.length entries));
+  { asn; clock; burst; entries;
     stats = { sent_pkts = 0; sent_bytes = 0; dropped_rate = 0; dropped_other = 0 };
-  }
+    registry; metrics }
+
+let metrics (t : t) = t.registry
 
 (** Install or extend an EER after a successful setup or renewal
     (➎ in Fig. 1b): the σ_i of the new version are expanded into CMAC
@@ -162,6 +191,7 @@ let send (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
   match Hashtbl.find_opt t.entries res_id with
   | None ->
       t.stats.dropped_other <- t.stats.dropped_other + 1;
+      Obs.Counter.incr t.metrics.m_drop_unknown;
       Error Unknown_reservation
   | Some e -> (
       match
@@ -170,12 +200,14 @@ let send (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
       | None ->
           Hashtbl.remove t.entries res_id;
           t.stats.dropped_other <- t.stats.dropped_other + 1;
+          Obs.Counter.incr t.metrics.m_drop_expired;
           Error Expired
       | Some vs ->
           let hops = Path.length e.eer.path in
           let pkt_size = Packet.header_len ~hops + payload_len in
           if not (Monitor.Token_bucket.admit e.bucket ~now ~bytes:pkt_size) then begin
             t.stats.dropped_rate <- t.stats.dropped_rate + 1;
+            Obs.Counter.incr t.metrics.m_drop_rate;
             Error Rate_exceeded
           end
           else begin
@@ -204,6 +236,9 @@ let send (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
             in
             t.stats.sent_pkts <- t.stats.sent_pkts + 1;
             t.stats.sent_bytes <- t.stats.sent_bytes + pkt_size;
+            Obs.Counter.incr t.metrics.m_sent_pkts;
+            Obs.Counter.add t.metrics.m_sent_bytes pkt_size;
+            Obs.Histogram.observe t.metrics.m_pkt_size (float_of_int pkt_size);
             let egress =
               match e.eer.path with
               | first :: _ -> first.egress

@@ -29,9 +29,12 @@ type stats = {
   mutable dropped_other : int;
 }
 
-val create : ?burst:float -> clock:Timebase.clock -> Ids.asn -> t
+val create :
+  ?burst:float -> ?registry:Obs.Registry.t -> clock:Timebase.clock -> Ids.asn -> t
 (** [burst] is the token-bucket burst allowance in seconds at the
-    reserved rate (default 0.1). *)
+    reserved rate (default 0.1). [registry] receives the gateway's
+    drop-accounting metrics (DESIGN.md §7); a private registry is
+    created when omitted. *)
 
 val register :
   t ->
@@ -67,3 +70,9 @@ val send :
 
 val reservation_count : t -> int
 val stats : t -> stats
+
+val metrics : t -> Obs.Registry.t
+(** The gateway's metric registry: [gateway_sent_packets_total],
+    [gateway_sent_bytes_total], [gateway_dropped_total{reason=...}]
+    (one counter per {!drop_reason}), the [gateway_packet_bytes] size
+    histogram, and a [gateway_reservations] occupancy gauge. *)

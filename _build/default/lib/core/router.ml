@@ -50,6 +50,31 @@ type stats = {
   mutable confirmed_overuse : int;
 }
 
+(* Stable label per drop reason; [drop_index] must agree with the order
+   of [drop_labels]. *)
+let drop_labels =
+  [| "parse_error"; "not_on_path"; "expired_reservation"; "stale_timestamp";
+     "invalid_hvf"; "blocked_source"; "duplicate"; "policed" |]
+
+let drop_index = function
+  | Parse_error _ -> 0
+  | Not_on_path -> 1
+  | Expired_reservation -> 2
+  | Stale_timestamp -> 3
+  | Invalid_hvf -> 4
+  | Blocked_source -> 5
+  | Duplicate -> 6
+  | Policed -> 7
+
+(* Pre-resolved counters: the per-packet path does an array index plus
+   an allocation-free increment (DESIGN.md §7). *)
+type metrics = {
+  m_forwarded : Obs.Counter.t;
+  m_dropped : Obs.Counter.t array; (* indexed by [drop_index] *)
+  m_suspects : Obs.Counter.t;
+  m_confirmed : Obs.Counter.t;
+}
+
 type t = {
   asn : Ids.asn;
   clock : Timebase.clock;
@@ -65,6 +90,8 @@ type t = {
   confirm_after_drops : int; (* policed drops before overuse is "confirmed" *)
   drop_counts : int Ids.Res_key_tbl.t;
   stats : stats;
+  registry : Obs.Registry.t;
+  metrics : metrics;
 }
 
 (** [create ~secret ~clock asn] builds a border router. [ofd] and
@@ -74,7 +101,8 @@ type t = {
 let create ?(freshness_window = 2.0 +. Timebase.max_skew)
     ?ofd:(ofd_arg = `Default) ?duplicates:(dup_arg = `Default)
     ?(report = fun ~src:_ -> ()) ?(auto_block = false) ?(confirm_after_drops = 100)
-    ~(secret : Hvf.as_secret) ~(clock : Timebase.clock) (asn : Ids.asn) : t =
+    ?(registry = Obs.Registry.create ()) ~(secret : Hvf.as_secret)
+    ~(clock : Timebase.clock) (asn : Ids.asn) : t =
   let now = clock () in
   let ofd =
     match ofd_arg with
@@ -91,24 +119,75 @@ let create ?(freshness_window = 2.0 +. Timebase.max_skew)
     | `None -> None
     | `Custom d -> Some d
   in
-  {
-    asn;
-    clock;
-    secret;
-    freshness_window;
-    ofd;
-    duplicates;
-    blocklist = Monitor.Blocklist.create ~clock ();
-    watched = Ids.Res_key_tbl.create 64;
-    report;
-    auto_block;
-    confirm_after_drops;
-    drop_counts = Ids.Res_key_tbl.create 64;
-    stats = { forwarded = 0; dropped = 0; suspects_flagged = 0; confirmed_overuse = 0 };
-  }
+  let metrics =
+    {
+      m_forwarded = Obs.Registry.counter registry "router_forwarded_total";
+      m_dropped =
+        Array.map
+          (fun reason ->
+            Obs.Registry.counter registry
+              (Obs.labeled "router_dropped_total" [ ("reason", reason) ]))
+          drop_labels;
+      m_suspects = Obs.Registry.counter registry "router_suspects_flagged_total";
+      m_confirmed = Obs.Registry.counter registry "router_confirmed_overuse_total";
+    }
+  in
+  let t =
+    {
+      asn;
+      clock;
+      secret;
+      freshness_window;
+      ofd;
+      duplicates;
+      blocklist = Monitor.Blocklist.create ~clock ();
+      watched = Ids.Res_key_tbl.create 64;
+      report;
+      auto_block;
+      confirm_after_drops;
+      drop_counts = Ids.Res_key_tbl.create 64;
+      stats =
+        { forwarded = 0; dropped = 0; suspects_flagged = 0; confirmed_overuse = 0 };
+      registry;
+      metrics;
+    }
+  in
+  (* Occupancy gauges (§4.8 monitors), sampled only at snapshot time;
+     every read below is observation-only by the DESIGN.md §7 contract. *)
+  Obs.Registry.gauge_fn registry "router_watched_flows" (fun () ->
+      float_of_int (Ids.Res_key_tbl.length t.watched));
+  Obs.Registry.gauge_fn registry "router_blocklist_size" (fun () ->
+      float_of_int (Monitor.Blocklist.size t.blocklist));
+  Obs.Registry.gauge_fn registry "router_watched_tokens_available_bits" (fun () ->
+      let now = t.clock () in
+      Ids.Res_key_tbl.fold
+        (fun _ bucket acc -> acc +. Monitor.Token_bucket.available_bits bucket ~now)
+        t.watched 0.);
+  Obs.Registry.gauge_fn registry "router_watched_tokens_capacity_bits" (fun () ->
+      Ids.Res_key_tbl.fold
+        (fun _ bucket acc -> acc +. Monitor.Token_bucket.capacity_bits bucket)
+        t.watched 0.);
+  (match t.duplicates with
+  | None -> ()
+  | Some f ->
+      Obs.Registry.gauge_fn registry "router_dup_filter_bits_set" (fun () ->
+          float_of_int (Monitor.Duplicate_filter.bits_set f));
+      Obs.Registry.gauge_fn registry "router_dup_filter_fill_ratio" (fun () ->
+          Monitor.Duplicate_filter.fill_ratio f);
+      Obs.Registry.gauge_fn registry "router_dup_filter_inserted_window" (fun () ->
+          float_of_int (Monitor.Duplicate_filter.inserted_in_window f)));
+  (match t.ofd with
+  | None -> ()
+  | Some ofd ->
+      Obs.Registry.gauge_fn registry "router_ofd_sketch_max_cell" (fun () ->
+          Monitor.Ofd.max_cell ofd);
+      Obs.Registry.gauge_fn registry "router_ofd_observed_packets" (fun () ->
+          float_of_int (Monitor.Ofd.observed_packets ofd)));
+  t
 
 let blocklist (t : t) = t.blocklist
 let stats (t : t) = t.stats
+let metrics (t : t) = t.registry
 let watched_count (t : t) = Ids.Res_key_tbl.length t.watched
 
 (** Explicitly place a reservation under deterministic token-bucket
@@ -131,6 +210,7 @@ let own_hop (t : t) (path : Path.t) : (int * Path.hop) option =
 
 let confirm_overuse (t : t) ~(src : Ids.asn) =
   t.stats.confirmed_overuse <- t.stats.confirmed_overuse + 1;
+  Obs.Counter.incr t.metrics.m_confirmed;
   if t.auto_block then Monitor.Blocklist.block t.blocklist src ~duration:None;
   t.report ~src
 
@@ -142,6 +222,7 @@ let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
   let now = t.clock () in
   let drop r =
     t.stats.dropped <- t.stats.dropped + 1;
+    Obs.Counter.incr t.metrics.m_dropped.(drop_index r);
     Error r
   in
   let ri = packet.res_info in
@@ -227,12 +308,14 @@ let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
                       (match Monitor.Ofd.observe ofd ~now ~key ~normalized with
                       | `Suspect ->
                           t.stats.suspects_flagged <- t.stats.suspects_flagged + 1;
+                          Obs.Counter.incr t.metrics.m_suspects;
                           if not (Ids.Res_key_tbl.mem t.watched key) then
                             Ids.Res_key_tbl.replace t.watched key
                               (Monitor.Token_bucket.create ~rate:ri.bw ~burst:0.1 ~now)
                       | `Ok -> ())
                   | _ -> ());
                   t.stats.forwarded <- t.stats.forwarded + 1;
+                  Obs.Counter.incr t.metrics.m_forwarded;
                   match packet.kind with
                   | Packet.Seg -> Ok To_cserv
                   | Packet.Eer ->
@@ -258,5 +341,6 @@ let process_bytes (t : t) ~(raw : bytes) ~(payload_len : int) :
   match Packet.of_bytes raw with
   | Error e ->
       t.stats.dropped <- t.stats.dropped + 1;
+      Obs.Counter.incr t.metrics.m_dropped.(drop_index (Parse_error e));
       Error (Parse_error e)
   | Ok packet -> process t ~packet ~actual_size:(Bytes.length raw + payload_len)

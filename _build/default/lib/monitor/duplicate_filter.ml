@@ -55,7 +55,17 @@ let create ~(expected : int) ~(fp_rate : float) ~(window : float) ~(now : float)
   }
 
 let maybe_rotate (t : t) ~now =
-  if now -. t.rotated_at >= t.window then begin
+  let elapsed = now -. t.rotated_at in
+  if elapsed >= 2. *. t.window then begin
+    (* Idle gap of two or more windows: both generations are fully
+       stale. Keeping the old [current] as [previous] here would flag a
+       legitimate packet sent long after its twin aged out. *)
+    Bytes.fill t.current 0 (Bytes.length t.current) '\000';
+    Bytes.fill t.previous 0 (Bytes.length t.previous) '\000';
+    t.rotated_at <- now;
+    t.inserted <- 0
+  end
+  else if elapsed >= t.window then begin
     (* The old [previous] ages out entirely; [current] becomes the
        history for the next window. *)
     let old = t.previous in
@@ -74,7 +84,10 @@ let indexes (t : t) (key : int) =
   (* lint: allow poly-hash *)
   let h1 = Hashtbl.hash (key, 0x9e3779b9) and h2 = Hashtbl.hash (key, 0x85ebca6b) in
   let h2 = (h2 lor 1) land max_int in
-  Array.init t.hashes (fun i -> abs (h1 + (i * h2)) mod t.bits)
+  (* [land max_int], not [abs]: [abs min_int] is [min_int], so an
+     overflowing sum would produce a negative [mod] and an
+     out-of-bounds bit index. Masking the sign bit is total. *)
+  Array.init t.hashes (fun i -> (h1 + (i * h2)) land max_int mod t.bits)
 
 (** [check_and_insert t ~now key] returns [true] when [key] is fresh
     (first sighting in the window) and records it; [false] flags a
@@ -93,3 +106,21 @@ let check_and_insert (t : t) ~(now : float) (key : int) : bool =
 
 let memory_bytes (t : t) = 2 * (t.bits / 8)
 let inserted_in_window (t : t) = t.inserted
+
+(* Snapshot-time occupancy (observation-only, never on the per-packet
+   path): population count over one filter generation. *)
+let popcount_bytes (b : Bytes.t) : int =
+  let n = ref 0 in
+  for i = 0 to Bytes.length b - 1 do
+    let c = ref (Char.code (Bytes.get b i)) in
+    while !c <> 0 do
+      c := !c land (!c - 1);
+      incr n
+    done
+  done;
+  !n
+
+let bits_set (t : t) = popcount_bytes t.current + popcount_bytes t.previous
+
+let fill_ratio (t : t) =
+  float_of_int (popcount_bytes t.current) /. float_of_int t.bits

@@ -67,8 +67,8 @@ let maybe_rotate (t : t) ~now =
    exact monitoring), never hides overuse. *)
 let slot (t : t) (key : Ids.res_key) (row : int) =
   (* lint: allow poly-hash *)
-  abs (Hashtbl.hash (key.src_as.isd, key.src_as.num, key.res_id, t.seeds.(row)))
-  mod t.width
+  Hashtbl.hash (key.src_as.isd, key.src_as.num, key.res_id, t.seeds.(row))
+  land max_int mod t.width
 
 (** Current sketch estimate (normalized seconds in this window) for a
     flow: the minimum across rows, the classic count-min bound. *)
@@ -109,3 +109,16 @@ let suspects (t : t) : Ids.res_key list =
 let memory_bytes (t : t) = t.depth * t.width * 8
 let observed_packets (t : t) = t.observed_packets
 let window (t : t) = t.window
+let threshold (t : t) = t.threshold
+
+(* Snapshot-time saturation probe (observation-only): the largest cell
+   of the sketch. A max cell near [threshold × window] means hash
+   collisions alone can start flagging false suspects. *)
+let max_cell (t : t) : float =
+  let m = ref 0. in
+  for row = 0 to t.depth - 1 do
+    for i = 0 to t.width - 1 do
+      if t.rows.(row).(i) > !m then m := t.rows.(row).(i)
+    done
+  done;
+  !m

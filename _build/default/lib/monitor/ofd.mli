@@ -33,3 +33,8 @@ val suspects : t -> Ids.res_key list
 val memory_bytes : t -> int
 val observed_packets : t -> int
 val window : t -> float
+val threshold : t -> float
+
+val max_cell : t -> float
+(** Largest cell of the sketch this window — the saturation gauge the
+    router exports. Observation-only: never mutates the sketch. *)

@@ -54,7 +54,16 @@ let set_rate (t : t) ~(rate : Bandwidth.t) ~(now : Timebase.t) =
   t.tokens <- Float.min t.tokens t.burst
 
 let rate (t : t) = t.rate
-let available_bits (t : t) ~now = refill t ~now; t.tokens
+let capacity_bits (t : t) = t.burst
+
+(* Observation-only: computes the would-be fill without committing the
+   refill. The mutating variant let a monitor sampling at a future
+   [now] advance [last], so a subsequent [admit] at an earlier time saw
+   tokens it had not yet earned — an observability read must not change
+   admission behavior. *)
+let available_bits (t : t) ~now =
+  let dt = Float.max 0. (Timebase.diff now t.last) in
+  Float.min t.burst (t.tokens +. (Bandwidth.to_bps t.rate *. dt))
 
 (** Check the bucket's state invariants: positive rate and capacity, a
     fill within [0, capacity], and no NaN leaking into the counters the

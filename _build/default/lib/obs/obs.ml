@@ -1,0 +1,303 @@
+(** colibri-metrics implementation. See the interface for the design
+    contract: allocation-free per-packet increments, observation-only
+    snapshots, summation-merge across shared-nothing shards. *)
+
+module Counter = struct
+  type t = { mutable n : int }
+
+  let incr (c : t) = c.n <- c.n + 1
+  let add (c : t) (n : int) = if n > 0 then c.n <- c.n + n
+  let value (c : t) = c.n
+end
+
+module Gauge = struct
+  type t = { mutable v : float }
+
+  let set (g : t) v = g.v <- v
+  let add (g : t) v = g.v <- g.v +. v
+  let value (g : t) = g.v
+end
+
+module Histogram = struct
+  (* [counts.(i)] counts observations in (2^(i-1), 2^i]; bucket 0 is
+     (-inf, 1]; the last bucket is unbounded above. *)
+  let nbuckets = 32
+
+  type t = {
+    counts : int array;
+    mutable count : int;
+    mutable sum : float;
+  }
+
+  let make () = { counts = Array.make nbuckets 0; count = 0; sum = 0. }
+
+  let bucket_of (v : float) : int =
+    let rec go i le =
+      if v <= le || i >= nbuckets - 1 then i else go (i + 1) (le *. 2.)
+    in
+    go 0 1.
+
+  let observe (h : t) (v : float) =
+    let i = bucket_of v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v
+
+  let count (h : t) = h.count
+  let sum (h : t) = h.sum
+
+  (* Cumulative (upper_bound, count) pairs; last bound is +inf. *)
+  let cumulative (h : t) : (float * int) array =
+    let acc = ref 0 in
+    Array.mapi
+      (fun i n ->
+        acc := !acc + n;
+        let le = if i = nbuckets - 1 then infinity else Float.pow 2. (float_of_int i) in
+        (le, !acc))
+      h.counts
+end
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) array }
+
+type snapshot = (string * value) list
+
+(* ------------------------------ registry ------------------------------ *)
+
+module Registry = struct
+  type entry =
+    | E_counter of Counter.t
+    | E_gauge of Gauge.t
+    | E_gauge_fn of (unit -> float)
+    | E_histogram of Histogram.t
+
+  type t = { entries : (string, entry) Hashtbl.t }
+
+  let create () : t = { entries = Hashtbl.create 64 }
+
+  let kind_name = function
+    | E_counter _ -> "counter"
+    | E_gauge _ | E_gauge_fn _ -> "gauge"
+    | E_histogram _ -> "histogram"
+
+  (* Construction-time only: metric registration happens when a
+     component is built, never per packet. *)
+  let mismatch name entry want =
+    invalid_arg
+      (Printf.sprintf "Obs.Registry: %S already registered as a %s, wanted a %s"
+         name (kind_name entry) want)
+
+  let counter (t : t) (name : string) : Counter.t =
+    match Hashtbl.find_opt t.entries name with
+    | Some (E_counter c) -> c
+    | Some e -> mismatch name e "counter"
+    | None ->
+        let c : Counter.t = { n = 0 } in
+        Hashtbl.replace t.entries name (E_counter c);
+        c
+
+  let gauge (t : t) (name : string) : Gauge.t =
+    match Hashtbl.find_opt t.entries name with
+    | Some (E_gauge g) -> g
+    | Some e -> mismatch name e "gauge"
+    | None ->
+        let g : Gauge.t = { v = 0. } in
+        Hashtbl.replace t.entries name (E_gauge g);
+        g
+
+  let gauge_fn (t : t) (name : string) (f : unit -> float) : unit =
+    match Hashtbl.find_opt t.entries name with
+    | Some (E_gauge_fn _) | None -> Hashtbl.replace t.entries name (E_gauge_fn f)
+    | Some e -> mismatch name e "gauge"
+
+  let histogram (t : t) (name : string) : Histogram.t =
+    match Hashtbl.find_opt t.entries name with
+    | Some (E_histogram h) -> h
+    | Some e -> mismatch name e "histogram"
+    | None ->
+        let h = Histogram.make () in
+        Hashtbl.replace t.entries name (E_histogram h);
+        h
+
+  let snapshot (t : t) : snapshot =
+    Hashtbl.fold
+      (fun name entry acc ->
+        let v =
+          match entry with
+          | E_counter c -> Counter (Counter.value c)
+          | E_gauge g -> Gauge (Gauge.value g)
+          | E_gauge_fn f -> Gauge (f ())
+          | E_histogram h ->
+              Histogram
+                {
+                  count = Histogram.count h;
+                  sum = Histogram.sum h;
+                  buckets = Histogram.cumulative h;
+                }
+        in
+        (name, v) :: acc)
+      t.entries []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+end
+
+(* ------------------------------ labels ------------------------------ *)
+
+let labeled (name : string) (labels : (string * string) list) : string =
+  match labels with
+  | [] -> name
+  | _ ->
+      let b = Buffer.create (String.length name + 16) in
+      Buffer.add_string b name;
+      Buffer.add_char b '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char b ',';
+          Buffer.add_string b k;
+          Buffer.add_string b "=\"";
+          Buffer.add_string b v;
+          Buffer.add_char b '"')
+        labels;
+      Buffer.add_char b '}';
+      Buffer.contents b
+
+module Asn_counters = struct
+  open Colibri_types
+
+  type t = {
+    registry : Registry.t;
+    name : string;
+    label : string;
+    members : Counter.t Ids.Asn_tbl.t;
+  }
+
+  let create (registry : Registry.t) ~(name : string) ~(label : string) : t =
+    { registry; name; label; members = Ids.Asn_tbl.create 16 }
+
+  let get (t : t) (a : Ids.asn) : Counter.t =
+    match Ids.Asn_tbl.find_opt t.members a with
+    | Some c -> c
+    | None ->
+        let c =
+          Registry.counter t.registry
+            (labeled t.name [ (t.label, Fmt.str "%a" Ids.pp_asn a) ])
+        in
+        Ids.Asn_tbl.replace t.members a c;
+        c
+end
+
+module Res_key_counters = struct
+  open Colibri_types
+
+  type t = {
+    registry : Registry.t;
+    name : string;
+    label : string;
+    members : Counter.t Ids.Res_key_tbl.t;
+  }
+
+  let create (registry : Registry.t) ~(name : string) ~(label : string) : t =
+    { registry; name; label; members = Ids.Res_key_tbl.create 16 }
+
+  let get (t : t) (k : Ids.res_key) : Counter.t =
+    match Ids.Res_key_tbl.find_opt t.members k with
+    | Some c -> c
+    | None ->
+        let c =
+          Registry.counter t.registry
+            (labeled t.name [ (t.label, Fmt.str "%a" Ids.pp_res_key k) ])
+        in
+        Ids.Res_key_tbl.replace t.members k c;
+        c
+end
+
+(* ------------------------------ merging ------------------------------ *)
+
+let merge_values (a : value) (b : value) : value =
+  match (a, b) with
+  | Counter x, Counter y -> Counter (x + y)
+  | Gauge x, Gauge y -> Gauge (x +. y)
+  | Histogram h1, Histogram h2 ->
+      let buckets =
+        if Array.length h1.buckets = Array.length h2.buckets then
+          Array.mapi
+            (fun i (le, n) -> (le, n + snd h2.buckets.(i)))
+            h1.buckets
+        else h1.buckets
+      in
+      Histogram
+        { count = h1.count + h2.count; sum = h1.sum +. h2.sum; buckets }
+  | v, _ -> v (* kind clash across shards: keep the first, never raise *)
+
+let merge (snapshots : snapshot list) : snapshot =
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         match Hashtbl.find_opt acc name with
+         | None -> Hashtbl.replace acc name v
+         | Some prev -> Hashtbl.replace acc name (merge_values prev v)))
+    snapshots;
+  Hashtbl.fold (fun name v l -> (name, v) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------ export ------------------------------ *)
+
+let pp_value ppf = function
+  | Counter n -> Fmt.int ppf n
+  | Gauge v -> Fmt.pf ppf "%g" v
+  | Histogram { count; sum; _ } -> Fmt.pf ppf "count=%d sum=%g" count sum
+
+let pp_text ppf (s : snapshot) =
+  Fmt.list ~sep:Fmt.cut
+    (fun ppf (name, v) -> Fmt.pf ppf "%-48s %a" name pp_value v)
+    ppf s
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float (v : float) : string =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else if Float.is_nan v then "null"
+  else if v = infinity then "\"inf\""
+  else if v = neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" v
+
+let to_json (s : snapshot) : string =
+  let b = Buffer.create 1024 in
+  Buffer.add_char b '{';
+  List.iteri
+    (fun i (name, v) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_char b '"';
+      Buffer.add_string b (json_escape name);
+      Buffer.add_string b "\":";
+      match v with
+      | Counter n -> Buffer.add_string b (string_of_int n)
+      | Gauge v -> Buffer.add_string b (json_float v)
+      | Histogram { count; sum; buckets } ->
+          Buffer.add_string b
+            (Printf.sprintf "{\"count\":%d,\"sum\":%s,\"buckets\":[" count
+               (json_float sum));
+          Array.iteri
+            (fun i (le, n) ->
+              if i > 0 then Buffer.add_char b ',';
+              Buffer.add_string b
+                (Printf.sprintf "[%s,%d]" (json_float le) n))
+            buckets;
+          Buffer.add_string b "]}")
+    s;
+  Buffer.add_char b '}';
+  Buffer.contents b

@@ -1,0 +1,136 @@
+(** colibri-metrics: lightweight runtime telemetry for the data and
+    control planes (DESIGN.md §7).
+
+    The paper's evaluation (§7, Fig. 5–6, Table 2) rests on precise
+    per-component accounting — packets admitted vs. dropped {e per
+    reason}, monitor state occupancy, per-shard throughput. This
+    module provides the substrate: monotonic {!Counter}s with
+    allocation-free increment for the per-packet path, {!Gauge}s
+    (either set explicitly or sampled through a callback at snapshot
+    time), log₂-bucketed {!Histogram}s for latencies and sizes, and
+    labeled counter families keyed by the {!Ids} tables so per-AS and
+    per-reservation accounting never touches the polymorphic hash.
+
+    Metrics live in a {!Registry}; components create their own registry
+    (or accept one at construction so an orchestrator can share it) and
+    expose it for inspection. A {!snapshot} is an immutable, sorted
+    view exportable as aligned text ({!pp_text}) or JSON ({!to_json});
+    snapshots from shared-nothing shards {!merge} by summation, which
+    is how {!Colibri.Dataplane_shard} reports Fig. 6-style aggregate
+    and per-shard balance.
+
+    Contract: reading metrics must never change component behavior
+    (snapshots and gauge callbacks are observation-only), and metric
+    updates on the per-packet path must not allocate. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  (** Allocation-free increment — safe on the per-packet path. *)
+
+  val add : t -> int -> unit
+  (** Add [n ≥ 0]; negative deltas are ignored (counters are
+      monotonic). *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  type t
+  (** Log-scale histogram: bucket [i] counts observations with value
+      [≤ 2^i] (the last bucket is unbounded), so microsecond latencies
+      and packet sizes both fit 32 buckets with constant memory. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+end
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { count : int; sum : float; buckets : (float * int) array }
+      (** [buckets] are [(upper_bound, cumulative_count)] pairs in
+          increasing bound order, Prometheus-style; the last bound is
+          [infinity]. *)
+
+type snapshot = (string * value) list
+(** Metric name (with any [{label="v"}] suffix) to current value,
+    sorted by name. *)
+
+val merge : snapshot list -> snapshot
+(** Sum same-named counters, gauges, and histograms across snapshots —
+    the aggregation for shared-nothing shards, where every per-shard
+    quantity (counts, occupancy) adds. *)
+
+val pp_text : snapshot Fmt.t
+val to_json : snapshot -> string
+(** Compact JSON object: counters and gauges as numbers, histograms as
+    [{"count":…,"sum":…,"buckets":[[le,n],…]}]. Label-carrying names
+    are escaped as JSON keys. *)
+
+val labeled : string -> (string * string) list -> string
+(** [labeled "x_total" [("reason", "expired")]] is
+    ["x_total{reason=\"expired\"}"] — the naming convention for one
+    member of a labeled family. *)
+
+(** {1 Registry} *)
+
+module Registry : sig
+  type t
+
+  val create : unit -> t
+
+  val counter : t -> string -> Counter.t
+  (** Create-or-get: registering an existing name returns the same
+      counter, so shards handed a shared registry accumulate into one
+      family. Raises [Invalid_argument] if the name is already bound
+      to a different metric kind (construction-time only). *)
+
+  val gauge : t -> string -> Gauge.t
+
+  val gauge_fn : t -> string -> (unit -> float) -> unit
+  (** A gauge sampled by calling the function at snapshot time — for
+      occupancy that is derivable from live state (Bloom bits set,
+      sketch max cell, token fill) without mutating it. *)
+
+  val histogram : t -> string -> Histogram.t
+
+  val snapshot : t -> snapshot
+  (** Sorted view of every registered metric; samples [gauge_fn]
+      callbacks. Observation-only. *)
+end
+
+(** {1 Labeled families keyed by identifier tables}
+
+    Counter families whose label values are {!Ids} keys, backed by the
+    keyed [Hashtbl.Make] tables of PR 1 — per-AS or per-reservation
+    accounting without polymorphic hashing. Members are registered in
+    the family's registry on first use as [name{label="…"}]. *)
+
+module Asn_counters : sig
+  type t
+
+  val create : Registry.t -> name:string -> label:string -> t
+  val get : t -> Colibri_types.Ids.asn -> Counter.t
+  (** Memoized: after the first sighting of an AS, [get] is one keyed
+      table lookup and no allocation. *)
+end
+
+module Res_key_counters : sig
+  type t
+
+  val create : Registry.t -> name:string -> label:string -> t
+  val get : t -> Colibri_types.Ids.res_key -> Counter.t
+end

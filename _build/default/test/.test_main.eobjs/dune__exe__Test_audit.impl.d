@@ -1,1 +1,1 @@
-test/test_audit.ml: Admission Alcotest Bandwidth Colibri Colibri_types Distributed Fmt Ids List Monitor QCheck2 QCheck_alcotest Random
+test/test_audit.ml: Admission Alcotest Bandwidth Bytes Colibri Colibri_types Dataplane_shard Distributed Fmt Hvf Ids List Monitor QCheck2 QCheck_alcotest Random Router

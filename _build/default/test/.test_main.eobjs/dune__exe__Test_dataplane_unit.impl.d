@@ -1,1 +1,1 @@
-test/test_dataplane_unit.ml: Alcotest Array Bandwidth Bytes Colibri Colibri_types Gateway Hashtbl Hvf Ids List Option Packet Path Printf Reservation Router Timebase
+test/test_dataplane_unit.ml: Alcotest Array Bandwidth Bytes Colibri Colibri_types Dataplane_shard Gateway Hashtbl Hvf Ids List Option Packet Path Printf Reservation Router Timebase

@@ -1,0 +1,1 @@
+test/test_obs.ml: Alcotest Array Astring Bandwidth Bytes Colibri Colibri_types Dataplane_shard Gateway Hvf Ids List Obs Packet Path Reservation Router String Timebase

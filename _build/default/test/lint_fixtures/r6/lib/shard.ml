@@ -1,0 +1,4 @@
+(* Fixture: must trigger [negative-modulo] (R6) — [abs] feeding a
+   [mod] index overflows on [min_int] and goes out of bounds. *)
+
+let shard_of (id : int) ~(shards : int) = abs (id * 0x9e3779b1) mod shards

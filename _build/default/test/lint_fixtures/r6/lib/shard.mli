@@ -1,0 +1,1 @@
+val shard_of : int -> shards:int -> int

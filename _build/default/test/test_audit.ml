@@ -195,6 +195,111 @@ let prop_bucket_audit_clean =
     QCheck2.Gen.(1 -- 1_000_000)
     run_bucket_sequence
 
+(* --- Hot-path regressions, randomized ------------------------------ *)
+
+(* Full-range keys, biased toward the values that used to break the
+   [abs … mod] index derivation ([abs min_int = min_int]). *)
+let adversarial_int =
+  QCheck2.Gen.(
+    oneof
+      [ int; oneofl [ min_int; max_int; min_int + 1; max_int - 1; 0; -1 ] ])
+
+let prop_dup_replay_caught =
+  QCheck2.Test.make
+    ~name:"dup filter: total over full-range keys, replays caught" ~count:100
+    QCheck2.Gen.(list_size (1 -- 50) adversarial_int)
+    (fun keys ->
+      let keys = List.sort_uniq compare keys in
+      let f =
+        Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4
+          ~window:5. ~now:0.
+      in
+      List.iter
+        (fun k -> ignore (Monitor.Duplicate_filter.check_and_insert f ~now:0.1 k))
+        keys;
+      List.for_all
+        (fun k -> not (Monitor.Duplicate_filter.check_and_insert f ~now:0.2 k))
+        keys)
+
+let prop_dup_idle_gap_fresh =
+  QCheck2.Test.make
+    ~name:"dup filter: both generations cleared after ≥2-window idle gap"
+    ~count:100
+    QCheck2.Gen.(
+      triple
+        (list_size (1 -- 30) adversarial_int)
+        (float_range 0.1 5.) (float_range 2. 10.))
+    (fun (keys, window, gapx) ->
+      let keys = List.sort_uniq compare keys in
+      let f =
+        Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4 ~window
+          ~now:0.
+      in
+      List.iter
+        (fun k ->
+          ignore
+            (Monitor.Duplicate_filter.check_and_insert f ~now:(window /. 2.) k))
+        keys;
+      (* Deterministic, not probabilistic: after an idle gap of at least
+         two windows both generations must be empty, so every key reads
+         fresh. *)
+      let now = (window /. 2.) +. (gapx *. window) in
+      List.for_all
+        (fun k -> Monitor.Duplicate_filter.check_and_insert f ~now k)
+        keys)
+
+let prop_shard_of_in_range =
+  QCheck2.Test.make ~name:"sharded gateway: shard_of total over full int range"
+    ~count:200
+    QCheck2.Gen.(pair (1 -- 16) adversarial_int)
+    (fun (shards, res_id) ->
+      let sg =
+        Dataplane_shard.Sharded_gateway.create ~clock:(fun () -> 0.) ~shards
+          (asn 1)
+      in
+      let i = Dataplane_shard.Sharded_gateway.shard_of sg res_id in
+      i >= 0 && i < shards)
+
+let audit_secret = Hvf.as_secret_of_material (Bytes.make 16 'K')
+
+let prop_short_frames_parse_error =
+  QCheck2.Test.make ~name:"sharded router: short frames never raise" ~count:60
+    QCheck2.Gen.(triple (1 -- 8) (0 -- 8) char)
+    (fun (shards, len, c) ->
+      let sr =
+        Dataplane_shard.Sharded_router.create ~secret:audit_secret
+          ~clock:(fun () -> 0.)
+          ~shards (asn 2)
+      in
+      match
+        Dataplane_shard.Sharded_router.process_bytes sr ~raw:(Bytes.make len c)
+          ~payload_len:0
+      with
+      | Error (Router.Parse_error _) -> true
+      | _ -> false)
+
+let prop_peek_is_transparent =
+  QCheck2.Test.make
+    ~name:"token bucket: available_bits never perturbs admit decisions"
+    ~count:100
+    QCheck2.Gen.(list_size (1 -- 60) (triple (1 -- 3000) (0 -- 20) bool))
+    (fun ops ->
+      (* Twin buckets driven by the same admit sequence; [a] is also
+         peeked (with a skewed, future clock) before each admit. Every
+         verdict must still agree with the unpeeked twin. *)
+      let rate = mbps 50. in
+      let a = Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:0. in
+      let b = Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:0. in
+      let now = ref 0. in
+      List.for_all
+        (fun (bytes, dt_ms, peek) ->
+          now := !now +. (float_of_int dt_ms /. 1000.);
+          if peek then
+            ignore (Monitor.Token_bucket.available_bits a ~now:(!now +. 1000.));
+          Monitor.Token_bucket.admit a ~now:!now ~bytes
+          = Monitor.Token_bucket.admit b ~now:!now ~bytes)
+        ops)
+
 (* --- Corruption detection ------------------------------------------ *)
 
 let corrupted_is_caught name audit corrupt apply_workload () =
@@ -259,6 +364,11 @@ let suite =
     QCheck_alcotest.to_alcotest prop_eer_audit_clean;
     QCheck_alcotest.to_alcotest prop_distributed_audit_clean;
     QCheck_alcotest.to_alcotest prop_bucket_audit_clean;
+    QCheck_alcotest.to_alcotest prop_dup_replay_caught;
+    QCheck_alcotest.to_alcotest prop_dup_idle_gap_fresh;
+    QCheck_alcotest.to_alcotest prop_shard_of_in_range;
+    QCheck_alcotest.to_alcotest prop_short_frames_parse_error;
+    QCheck_alcotest.to_alcotest prop_peek_is_transparent;
     Alcotest.test_case "seg: corrupt_for_test is detected" `Quick
       seg_detects_corruption;
     Alcotest.test_case "eer: corrupt_for_test is detected" `Quick

@@ -196,6 +196,44 @@ let router_watch_installs_bucket () =
   done;
   Alcotest.(check bool) (Printf.sprintf "policed %d" !policed) true (!policed > 300)
 
+(* -- Sharded dataplane regressions -- *)
+
+let sharded_gateway_adversarial_res_ids () =
+  (* Regression: shard selection used [abs (res_id · φ) mod shards];
+     [abs min_int = min_int] gave a negative shard index and an
+     out-of-bounds array access. Adversarial ResIds must map into
+     range and flow through the normal drop path, never raise. *)
+  let sg = Dataplane_shard.Sharded_gateway.create ~clock:(fun () -> 0.) ~shards:4 (asn 1) in
+  let ids = [ min_int; max_int; min_int + 1; 0; -1; 0x4000_0000_0000_0000 ] in
+  List.iter
+    (fun res_id ->
+      let i = Dataplane_shard.Sharded_gateway.shard_of sg res_id in
+      Alcotest.(check bool)
+        (Printf.sprintf "shard of %d in range (got %d)" res_id i)
+        true
+        (i >= 0 && i < 4);
+      match Dataplane_shard.Sharded_gateway.send sg ~res_id ~payload_len:100 with
+      | Error _ -> () (* unknown reservation: the expected verdict *)
+      | Ok _ -> Alcotest.failf "unregistered res_id %d sent" res_id)
+    ids
+
+let sharded_router_short_packet_is_parse_error () =
+  (* Regression: the dispatcher read the dispatch byte with an
+     unchecked [Bytes.get raw 8], so any frame under 9 bytes raised
+     [Invalid_argument] instead of producing the parser's verdict. *)
+  let sr =
+    Dataplane_shard.Sharded_router.create ~secret ~clock:(fun () -> 0.) ~shards:4 (asn 2)
+  in
+  List.iter
+    (fun len ->
+      let raw = Bytes.make len '\000' in
+      match Dataplane_shard.Sharded_router.process_bytes sr ~raw ~payload_len:0 with
+      | Error (Router.Parse_error _) -> ()
+      | Ok _ -> Alcotest.failf "%d-byte frame accepted" len
+      | Error e ->
+          Alcotest.failf "%d-byte frame: wrong verdict %a" len Router.pp_drop_reason e)
+    [ 0; 1; 8 ]
+
 let suite =
   [
     Alcotest.test_case "gateway: register validation" `Quick gateway_register_validation;
@@ -207,4 +245,8 @@ let suite =
     Alcotest.test_case "router: delivers at last hop" `Quick router_delivers_at_last_hop;
     Alcotest.test_case "router: freshness boundary" `Quick router_freshness_boundary;
     Alcotest.test_case "router: watch installs bucket" `Quick router_watch_installs_bucket;
+    Alcotest.test_case "sharded gateway: adversarial res_ids" `Quick
+      sharded_gateway_adversarial_res_ids;
+    Alcotest.test_case "sharded router: short packet is parse error" `Quick
+      sharded_router_short_packet_is_parse_error;
   ]

@@ -23,6 +23,14 @@ let test_r2 () = check_fixture ~root:"r2" ~expect:"hot-path-exn" ()
 let test_r3 () = check_fixture ~root:"r3" ~expect:"mac-compare" ()
 let test_r4 () = check_fixture ~root:"r4" ~expect:"missing-mli" ()
 let test_r5 () = check_fixture ~root:"r5" ~expect:"nondet" ()
+let test_r6 () = check_fixture ~root:"r6" ~expect:"negative-modulo" ()
+
+(* The fixed idiom must not be flagged: the sign bit is cleared with
+   [land max_int], no [abs] involved. *)
+let test_r6_fixed_idiom () =
+  let src = "let shard_of id n = id * 0x9e3779b1 land max_int mod n\n" in
+  Alcotest.(check int) "land max_int idiom is clean" 0
+    (List.length (Lint.lint_source ~path:"lib/x.ml" ~in_lib:false src))
 
 let test_clean () =
   let findings = Lint.lint_root (fixture "clean") in
@@ -81,6 +89,8 @@ let suite =
     Alcotest.test_case "fixture r3: mac-compare" `Quick test_r3;
     Alcotest.test_case "fixture r4: missing-mli" `Quick test_r4;
     Alcotest.test_case "fixture r5: nondet" `Quick test_r5;
+    Alcotest.test_case "fixture r6: negative-modulo" `Quick test_r6;
+    Alcotest.test_case "negative-modulo fixed idiom" `Quick test_r6_fixed_idiom;
     Alcotest.test_case "fixture clean: no findings" `Quick test_clean;
     Alcotest.test_case "repo sources are lint-clean" `Quick test_repo_clean;
     Alcotest.test_case "comment/string masking" `Quick test_masking;

@@ -22,6 +22,7 @@ let () =
       ("dataplane_unit", Test_dataplane_unit.suite);
       ("e2e_random", Test_e2e_random.suite);
       ("control_net", Test_control_net.suite);
+      ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("audit", Test_audit.suite);
     ]

@@ -56,6 +56,26 @@ let tb_set_rate () =
   Alcotest.(check bool) "larger burst after 1s" true
     (Monitor.Token_bucket.admit tb ~now:1. ~bytes:125_000)
 
+let tb_peek_is_observation_only () =
+  (* Regression: [available_bits] used to commit a refill, so sampling
+     with a skewed (future) clock let a later admit at an earlier time
+     see tokens it had not earned. *)
+  let rate = Bandwidth.of_mbps 8. in
+  let tb = Monitor.Token_bucket.create ~rate ~burst:0.1 ~now:0. in
+  (* Drain the bucket completely at t = 0. *)
+  Alcotest.(check bool) "drain" true (Monitor.Token_bucket.admit tb ~now:0. ~bytes:100_000);
+  (* A monitor samples with a clock 100 s in the future: it sees the
+     would-be fill… *)
+  Alcotest.(check (float 1e-6)) "peek sees future fill"
+    (Monitor.Token_bucket.capacity_bits tb)
+    (Monitor.Token_bucket.available_bits tb ~now:100.);
+  (* …but the bucket itself is unchanged: an admit right after the
+     drain still fails. *)
+  Alcotest.(check bool) "peek did not refill" false
+    (Monitor.Token_bucket.admit tb ~now:0. ~bytes:1000);
+  Alcotest.(check (float 1e-6)) "peek at now is the live fill" 0.
+    (Monitor.Token_bucket.available_bits tb ~now:0.)
+
 let tb_invalid_args () =
   Alcotest.(check bool) "zero rate" true
     (try ignore (Monitor.Token_bucket.create ~rate:Bandwidth.zero ~burst:0.1 ~now:0.); false
@@ -98,6 +118,59 @@ let dup_ages_out () =
   ignore (Monitor.Duplicate_filter.check_and_insert f ~now:2.2 2);
   Alcotest.(check bool) "aged out" true
     (Monitor.Duplicate_filter.check_and_insert f ~now:2.3 77)
+
+let dup_adversarial_keys () =
+  (* Regression: index derivation used [abs (h1 + i·h2) mod bits];
+     [abs min_int = min_int], so keys whose mixed hash landed on
+     [min_int] produced a negative index and an out-of-bounds Bytes
+     access. Adversarial keys must neither raise nor be missed. *)
+  let f = Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4 ~window:2. ~now:0. in
+  let keys = [ min_int; max_int; min_int + 1; max_int - 1; 0; -1; 1 lsl 61 ] in
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d fresh" k)
+        true
+        (Monitor.Duplicate_filter.check_and_insert f ~now:0.1 k))
+    keys;
+  List.iter
+    (fun k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d replay caught" k)
+        false
+        (Monitor.Duplicate_filter.check_and_insert f ~now:0.2 k))
+    keys
+
+let dup_idle_gap_no_false_positive () =
+  (* Regression: after an idle gap of ≥ 2 windows, a single rotation
+     kept the stale generation alive as [previous], so the first legit
+     packets after the gap were falsely flagged as duplicates. *)
+  let f = Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4 ~window:1. ~now:0. in
+  ignore (Monitor.Duplicate_filter.check_and_insert f ~now:0. 4242);
+  (* Idle for 5 windows, then the same identifier returns (e.g. a
+     retransmit long past the freshness window — the router's
+     timestamp check handles staleness, not the filter). *)
+  Alcotest.(check bool) "fresh after long idle gap" true
+    (Monitor.Duplicate_filter.check_and_insert f ~now:5. 4242);
+  (* And replay suppression still works after the clear. *)
+  Alcotest.(check bool) "replay caught after clear" false
+    (Monitor.Duplicate_filter.check_and_insert f ~now:5.1 4242)
+
+let dup_occupancy_gauges () =
+  let f = Monitor.Duplicate_filter.create ~expected:10_000 ~fp_rate:1e-4 ~window:2. ~now:0. in
+  Alcotest.(check int) "empty filter has no bits set" 0
+    (Monitor.Duplicate_filter.bits_set f);
+  for k = 1 to 1000 do
+    ignore (Monitor.Duplicate_filter.check_and_insert f ~now:0.1 k)
+  done;
+  Alcotest.(check bool) "bits set grows" true (Monitor.Duplicate_filter.bits_set f > 0);
+  let r = Monitor.Duplicate_filter.fill_ratio f in
+  Alcotest.(check bool) (Printf.sprintf "fill ratio in (0,1): %f" r) true
+    (r > 0. && r < 1.);
+  (* Observation-only: reading the gauges twice changes nothing. *)
+  Alcotest.(check int) "bits_set is pure"
+    (Monitor.Duplicate_filter.bits_set f)
+    (Monitor.Duplicate_filter.bits_set f)
 
 let dup_no_false_negatives () =
   (* Within the window, every inserted key must be caught on replay. *)
@@ -201,6 +274,21 @@ let ofd_memory_bounded () =
   let ofd = Monitor.Ofd.create ~width:4096 ~depth:4 ~window:1.0 ~threshold:1.2 ~now:0. () in
   Alcotest.(check int) "footprint" (4096 * 4 * 8) (Monitor.Ofd.memory_bytes ofd)
 
+let ofd_max_cell_gauge () =
+  let ofd = Monitor.Ofd.create ~width:64 ~depth:2 ~window:1.0 ~threshold:1.2 ~now:0. () in
+  Alcotest.(check (float 0.)) "empty sketch" 0. (Monitor.Ofd.max_cell ofd);
+  ignore (Monitor.Ofd.observe ofd ~now:0.1 ~key:(key 1 1) ~normalized:0.25);
+  ignore (Monitor.Ofd.observe ofd ~now:0.2 ~key:(key 1 1) ~normalized:0.25);
+  ignore (Monitor.Ofd.observe ofd ~now:0.3 ~key:(key 1 2) ~normalized:0.1);
+  (* Every row got 0.5 from flow 1; the max cell is ≥ that and the
+     estimate never exceeds it. *)
+  let m = Monitor.Ofd.max_cell ofd in
+  Alcotest.(check bool) (Printf.sprintf "max cell %f >= 0.5" m) true (m >= 0.5 -. 1e-9);
+  Alcotest.(check bool) "estimate bounded by max cell" true
+    (Monitor.Ofd.estimate ofd (key 1 1) <= m +. 1e-9);
+  (* Observation-only. *)
+  Alcotest.(check (float 0.)) "max_cell is pure" m (Monitor.Ofd.max_cell ofd)
+
 let prop_ofd_never_underestimates =
   QCheck2.Test.make ~name:"ofd: estimate ≥ true usage" ~count:30
     QCheck2.Gen.(list_size (10 -- 100) (pair (1 -- 20) (1 -- 100)))
@@ -250,9 +338,15 @@ let suite =
     Alcotest.test_case "token bucket: burst allowance" `Quick tb_burst_allowance;
     Alcotest.test_case "token bucket: rate change" `Quick tb_set_rate;
     Alcotest.test_case "token bucket: invalid args" `Quick tb_invalid_args;
+    Alcotest.test_case "token bucket: peek is observation-only" `Quick
+      tb_peek_is_observation_only;
     QCheck_alcotest.to_alcotest prop_tb_never_exceeds_rate_plus_burst;
     Alcotest.test_case "duplicate filter: catches replay" `Quick dup_catches_replay;
     Alcotest.test_case "duplicate filter: ages out" `Quick dup_ages_out;
+    Alcotest.test_case "duplicate filter: adversarial keys" `Quick dup_adversarial_keys;
+    Alcotest.test_case "duplicate filter: no false positives after idle gap" `Quick
+      dup_idle_gap_no_false_positive;
+    Alcotest.test_case "duplicate filter: occupancy gauges" `Quick dup_occupancy_gauges;
     Alcotest.test_case "duplicate filter: no false negatives" `Quick dup_no_false_negatives;
     Alcotest.test_case "duplicate filter: false-positive rate" `Quick dup_false_positive_rate;
     Alcotest.test_case "duplicate filter: memory bounded" `Quick dup_memory_bounded;
@@ -262,6 +356,7 @@ let suite =
     Alcotest.test_case "OFD: window reset" `Quick ofd_window_reset;
     Alcotest.test_case "OFD: versions share one flow" `Quick ofd_versions_share_flow;
     Alcotest.test_case "OFD: memory bounded" `Quick ofd_memory_bounded;
+    Alcotest.test_case "OFD: max-cell gauge" `Quick ofd_max_cell_gauge;
     QCheck_alcotest.to_alcotest prop_ofd_never_underestimates;
     Alcotest.test_case "blocklist: basics" `Quick blocklist_basics;
     Alcotest.test_case "blocklist: expiry" `Quick blocklist_expiry;

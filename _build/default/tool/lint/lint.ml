@@ -24,6 +24,10 @@
       [Unix.gettimeofday]/[Unix.time] in [lib/] — simulations must be
       deterministic; time comes from an injected {!Timebase.clock} and
       randomness from an explicit [Random.State.t].
+    - {b negative-modulo} (R6): no [abs … mod …] indexing. [abs min_int]
+      is [min_int] (two's complement has no positive counterpart), so
+      the subsequent [mod] is negative and the index lands out of
+      bounds. Clear the sign bit with [land max_int] instead.
 
     Escape hatch: a comment [(* lint: allow <rule> ... *)] suppresses
     the named rules (or [all]) on its own line and on the line
@@ -121,9 +125,20 @@ let patterns : pattern list =
         "ambient time/randomness breaks simulation determinism; inject a \
          Timebase.clock or Random.State.t";
     };
+    {
+      rule = "negative-modulo";
+      tokens = [ "abs" ];
+      co_words = [ "mod" ];
+      applies = (fun ~path:_ ~in_lib:_ -> true);
+      message =
+        "abs before mod overflows on min_int (abs min_int = min_int), making \
+         the index negative; clear the sign bit with land max_int instead";
+    };
   ]
 
-let rule_names = [ "poly-hash"; "hot-path-exn"; "mac-compare"; "missing-mli"; "nondet" ]
+let rule_names =
+  [ "poly-hash"; "hot-path-exn"; "mac-compare"; "missing-mli"; "nondet";
+    "negative-modulo" ]
 
 (* --------------------------- tokenization --------------------------- *)
 

@@ -1,6 +1,6 @@
 (** [colibri-lint]: project-specific static analysis.
 
-    Five rules, each with a pragma name usable in a
+    Six rules, each with a pragma name usable in a
     [(* lint: allow <rule> ... *)] escape hatch (which suppresses the
     named rules — or [all] — on its own line and on the line
     immediately following):
@@ -17,6 +17,9 @@
     - [missing-mli] (R4): every [lib/**/*.ml] has a matching [.mli].
     - [nondet] (R5): no [Random.self_init]/[Sys.time]/
       [Unix.gettimeofday]/[Unix.time] under [lib/].
+    - [negative-modulo] (R6): no [abs … mod …] indexing anywhere —
+      [abs min_int] stays negative, so the index goes out of bounds;
+      use [land max_int] to clear the sign bit.
 
     Comment and string-literal contents are masked before token
     matching, so documentation never triggers findings. *)
@@ -26,7 +29,7 @@ type finding = { file : string; line : int; rule : string; message : string }
 val pp_finding : Format.formatter -> finding -> unit
 
 val rule_names : string list
-(** The five pragma names, in R1..R5 order. *)
+(** The six pragma names, in R1..R6 order. *)
 
 val lint_source : path:string -> in_lib:bool -> string -> finding list
 (** Lint one compilation unit given its content. [path] selects which

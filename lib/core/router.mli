@@ -52,6 +52,7 @@ val create :
   ?report:(src:Ids.asn -> unit) ->
   ?auto_block:bool ->
   ?confirm_after_drops:int ->
+  ?registry:Obs.Registry.t ->
   secret:Hvf.as_secret ->
   clock:Timebase.clock ->
   Ids.asn ->
@@ -61,11 +62,22 @@ val create :
     the duplicate-suppression system (§7.1). [report] receives
     confirmed-overuse notifications (typically wired to
     {!Cserv.report_misbehavior}); with [auto_block] the offender is
-    also blocklisted locally. *)
+    also blocklisted locally. [registry] receives the router's
+    drop-accounting metrics (DESIGN.md §7); a private registry is
+    created when omitted. *)
 
 val blocklist : t -> Monitor.Blocklist.t
 val stats : t -> stats
 val watched_count : t -> int
+
+val metrics : t -> Obs.Registry.t
+(** The router's metric registry: [router_forwarded_total],
+    [router_dropped_total{reason=...}] (one counter per
+    {!drop_reason}), suspect/overuse counters, and occupancy gauges
+    over the §4.8 monitors (duplicate-filter bits set and fill ratio,
+    OFD sketch saturation, watched-flow token fill, blocklist size).
+    Gauges are sampled only at snapshot time and never mutate monitor
+    state. *)
 
 val watch : t -> key:Ids.res_key -> rate:Bandwidth.t -> unit
 (** Explicitly place a reservation under deterministic token-bucket

@@ -20,3 +20,11 @@ val check_and_insert : t -> now:float -> int -> bool
 
 val memory_bytes : t -> int
 val inserted_in_window : t -> int
+
+val bits_set : t -> int
+(** Bloom occupancy across both generations — the telemetry gauge the
+    router exports. Observation-only: never mutates the filter. *)
+
+val fill_ratio : t -> float
+(** Fraction of the current generation's bits that are set; the
+    false-positive rate grows as this approaches the design point. *)

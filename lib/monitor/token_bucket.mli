@@ -22,7 +22,15 @@ val set_rate : t -> rate:Bandwidth.t -> now:Timebase.t -> unit
     bandwidth); the burst allowance keeps its duration. *)
 
 val rate : t -> Bandwidth.t
+
+val capacity_bits : t -> float
+(** The bucket's capacity in bits ([rate × burst] at creation time) —
+    the denominator for a fill-ratio gauge. *)
+
 val available_bits : t -> now:Timebase.t -> float
+(** Tokens that {e would} be available at [now]. Observation-only: the
+    bucket is not refilled, so sampling (even with a skewed clock)
+    never changes what a later {!admit} decides. *)
 
 val audit : t -> string list
 (** Check the bucket's state invariants: positive rate and capacity, a
