@@ -263,6 +263,39 @@ let ablation () =
     (100. *. (1. -. (mon_rate /. bare_rate)))
 
 (* ------------------------------------------------------------------ *)
+(* GC accounting: minor words allocated per packet on the wire path.   *)
+(* ------------------------------------------------------------------ *)
+
+let gc_mode () =
+  Measure.print_header
+    "GC: minor-heap words per packet on the data-plane wire path (after warm-up)";
+  let sends = if quick then 10_000 else 50_000 in
+  Printf.printf "%-34s %-18s %-14s\n" "component" "minor words/pkt" "Mpps";
+  let row name mk_run =
+    (* Fresh rig per metric so the allocation count is not polluted by
+       the other measurement's warm-up. *)
+    let words = Measure.minor_words_per_run ~n:sends (mk_run ()) in
+    let rate = Measure.throughput ~n:sends (mk_run ()) in
+    Printf.printf "%-34s %-18.3f %-14.4f\n" name words (Measure.mpps rate)
+  in
+  row "router process_bytes (EER, bare)" (fun () ->
+      (Workloads.router_rig ~path_len:4 ~distinct_packets:4096 ()).process);
+  (* 2^16 distinct packets: the duplicate filter must never see a
+     replay of the measurement traffic itself. *)
+  row "router process_bytes (EER, monitored)" (fun () ->
+      (Workloads.router_rig ~monitoring:true ~path_len:4 ~distinct_packets:65536 ())
+        .process);
+  row "gateway send (r=2^15)" (fun () ->
+      (Workloads.gateway_rig ~path_len:4 ~reservations:(1 lsl 15) ()).send);
+  row "gateway send (r=2^15, 1500B)" (fun () ->
+      (Workloads.gateway_rig ~payload_len:1500 ~path_len:4 ~reservations:(1 lsl 15) ())
+        .send);
+  print_newline ();
+  Printf.printf
+    "Target (DESIGN.md §8): 0 words/pkt for the bare router fast path; the\n\
+     gateway wire path allocates only its result cell.\n"
+
+(* ------------------------------------------------------------------ *)
 (* DoC protection (§5.3): control-message latency under link floods.   *)
 (* ------------------------------------------------------------------ *)
 
@@ -379,6 +412,7 @@ let all () =
   Table2.run ();
   app_e ();
   ablation ();
+  gc_mode ();
   doc ()
 
 let () =
@@ -391,6 +425,7 @@ let () =
       ("table2", Table2.run);
       ("appE", app_e);
       ("ablation", ablation);
+      ("gc", gc_mode);
       ("doc", doc);
       ("bechamel", bechamel_suite);
       ("all", all);

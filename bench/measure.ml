@@ -41,6 +41,23 @@ let throughput ?(warmup = 1000) ~(n : int) (f : int -> unit) : float =
   let dt = Int64.to_float (Int64.sub (now_ns ()) t0) /. 1e9 in
   float_of_int n /. dt
 
+(** Minor-heap words allocated per run of [f], measured over [n]
+    warmed-up runs. The wire-path refactor is judged by this number
+    (DESIGN.md §8): the claim is not "fast" but "allocation-free after
+    warm-up", which GC counters can assert exactly, unlike timing. *)
+let minor_words_per_run ?(warmup = 1000) ~(n : int) (f : int -> unit) : float =
+  for i = 0 to warmup - 1 do
+    f i
+  done;
+  let before = Gc.minor_words () in
+  for i = 0 to n - 1 do
+    f (warmup + i)
+  done;
+  let after = Gc.minor_words () in
+  (* [before]'s own float box is allocated after its counter read and
+     so lands inside the measured window; subtract it. *)
+  Float.max 0. (after -. before -. 2.) /. float_of_int n
+
 (** Pretty throughput in Mpps and the Gbps equivalent for a payload. *)
 let mpps rate = rate /. 1e6
 

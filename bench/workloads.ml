@@ -192,9 +192,11 @@ let gateway_rig ?(payload_len = 0) ~(path_len : int) ~(reservations : int) () :
   (* Worst case per §7.1: "packets arrive with random reservation IDs
      (out of the set of valid ones)" — a multiplicative-hash sequence
      visits IDs pseudo-randomly. *)
+  (* Measure the wire path the deployment runs: [send_bytes] encodes
+     into the gateway's reusable buffer (DESIGN.md §8). *)
   let send i =
     let res_id = 1 + (i * 0x9e3779b1 land 0x3fffffff) mod reservations in
-    match Gateway.send gw ~res_id ~payload_len with
+    match Gateway.send_bytes gw ~res_id ~payload_len with
     | Ok _ -> ()
     | Error e -> Fmt.failwith "gateway_rig send: %a" Gateway.pp_drop_reason e
   in

@@ -50,6 +50,17 @@ module Sharded_gateway = struct
       (Packet.t * Ids.iface, Gateway.drop_reason) result =
     Gateway.send t.shards.(shard_of t res_id) ~res_id ~payload_len
 
+  (** Zero-copy variant: encodes into the owning shard's reusable
+      output buffer ({!Gateway.out} of the returned shard, valid until
+      that shard's next send). *)
+  (* hot-path *)
+  let send_bytes (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
+      (Gateway.t * Ids.iface, Gateway.drop_reason) result =
+    let g = t.shards.(shard_of t res_id) in
+    match Gateway.send_bytes g ~res_id ~payload_len with
+    | Ok egress -> Ok (g, egress)
+    | Error _ as e -> e
+
   let reservation_count (t : t) =
     Array.fold_left (fun acc g -> acc + Gateway.reservation_count g) 0 t.shards
 

@@ -34,6 +34,14 @@ module Sharded_gateway : sig
     t -> res_id:Ids.res_id -> payload_len:int ->
     (Packet.t * Ids.iface, Gateway.drop_reason) result
 
+  val send_bytes :
+    t -> res_id:Ids.res_id -> payload_len:int ->
+    (Gateway.t * Ids.iface, Gateway.drop_reason) result
+  (** Zero-copy variant of {!send}: the header is encoded into the
+      owning shard's reusable buffer — read it via [Gateway.out] /
+      [Gateway.out_len] on the returned shard before that shard's next
+      send. *)
+
   val reservation_count : t -> int
 
   val balance : t -> int * int

@@ -70,6 +70,12 @@ type t = {
   stats : stats;
   registry : Obs.Registry.t;
   metrics : metrics;
+  (* Reusable output buffer and MAC scratch for {!send_bytes}
+     (DESIGN.md §8): the header is encoded in place, so the steady
+     state allocates no per-packet buffers. *)
+  mutable out : bytes;
+  mutable out_len : int;
+  hscr : Hvf.scratch;
 }
 
 let drop_counter (registry : Obs.Registry.t) (reason : string) : Obs.Counter.t =
@@ -93,7 +99,8 @@ let create ?(burst = 0.1) ?(registry = Obs.Registry.create ())
       float_of_int (Hashtbl.length entries));
   { asn; clock; burst; entries;
     stats = { sent_pkts = 0; sent_bytes = 0; dropped_rate = 0; dropped_other = 0 };
-    registry; metrics }
+    registry; metrics;
+    out = Bytes.create 512; out_len = 0; hscr = Hvf.scratch () }
 
 let metrics (t : t) = t.registry
 
@@ -246,6 +253,126 @@ let send (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
             in
             Ok (packet, egress)
           end)
+
+(* -- Zero-copy emission (DESIGN.md §8) -- *)
+
+(* First version still valid at [now], newest first — the same pick as
+   [send]'s [List.find_opt], as a plain recursion (no closure). *)
+(* hot-path *)
+let rec first_valid_version ~(now : Timebase.t) (versions : version_state list) :
+    version_state option =
+  match versions with
+  | [] -> None
+  | vs :: rest ->
+      if Reservation.version_valid vs.version ~now then Some vs
+      else first_valid_version ~now rest
+
+(* Encode the path hops at [off], 20 bytes per hop, byte-identical to
+   [Path.to_bytes]. *)
+(* hot-path *)
+let rec write_hops (b : bytes) (off : int) (hops : Path.hop list) =
+  match hops with
+  | [] -> ()
+  | h :: rest ->
+      Packet.Wire.put32 b off h.asn.isd;
+      Packet.Wire.put32 b (off + 4) h.asn.num;
+      Packet.Wire.put32 b (off + 8) h.ingress;
+      Packet.Wire.put32 b (off + 12) h.egress;
+      Packet.Wire.put32 b (off + 16) 0;
+      write_hops b (off + 20) rest
+
+(* HVF fields at [off], one per σ, via the allocation-free Eq. (6). *)
+(* hot-path *)
+let write_hvfs (t : t) (vs : version_state) ~(ts : Timebase.Ts.t)
+    ~(pkt_size : int) (off : int) =
+  for i = 0 to Array.length vs.sigmas - 1 do
+    Hvf.eer_hvf_into vs.sigmas.(i) t.hscr ~ts ~pkt_size ~dst:t.out
+      ~dst_off:(off + (i * Packet.hvf_len))
+  done
+
+(** {!send} without materializing a [Packet.t]: the header is encoded
+    straight into the gateway's reusable output buffer ({!out}, valid
+    until the next [send_bytes] on this gateway) and the HVFs are
+    computed in place. The bytes produced are identical to
+    [Packet.to_bytes] of the packet {!send} would have returned.
+    Returns the egress interface of the first hop. *)
+(* hot-path *)
+let send_bytes (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
+    (Ids.iface, drop_reason) result =
+  let now = t.clock () in
+  match Hashtbl.find_opt t.entries res_id with
+  | None ->
+      t.stats.dropped_other <- t.stats.dropped_other + 1;
+      Obs.Counter.incr t.metrics.m_drop_unknown;
+      Error Unknown_reservation
+  | Some e -> (
+      match first_valid_version ~now e.versions with
+      | None ->
+          Hashtbl.remove t.entries res_id;
+          t.stats.dropped_other <- t.stats.dropped_other + 1;
+          Obs.Counter.incr t.metrics.m_drop_expired;
+          Error Expired
+      | Some vs ->
+          let hops = Path.length e.eer.path in
+          let header = Packet.header_len ~hops in
+          let pkt_size = header + payload_len in
+          if not (Monitor.Token_bucket.admit e.bucket ~now ~bytes:pkt_size) then begin
+            t.stats.dropped_rate <- t.stats.dropped_rate + 1;
+            Obs.Counter.incr t.metrics.m_drop_rate;
+            Error Rate_exceeded
+          end
+          else begin
+            let ts =
+              let computed =
+                Timebase.Ts.to_int
+                  (Timebase.Ts.of_times ~exp_time:vs.res_info.exp_time ~now)
+              in
+              let unique = if computed >= vs.last_ts then vs.last_ts - 1 else computed in
+              vs.last_ts <- unique;
+              Timebase.Ts.of_int unique
+            in
+            if Bytes.length t.out < header then
+              (* Growth is amortized: only when a longer path than ever
+                 before passes through this gateway. *)
+              (* lint: allow hot-path-alloc *)
+              t.out <- Bytes.create (max header (2 * Bytes.length t.out));
+            let b = t.out in
+            Packet.Wire.put16 b 0 Packet.magic;
+            Bytes.set_uint8 b 2 1 (* Eer *);
+            Bytes.set_uint8 b 3 hops;
+            Packet.Wire.put32 b 4 payload_len;
+            Packet.Wire.put64 b 8 (Timebase.Ts.to_int ts);
+            write_hops b Packet.fixed_header_len e.eer.path;
+            let res_off = Packet.fixed_header_len + (hops * Path.hop_byte_size) in
+            let ri = vs.res_info in
+            Packet.Wire.put32 b res_off ri.src_as.isd;
+            Packet.Wire.put32 b (res_off + 4) ri.src_as.num;
+            Packet.Wire.put32 b (res_off + 8) ri.res_id;
+            Packet.Wire.put64 b (res_off + 12)
+              (int_of_float (Float.round (Bandwidth.to_bps ri.bw)));
+            Packet.Wire.put64 b (res_off + 20)
+              (int_of_float (Float.round (ri.exp_time *. 1e6)));
+            Packet.Wire.put32 b (res_off + 28) ri.version;
+            let eer_off = res_off + Packet.res_info_len in
+            Packet.Wire.put32 b eer_off e.eer_info.src_host.addr;
+            Packet.Wire.put32 b (eer_off + 4) e.eer_info.dst_host.addr;
+            write_hvfs t vs ~ts ~pkt_size (eer_off + Packet.eer_info_len);
+            t.out_len <- header;
+            t.stats.sent_pkts <- t.stats.sent_pkts + 1;
+            t.stats.sent_bytes <- t.stats.sent_bytes + pkt_size;
+            Obs.Counter.incr t.metrics.m_sent_pkts;
+            Obs.Counter.add t.metrics.m_sent_bytes pkt_size;
+            Obs.Histogram.observe t.metrics.m_pkt_size (float_of_int pkt_size);
+            let egress =
+              match e.eer.path with
+              | first :: _ -> first.egress
+              | [] -> Ids.local_iface
+            in
+            Ok egress
+          end)
+
+let out (t : t) = t.out
+let out_len (t : t) = t.out_len
 
 let reservation_count (t : t) = Hashtbl.length t.entries
 let stats (t : t) = t.stats

@@ -68,6 +68,21 @@ val send :
     hop. The authenticated [PktSize] covers header plus payload, so
     header-only floods remain accountable (§4.8). *)
 
+val send_bytes :
+  t -> res_id:Ids.res_id -> payload_len:int -> (Ids.iface, drop_reason) result
+(** {!send} without materializing a [Packet.t]: the header is encoded
+    straight into the gateway's reusable output buffer and the HVFs
+    are computed in place (DESIGN.md §8), producing bytes identical to
+    [Packet.to_bytes] of the packet {!send} would have built. On [Ok],
+    the wire header is in {!out} for {!out_len} bytes — valid only
+    until the next [send_bytes] on this gateway. *)
+
+val out : t -> bytes
+(** The reusable output buffer of the last successful {!send_bytes};
+    only the first {!out_len} bytes are meaningful. *)
+
+val out_len : t -> int
+
 val reservation_count : t -> int
 val stats : t -> stats
 

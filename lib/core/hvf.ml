@@ -80,6 +80,111 @@ let equal_hvf (a : bytes) (b : bytes) : bool =
   done;
   !acc = 0
 
+(* -- Allocation-free variants over a Packet.View (DESIGN.md §8) -- *)
+
+type scratch = {
+  mac_input : bytes;
+      (* 48 bytes: ResInfo ‖ [EERInfo ‖] In ‖ Eg, the Eq. (3)/(4) input *)
+  ts_size : bytes; (* 12 bytes: Ts ‖ PktSize, the Eq. (6) input *)
+  tag : bytes; (* 16 bytes: σ_i, then recomputed tokens/HVFs *)
+  sigma : sigma; (* re-keyed in place with σ_i per packet *)
+}
+(** Per-consumer working buffers for the [_into] pipeline. A router
+    owns exactly one; nothing in here is secret state beyond the
+    transient values of the packet in flight. *)
+
+let scratch () : scratch =
+  {
+    mac_input = Bytes.create (Packet.res_info_len + Packet.eer_info_len + 8);
+    ts_size = Bytes.create 12;
+    tag = Bytes.create Crypto.Cmac.mac_size;
+    sigma = Crypto.Cmac.of_secret (Bytes.make 16 '\000');
+  }
+
+(* Assemble the Eq. (3)/(4) MAC input from the wire: ResInfo and
+   EERInfo are contiguous in the packet, and the In ‖ Eg tail is bytes
+   8..16 of the hop entry, already in canonical encoding — two blits,
+   no per-field re-encoding. Returns the input length. *)
+(* hot-path *)
+let fill_hop_mac_input (scr : scratch) (v : Packet.View.t) ~(hop : int)
+    ~(with_eer : bool) : int =
+  let b = Packet.View.buffer v in
+  let n =
+    if with_eer then Packet.res_info_len + Packet.eer_info_len
+    else Packet.res_info_len
+  in
+  Bytes.blit b (Packet.View.res_off v) scr.mac_input 0 n;
+  Bytes.blit b (Packet.View.hop_off v hop + 8) scr.mac_input n 8;
+  n + 8
+
+(** Eq. (3) into caller scratch: write the ℓ_hvf-byte SegR token for
+    hop [hop] of the viewed packet at [dst+dst_off]. *)
+(* hot-path *)
+let seg_token_into (k : as_secret) (scr : scratch) (v : Packet.View.t)
+    ~(hop : int) ~(dst : bytes) ~(dst_off : int) =
+  let len = fill_hop_mac_input scr v ~hop ~with_eer:false in
+  Crypto.Cmac.digest_trunc_into k scr.mac_input ~off:0 ~len ~dst ~dst_off
+    ~tag_len:Packet.hvf_len
+
+(** Eq. (4) into caller scratch: write the 16-byte hop authenticator
+    σ_i for hop [hop] of the viewed EER packet at [dst+dst_off]. *)
+(* hot-path *)
+let hop_auth_into (k : as_secret) (scr : scratch) (v : Packet.View.t)
+    ~(hop : int) ~(dst : bytes) ~(dst_off : int) =
+  let len = fill_hop_mac_input scr v ~hop ~with_eer:true in
+  Crypto.Cmac.digest_into k scr.mac_input ~off:0 ~len ~dst ~dst_off
+
+(** Eq. (6) into caller scratch: write the ℓ_hvf-byte per-packet HVF
+    [MAC_σ(Ts ‖ PktSize)[0:ℓ_hvf]] at [dst+dst_off]. *)
+(* hot-path *)
+let eer_hvf_into (s : sigma) (scr : scratch) ~(ts : Timebase.Ts.t)
+    ~(pkt_size : int) ~(dst : bytes) ~(dst_off : int) =
+  Packet.Wire.put64 scr.ts_size 0 (Timebase.Ts.to_int ts);
+  Packet.Wire.put32 scr.ts_size 8 pkt_size;
+  Crypto.Cmac.digest_trunc_into s scr.ts_size ~off:0 ~len:12 ~dst ~dst_off
+    ~tag_len:Packet.hvf_len
+
+(** Constant-time equality of two ℓ_hvf-byte spans. *)
+(* hot-path *)
+let equal_hvf_at (a : bytes) ~(a_off : int) (b : bytes) ~(b_off : int) : bool =
+  a_off >= 0
+  && b_off >= 0
+  && a_off + Packet.hvf_len <= Bytes.length a
+  && b_off + Packet.hvf_len <= Bytes.length b
+  &&
+  let acc = ref 0 in
+  for i = 0 to Packet.hvf_len - 1 do
+    acc :=
+      !acc
+      lor (Char.code (Bytes.get a (a_off + i))
+          lxor Char.code (Bytes.get b (b_off + i)))
+  done;
+  !acc = 0
+
+(** Full Eq. (3) check on the wire: recompute hop [hop]'s SegR token
+    and compare it against the packet's own HVF, in constant time and
+    without allocating. *)
+(* hot-path *)
+let seg_check (k : as_secret) (scr : scratch) (v : Packet.View.t) ~(hop : int) :
+    bool =
+  seg_token_into k scr v ~hop ~dst:scr.tag ~dst_off:0;
+  equal_hvf_at scr.tag ~a_off:0 (Packet.View.buffer v)
+    ~b_off:(Packet.View.hvf_off v hop)
+
+(** Full Eq. (4) → Eq. (6) check on the wire: re-derive σ_i, re-key the
+    scratch CMAC key with it in place, recompute the per-packet HVF for
+    [pkt_size], and compare — the stateless router's whole EER
+    validation, with zero allocation. *)
+(* hot-path *)
+let eer_check (k : as_secret) (scr : scratch) (v : Packet.View.t) ~(hop : int)
+    ~(pkt_size : int) : bool =
+  hop_auth_into k scr v ~hop ~dst:scr.tag ~dst_off:0;
+  Crypto.Cmac.rekey scr.sigma scr.tag ~off:0;
+  eer_hvf_into scr.sigma scr ~ts:(Packet.View.ts v) ~pkt_size ~dst:scr.tag
+    ~dst_off:0;
+  equal_hvf_at scr.tag ~a_off:0 (Packet.View.buffer v)
+    ~b_off:(Packet.View.hvf_off v hop)
+
 (* -- Eq. (5): AEAD transport of σ_i back to the source AS -- *)
 
 (** [seal_sigma ~key ~res_key sigma_bytes] protects σ_i for the trip

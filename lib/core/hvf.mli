@@ -59,6 +59,40 @@ val eer_hvf : sigma -> ts:Timebase.Ts.t -> pkt_size:int -> bytes
 val equal_hvf : bytes -> bytes -> bool
 (** Constant-time equality for ℓ_hvf-byte fields. *)
 
+(** {1 Allocation-free variants over a [Packet.View] (DESIGN.md §8)} *)
+
+type scratch
+(** Per-consumer working buffers (MAC input, Ts‖PktSize block, tag
+    block, and a re-keyable σ key) for the [_into] pipeline. A router
+    owns exactly one; never share one across domains. *)
+
+val scratch : unit -> scratch
+
+val seg_token_into :
+  as_secret -> scratch -> Packet.View.t -> hop:int -> dst:bytes -> dst_off:int -> unit
+(** Eq. (3): write hop [hop]'s ℓ_hvf-byte SegR token at [dst+dst_off]. *)
+
+val hop_auth_into :
+  as_secret -> scratch -> Packet.View.t -> hop:int -> dst:bytes -> dst_off:int -> unit
+(** Eq. (4): write the 16-byte σ_i for hop [hop] of the viewed EER
+    packet at [dst+dst_off]. *)
+
+val eer_hvf_into :
+  sigma -> scratch -> ts:Timebase.Ts.t -> pkt_size:int -> dst:bytes -> dst_off:int -> unit
+(** Eq. (6): write the ℓ_hvf-byte per-packet HVF at [dst+dst_off]. *)
+
+val equal_hvf_at : bytes -> a_off:int -> bytes -> b_off:int -> bool
+(** Constant-time equality of two ℓ_hvf-byte spans. *)
+
+val seg_check : as_secret -> scratch -> Packet.View.t -> hop:int -> bool
+(** Recompute hop [hop]'s Eq. (3) token and compare it against the
+    packet's own HVF — allocation-free. *)
+
+val eer_check : as_secret -> scratch -> Packet.View.t -> hop:int -> pkt_size:int -> bool
+(** The stateless router's whole EER validation (Eq. (4) → Eq. (6)):
+    re-derive σ_i, re-key the scratch key in place, recompute the HVF
+    for [pkt_size], compare — allocation-free. *)
+
 (** {1 Eq. (5): AEAD transport of σ_i back to the source AS} *)
 
 val seal_sigma :

@@ -92,6 +92,11 @@ type t = {
   stats : stats;
   registry : Obs.Registry.t;
   metrics : metrics;
+  (* Per-router scratch for the zero-copy fast path (DESIGN.md §8):
+     the packet view and the MAC working buffers are reused across
+     packets, so a warmed-up [process_bytes] does not allocate. *)
+  view : Packet.View.t;
+  hscr : Hvf.scratch;
 }
 
 (** [create ~secret ~clock asn] builds a border router. [ofd] and
@@ -150,6 +155,8 @@ let create ?(freshness_window = 2.0 +. Timebase.max_skew)
         { forwarded = 0; dropped = 0; suspects_flagged = 0; confirmed_overuse = 0 };
       registry;
       metrics;
+      view = Packet.View.create ();
+      hscr = Hvf.scratch ();
     }
   in
   (* Occupancy gauges (§4.8 monitors), sampled only at snapshot time;
@@ -214,6 +221,25 @@ let confirm_overuse (t : t) ~(src : Ids.asn) =
   if t.auto_block then Monitor.Blocklist.block t.blocklist src ~duration:None;
   t.report ~src
 
+(* Deterministic policing of flagged suspects: limit the flow to its
+   reserved bandwidth (Table 2, phase 3). True when the packet must be
+   dropped; tracks the drop count that turns a suspect into confirmed
+   overuse. Shared by the record-based and view-based paths. *)
+let police (t : t) ~(now : Timebase.t) ~(key : Ids.res_key) ~(actual_size : int) :
+    bool =
+  match Ids.Res_key_tbl.find_opt t.watched key with
+  | None -> false
+  | Some bucket ->
+      if Monitor.Token_bucket.admit bucket ~now ~bytes:actual_size then false
+      else begin
+        let drops =
+          Option.value ~default:0 (Ids.Res_key_tbl.find_opt t.drop_counts key) + 1
+        in
+        Ids.Res_key_tbl.replace t.drop_counts key drops;
+        if drops = t.confirm_after_drops then confirm_overuse t ~src:key.src_as;
+        true
+      end
+
 (** Validate and route one already-parsed packet whose true wire size
     is [actual_size] bytes. The HVF authenticates [PktSize], so a
     mismatch between declared and actual size fails validation. *)
@@ -239,69 +265,59 @@ let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
           let sent = Timebase.Ts.to_time ~exp_time:ri.exp_time packet.ts in
           if Float.abs (now -. sent) > t.freshness_window then drop Stale_timestamp
           else begin
-            let hvf_ok =
+            (* HVF validation decides the packet class once; an EER
+               packet without EERInfo cannot authenticate (EERInfo is
+               part of the Eq. (4) MAC input), so the routing arms
+               below never face a missing destination host. *)
+            let checked =
               match packet.kind with
               | Packet.Seg ->
-                  Hvf.equal_hvf packet.hvfs.(i)
-                    (Hvf.seg_token t.secret ~res_info:ri ~hop)
+                  if
+                    Hvf.equal_hvf packet.hvfs.(i)
+                      (Hvf.seg_token t.secret ~res_info:ri ~hop)
+                  then `Seg
+                  else `Bad
               | Packet.Eer -> (
                   match packet.eer_info with
-                  | None -> false
+                  | None -> `Bad
                   | Some eer_info ->
                       let sigma =
                         Hvf.sigma_of_bytes
                           (Hvf.hop_auth t.secret ~res_info:ri ~eer_info ~hop)
                       in
-                      Hvf.equal_hvf packet.hvfs.(i)
-                        (Hvf.eer_hvf sigma ~ts:packet.ts ~pkt_size:actual_size))
+                      if
+                        Hvf.equal_hvf packet.hvfs.(i)
+                          (Hvf.eer_hvf sigma ~ts:packet.ts ~pkt_size:actual_size)
+                      then `Eer eer_info
+                      else `Bad)
             in
-            if not hvf_ok then drop Invalid_hvf
-            else begin
-              let key = Packet.res_key packet in
-              (* Replay suppression [32]: all copies of a seen packet
-                 are discarded. *)
-              let fresh =
-                match t.duplicates with
-                | None -> true
-                | Some f ->
-                    (* Bloom indexing, not authentication: a collision
-                       costs one false-positive drop. *)
-                    Monitor.Duplicate_filter.check_and_insert f ~now
-                      (* lint: allow poly-hash *)
-                      (Hashtbl.hash
-                         ( key.src_as.isd,
-                           key.src_as.num,
-                           key.res_id,
-                           Timebase.Ts.to_int packet.ts,
-                           actual_size ))
-              in
-              if not fresh then drop Duplicate
-              else begin
-                (* Deterministic policing of flagged suspects: limit the
-                   flow to its reserved bandwidth (Table 2, phase 3). *)
-                let policed =
-                  match Ids.Res_key_tbl.find_opt t.watched key with
-                  | None -> false
-                  | Some bucket ->
-                      if Monitor.Token_bucket.admit bucket ~now ~bytes:actual_size then
-                        false
-                      else begin
-                        let drops =
-                          Option.value ~default:0
-                            (Ids.Res_key_tbl.find_opt t.drop_counts key)
-                          + 1
-                        in
-                        Ids.Res_key_tbl.replace t.drop_counts key drops;
-                        if drops = t.confirm_after_drops then
-                          confirm_overuse t ~src:key.src_as;
-                        true
-                      end
+            match checked with
+            | `Bad -> drop Invalid_hvf
+            | (`Seg | `Eer _) as cls ->
+                let key = Packet.res_key packet in
+                (* Replay suppression [32]: all copies of a seen packet
+                   are discarded. *)
+                let fresh =
+                  match t.duplicates with
+                  | None -> true
+                  | Some f ->
+                      (* Bloom indexing, not authentication: a collision
+                         costs one false-positive drop. *)
+                      Monitor.Duplicate_filter.check_and_insert f ~now
+                        (* lint: allow poly-hash *)
+                        (Hashtbl.hash
+                           ( key.src_as.isd,
+                             key.src_as.num,
+                             key.res_id,
+                             Timebase.Ts.to_int packet.ts,
+                             actual_size ))
                 in
-                if policed then drop Policed
+                if not fresh then drop Duplicate
+                else if police t ~now ~key ~actual_size then drop Policed
                 else begin
                   (* Probabilistic monitoring over all EER flows. *)
-                  (match (packet.kind, t.ofd) with
-                  | Packet.Eer, Some ofd ->
+                  (match (cls, t.ofd) with
+                  | `Eer _, Some ofd ->
                       let normalized =
                         8. *. float_of_int actual_size /. Bandwidth.to_bps ri.bw
                       in
@@ -316,31 +332,160 @@ let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
                   | _ -> ());
                   t.stats.forwarded <- t.stats.forwarded + 1;
                   Obs.Counter.incr t.metrics.m_forwarded;
-                  match packet.kind with
-                  | Packet.Seg -> Ok To_cserv
-                  | Packet.Eer ->
-                      if hop.egress = Ids.local_iface then
-                        Ok
-                          (Deliver
-                             (match packet.eer_info with
-                             | Some e -> e.dst_host
-                             | None -> Ids.host 0))
+                  match cls with
+                  | `Seg -> Ok To_cserv
+                  | `Eer eer_info ->
+                      if hop.egress = Ids.local_iface then Ok (Deliver eer_info.dst_host)
                       else Ok (Forward hop.egress)
+                end
+          end
+        end
+  end
+
+(* Own-hop scan directly on the view: index of this AS on the path, or
+   -1. A loop over unboxed int accessors — no hop records, no list. *)
+(* hot-path *)
+let rec own_hop_view (v : Packet.View.t) ~(isd : int) ~(num : int) ~(hops : int)
+    (i : int) : int =
+  if i >= hops then -1
+  else if Packet.View.hop_isd v i = isd && Packet.View.hop_num v i = num then i
+  else own_hop_view v ~isd ~num ~hops (i + 1)
+
+(* The validation pipeline of [process], re-expressed over the parsed
+   view: blocklist → own-hop scan → expiry → freshness → HVF →
+   monitors → route. Same checks, same order, same drop accounting —
+   but field reads are unboxed, MACs run in the per-router scratch, and
+   monitor-state lookups that need key records are gated on occupancy,
+   so a valid SegR packet on a bare router allocates nothing at all
+   (the zero-minor-words regression test holds this). *)
+(* hot-path *)
+let process_view (t : t) ~(actual_size : int) : (action, drop_reason) result =
+  let v = t.view in
+  let now = t.clock () in
+  let drop r =
+    t.stats.dropped <- t.stats.dropped + 1;
+    Obs.Counter.incr t.metrics.m_dropped.(drop_index r);
+    Error r
+  in
+  if
+    Monitor.Blocklist.size t.blocklist > 0
+    && Monitor.Blocklist.is_blocked t.blocklist
+         (Ids.asn ~isd:(Packet.View.src_isd v) ~num:(Packet.View.src_num v))
+  then drop Blocked_source
+  else begin
+    let hops = Packet.View.hops v in
+    let i = own_hop_view v ~isd:t.asn.isd ~num:t.asn.num ~hops 0 in
+    if i < 0 then drop Not_on_path
+    else begin
+      (* Expiry: reservation must still be valid (± clock skew). The
+         float fields are recovered from the raw µs/bps integers, which
+         agrees with the boxed decode for any value a gateway can emit
+         (see Packet.View.exp_time_us). *)
+      let exp_time = float_of_int (Packet.View.exp_time_us v) /. 1e6 in
+      if now > exp_time +. Timebase.max_skew then drop Expired_reservation
+      else begin
+        (* Freshness: the timestamp must lie within the window that
+           covers clock skew plus maximum forwarding delay. *)
+        let sent =
+          exp_time -. (float_of_int (Timebase.Ts.to_int (Packet.View.ts v)) /. 1e6)
+        in
+        if Float.abs (now -. sent) > t.freshness_window then drop Stale_timestamp
+        else begin
+          let is_eer =
+            match Packet.View.kind v with Packet.Eer -> true | Packet.Seg -> false
+          in
+          let hvf_ok =
+            if is_eer then
+              Hvf.eer_check t.secret t.hscr v ~hop:i ~pkt_size:actual_size
+            else Hvf.seg_check t.secret t.hscr v ~hop:i
+          in
+          if not hvf_ok then drop Invalid_hvf
+          else begin
+            (* Replay suppression [32]: all copies of a seen packet are
+               discarded. The hash tuple keeps the exact shape of the
+               record-based path, so both paths index the same Bloom
+               positions for the same packet. *)
+            let fresh =
+              match t.duplicates with
+              | None -> true
+              | Some f ->
+                  Monitor.Duplicate_filter.check_and_insert f ~now
+                    (* lint: allow poly-hash *)
+                    (Hashtbl.hash
+                       ( Packet.View.src_isd v,
+                         Packet.View.src_num v,
+                         Packet.View.res_id v,
+                         Timebase.Ts.to_int (Packet.View.ts v),
+                         actual_size ))
+            in
+            if not fresh then drop Duplicate
+            else begin
+              let policed =
+                Ids.Res_key_tbl.length t.watched > 0
+                &&
+                let key : Ids.res_key =
+                  {
+                    src_as =
+                      Ids.asn ~isd:(Packet.View.src_isd v)
+                        ~num:(Packet.View.src_num v);
+                    res_id = Packet.View.res_id v;
+                  }
+                in
+                police t ~now ~key ~actual_size
+              in
+              if policed then drop Policed
+              else begin
+                (* Probabilistic monitoring over all EER flows. *)
+                (match t.ofd with
+                | Some ofd when is_eer ->
+                    let key : Ids.res_key =
+                      {
+                        src_as =
+                          Ids.asn ~isd:(Packet.View.src_isd v)
+                            ~num:(Packet.View.src_num v);
+                        res_id = Packet.View.res_id v;
+                      }
+                    in
+                    let bw_bps = float_of_int (Packet.View.bw_bps_int v) in
+                    let normalized = 8. *. float_of_int actual_size /. bw_bps in
+                    (match Monitor.Ofd.observe ofd ~now ~key ~normalized with
+                    | `Suspect ->
+                        t.stats.suspects_flagged <- t.stats.suspects_flagged + 1;
+                        Obs.Counter.incr t.metrics.m_suspects;
+                        if not (Ids.Res_key_tbl.mem t.watched key) then
+                          Ids.Res_key_tbl.replace t.watched key
+                            (Monitor.Token_bucket.create
+                               ~rate:(Bandwidth.of_bps bw_bps) ~burst:0.1 ~now)
+                    | `Ok -> ())
+                | _ -> ());
+                t.stats.forwarded <- t.stats.forwarded + 1;
+                Obs.Counter.incr t.metrics.m_forwarded;
+                if not is_eer then Ok To_cserv
+                else begin
+                  let egress = Packet.View.hop_egress v i in
+                  if egress = Ids.local_iface then
+                    Ok (Deliver (Ids.host (Packet.View.eer_dst_addr v)))
+                  else Ok (Forward egress)
                 end
               end
             end
           end
         end
+      end
+    end
   end
 
 (** Full fast path from raw bytes: parse, validate, route — what a
     border router actually executes per packet (§7.1 measures this
-    end-to-end, "including header updates"). *)
+    end-to-end, "including header updates"). Validation runs directly
+    on the router's reusable {!Packet.View}; after warm-up a valid
+    SegR packet is processed with zero minor-heap allocation. *)
+(* hot-path *)
 let process_bytes (t : t) ~(raw : bytes) ~(payload_len : int) :
     (action, drop_reason) result =
-  match Packet.of_bytes raw with
+  match Packet.View.parse t.view raw with
   | Error e ->
       t.stats.dropped <- t.stats.dropped + 1;
       Obs.Counter.incr t.metrics.m_dropped.(drop_index (Parse_error e));
       Error (Parse_error e)
-  | Ok packet -> process t ~packet ~actual_size:(Bytes.length raw + payload_len)
+  | Ok () -> process_view t ~actual_size:(Bytes.length raw + payload_len)

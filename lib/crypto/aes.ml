@@ -12,8 +12,12 @@
     absolute packet rates of the benchmarks without changing their
     shape (see DESIGN.md §3). *)
 
-type key = { rk : bytes }
-(** Expanded key schedule: 11 round keys of 16 bytes, 176 bytes. *)
+type key = { rk : bytes; st : int array; tmp : int array }
+(** Expanded key schedule (11 round keys of 16 bytes, 176 bytes) plus
+    the two 16-cell state arrays {!encrypt_block} works in. Hoisting
+    the state into the key makes a block encryption allocation-free on
+    the wire path (DESIGN.md §8); the price is that one [key] value
+    must not be used from two domains concurrently. *)
 
 let block_size = 16
 
@@ -45,40 +49,69 @@ let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
 
 let sub i = Char.code sbox.[i]
 
+(* Key-schedule core: expand the 16-byte key at [key+off] into [rk]
+   (176 bytes), in place. Shared by [expand] and [rekey]. The loop body
+   is written without helper closures or intermediate tuples: the
+   router re-runs this schedule per EER packet (σ re-derivation), so it
+   must not allocate. *)
+(* hot-path *)
+let expand_into (rk : bytes) (key : bytes) ~(off : int) =
+  Bytes.blit key off rk 0 16;
+  for i = 4 to 43 do
+    let wb = (i * 4) - 16 (* word i-4 *) and pb = (i * 4) - 4 (* word i-1 *) in
+    let w0 = Char.code (Bytes.get rk wb)
+    and w1 = Char.code (Bytes.get rk (wb + 1))
+    and w2 = Char.code (Bytes.get rk (wb + 2))
+    and w3 = Char.code (Bytes.get rk (wb + 3)) in
+    let p0 = Char.code (Bytes.get rk pb)
+    and p1 = Char.code (Bytes.get rk (pb + 1))
+    and p2 = Char.code (Bytes.get rk (pb + 2))
+    and p3 = Char.code (Bytes.get rk (pb + 3)) in
+    if i mod 4 = 0 then begin
+      (* RotWord + SubWord + Rcon *)
+      Bytes.set rk (i * 4) (Char.chr (w0 lxor (sub p1 lxor rcon.((i / 4) - 1))));
+      Bytes.set rk ((i * 4) + 1) (Char.chr (w1 lxor sub p2));
+      Bytes.set rk ((i * 4) + 2) (Char.chr (w2 lxor sub p3));
+      Bytes.set rk ((i * 4) + 3) (Char.chr (w3 lxor sub p0))
+    end
+    else begin
+      Bytes.set rk (i * 4) (Char.chr (w0 lxor p0));
+      Bytes.set rk ((i * 4) + 1) (Char.chr (w1 lxor p1));
+      Bytes.set rk ((i * 4) + 2) (Char.chr (w2 lxor p2));
+      Bytes.set rk ((i * 4) + 3) (Char.chr (w3 lxor p3))
+    end
+  done
+
 (** Expand a 16-byte key into the 11-round-key schedule. *)
 let expand (key : bytes) : key =
   if Bytes.length key <> 16 then invalid_arg "Aes.expand: key must be 16 bytes";
   let rk = Bytes.create 176 in
-  Bytes.blit key 0 rk 0 16;
-  for i = 4 to 43 do
-    let w j = Char.code (Bytes.get rk ((i * 4) - 16 + j)) in
-    (* previous word *)
-    let p j = Char.code (Bytes.get rk ((i * 4) - 4 + j)) in
-    let t0, t1, t2, t3 =
-      if i mod 4 = 0 then
-        ( sub (p 1) lxor rcon.((i / 4) - 1), sub (p 2), sub (p 3), sub (p 0) )
-      else (p 0, p 1, p 2, p 3)
-    in
-    Bytes.set rk (i * 4) (Char.chr (w 0 lxor t0));
-    Bytes.set rk ((i * 4) + 1) (Char.chr (w 1 lxor t1));
-    Bytes.set rk ((i * 4) + 2) (Char.chr (w 2 lxor t2));
-    Bytes.set rk ((i * 4) + 3) (Char.chr (w 3 lxor t3))
-  done;
-  { rk }
+  expand_into rk key ~off:0;
+  { rk; st = Array.make 16 0; tmp = Array.make 16 0 }
 
 let of_secret = expand
 
+(** [rekey k key ~off] re-expands the 16-byte secret at [key+off] into
+    [k]'s existing schedule, reusing its buffers. This is how the router
+    derives the per-reservation σ key without allocating (DESIGN.md §8). *)
+(* hot-path *)
+let rekey (k : key) (key : bytes) ~(off : int) =
+  if off < 0 || off + 16 > Bytes.length key then
+    invalid_arg "Aes.rekey: need 16 bytes";
+  expand_into k.rk key ~off
+
 (** [encrypt_block key ~src ~src_off ~dst ~dst_off] encrypts the
     16-byte block at [src+src_off] into [dst+dst_off]. [src] and [dst]
-    may alias. The state is kept in a small int array; all heavy inner
-    operations are table lookups. *)
+    may alias. The state lives in the key's scratch arrays; all heavy
+    inner operations are table lookups. *)
+(* hot-path *)
 let encrypt_block (k : key) ~(src : bytes) ~src_off ~(dst : bytes) ~dst_off =
   let rk = k.rk in
-  let s = Array.make 16 0 in
+  let s = k.st in
   for i = 0 to 15 do
     s.(i) <- Char.code (Bytes.get src (src_off + i)) lxor Char.code (Bytes.get rk i)
   done;
-  let tmp = Array.make 16 0 in
+  let tmp = k.tmp in
   for round = 1 to 10 do
     (* SubBytes + ShiftRows combined: tmp.(col*4+row) <- S(s[(col+row)*4+row]) *)
     for col = 0 to 3 do

@@ -6,7 +6,10 @@
     the FIPS-197 and SP 800-38A vectors in the test suite. *)
 
 type key
-(** An expanded key schedule (11 round keys). *)
+(** An expanded key schedule (11 round keys) plus the block-state
+    scratch {!encrypt_block} works in. Because the scratch is shared, a
+    [key] value must not be used from two domains concurrently; give
+    each domain its own expansion. *)
 
 val block_size : int
 (** 16 bytes. *)
@@ -23,3 +26,8 @@ val encrypt_block : key -> src:bytes -> src_off:int -> dst:bytes -> dst_off:int 
 
 val encrypt : key -> bytes -> bytes
 (** Encrypt one standalone 16-byte block. *)
+
+val rekey : key -> bytes -> off:int -> unit
+(** [rekey k secret ~off] re-expands the 16-byte secret at
+    [secret+off] into [k]'s existing schedule without allocating.
+    Raises [Invalid_argument] if fewer than 16 bytes are available. *)

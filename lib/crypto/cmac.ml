@@ -3,72 +3,91 @@
     CMAC over AES-128 is the message-authentication primitive used
     everywhere in Colibri: the DRKey pseudo-random function (Eq. (1)),
     the segment-reservation tokens (Eq. (3)), the hop authenticators
-    (Eq. (4)), and the per-packet hop validation fields (Eq. (6)). *)
+    (Eq. (4)), and the per-packet hop validation fields (Eq. (6)).
 
-type key = { aes : Aes.key; k1 : bytes; k2 : bytes }
+    The key record carries the two working blocks the digest loop needs
+    ([x], [last]) so that {!digest_into} / {!digest_trunc_into} are
+    allocation-free; see DESIGN.md §8 for the scratch-ownership rules.
+    A consequence is that one [key] must not be shared across domains. *)
+
+type key = { aes : Aes.key; k1 : bytes; k2 : bytes; x : bytes; last : bytes }
 
 let msb_set b = Char.code (Bytes.get b 0) land 0x80 <> 0
 
-(* Left-shift a 16-byte block by one bit. *)
-let shl1 (b : bytes) : bytes =
-  let out = Bytes.create 16 in
+(* Left-shift the 16-byte block [src] by one bit into [dst] (may alias). *)
+let shl1_into ~(src : bytes) ~(dst : bytes) =
   let carry = ref 0 in
   for i = 15 downto 0 do
-    let v = Char.code (Bytes.get b i) in
-    Bytes.set out i (Char.chr (((v lsl 1) land 0xff) lor !carry));
+    let v = Char.code (Bytes.get src i) in
+    Bytes.set dst i (Char.chr (((v lsl 1) land 0xff) lor !carry));
     carry := v lsr 7
-  done;
-  out
+  done
 
 let xor_last_byte b v =
   Bytes.set b 15 (Char.chr (Char.code (Bytes.get b 15) lxor v))
 
-(* Subkey generation per RFC 4493 §2.3. *)
-let derive_subkeys aes =
-  let l = Aes.encrypt aes (Bytes.make 16 '\000') in
-  let k1 = shl1 l in
-  if msb_set l then xor_last_byte k1 0x87;
-  let k2 = shl1 k1 in
-  if msb_set k1 then xor_last_byte k2 0x87;
-  (k1, k2)
-
-let of_secret (secret : bytes) : key =
-  let aes = Aes.of_secret secret in
-  let k1, k2 = derive_subkeys aes in
-  { aes; k1; k2 }
+(* Subkey generation per RFC 4493 §2.3, writing into existing [k1]/[k2]
+   buffers. [scratch] holds the intermediate L = AES_K(0^128). *)
+let derive_subkeys_into aes ~(k1 : bytes) ~(k2 : bytes) ~(scratch : bytes) =
+  Bytes.fill scratch 0 16 '\000';
+  Aes.encrypt_block aes ~src:scratch ~src_off:0 ~dst:scratch ~dst_off:0;
+  shl1_into ~src:scratch ~dst:k1;
+  if msb_set scratch then xor_last_byte k1 0x87;
+  shl1_into ~src:k1 ~dst:k2;
+  if msb_set k1 then xor_last_byte k2 0x87
 
 let of_aes_key (aes : Aes.key) : key =
-  let k1, k2 = derive_subkeys aes in
-  { aes; k1; k2 }
+  let k1 = Bytes.create 16 and k2 = Bytes.create 16 in
+  let x = Bytes.create 16 and last = Bytes.create 16 in
+  derive_subkeys_into aes ~k1 ~k2 ~scratch:x;
+  { aes; k1; k2; x; last }
+
+let of_secret (secret : bytes) : key = of_aes_key (Aes.of_secret secret)
+
+(** [rekey k secret ~off] re-keys [k] in place with the 16-byte secret
+    at [secret+off]: the AES schedule and both CMAC subkeys are
+    recomputed into the existing buffers, with zero allocation. This is
+    how the router re-derives the per-reservation σ key per packet. *)
+(* hot-path *)
+let rekey (k : key) (secret : bytes) ~(off : int) =
+  Aes.rekey k.aes secret ~off;
+  derive_subkeys_into k.aes ~k1:k.k1 ~k2:k.k2 ~scratch:k.x
 
 let mac_size = 16
 
-(** [digest key msg] is the full 16-byte CMAC of [msg]. *)
-let digest (k : key) (msg : bytes) : bytes =
-  let n = Bytes.length msg in
-  let nblocks = if n = 0 then 1 else (n + 15) / 16 in
-  let x = Bytes.make 16 '\000' in
+(* Core CMAC over the span [msg+off, msg+off+len); leaves the 16-byte
+   tag in [k.x]. Allocation-free. *)
+(* hot-path *)
+let digest_core (k : key) (msg : bytes) ~(off : int) ~(len : int) =
+  if off < 0 || len < 0 || off + len > Bytes.length msg then
+    invalid_arg "Cmac.digest: span out of bounds";
+  let nblocks = if len = 0 then 1 else (len + 15) / 16 in
+  let x = k.x in
+  Bytes.fill x 0 16 '\000';
   (* Process all complete blocks except the last. *)
   for i = 0 to nblocks - 2 do
     for j = 0 to 15 do
       Bytes.set x j
-        (Char.chr (Char.code (Bytes.get x j) lxor Char.code (Bytes.get msg ((i * 16) + j))))
+        (Char.chr
+           (Char.code (Bytes.get x j)
+           lxor Char.code (Bytes.get msg (off + (i * 16) + j))))
     done;
     Aes.encrypt_block k.aes ~src:x ~src_off:0 ~dst:x ~dst_off:0
   done;
   (* Last block: complete → xor K1; partial → pad 10* and xor K2. *)
-  let off = (nblocks - 1) * 16 in
-  let rem = n - off in
-  let last = Bytes.make 16 '\000' in
+  let boff = off + ((nblocks - 1) * 16) in
+  let rem = len - ((nblocks - 1) * 16) in
+  let last = k.last in
+  Bytes.fill last 0 16 '\000';
   if rem = 16 then begin
-    Bytes.blit msg off last 0 16;
+    Bytes.blit msg boff last 0 16;
     for j = 0 to 15 do
       Bytes.set last j
         (Char.chr (Char.code (Bytes.get last j) lxor Char.code (Bytes.get k.k1 j)))
     done
   end
   else begin
-    if rem > 0 then Bytes.blit msg off last 0 rem;
+    if rem > 0 then Bytes.blit msg boff last 0 rem;
     Bytes.set last rem '\x80';
     for j = 0 to 15 do
       Bytes.set last j
@@ -78,24 +97,75 @@ let digest (k : key) (msg : bytes) : bytes =
   for j = 0 to 15 do
     Bytes.set x j (Char.chr (Char.code (Bytes.get x j) lxor Char.code (Bytes.get last j)))
   done;
-  Aes.encrypt_block k.aes ~src:x ~src_off:0 ~dst:x ~dst_off:0;
-  x
+  Aes.encrypt_block k.aes ~src:x ~src_off:0 ~dst:x ~dst_off:0
 
-(** [digest_trunc key msg ~len] is the first [len] bytes of the CMAC;
-    Colibri truncates hop validation fields to ℓ_hvf = 4 bytes. *)
+(** [digest_into k msg ~off ~len ~dst ~dst_off] writes the 16-byte CMAC
+    of the span [msg+off, msg+off+len) into [dst+dst_off]. The only
+    buffers touched are [dst] and [k]'s own scratch. *)
+(* hot-path *)
+let digest_into (k : key) (msg : bytes) ~off ~len ~(dst : bytes) ~dst_off =
+  if dst_off < 0 || dst_off + 16 > Bytes.length dst then
+    invalid_arg "Cmac.digest_into: dst span out of bounds";
+  digest_core k msg ~off ~len;
+  Bytes.blit k.x 0 dst dst_off 16
+
+(** [digest_trunc_into] is {!digest_into} truncated to [tag_len] bytes
+    (Colibri truncates hop validation fields to ℓ_hvf = 4 bytes). *)
+(* hot-path *)
+let digest_trunc_into (k : key) (msg : bytes) ~off ~len ~(dst : bytes) ~dst_off
+    ~tag_len =
+  if tag_len < 1 || tag_len > 16 then
+    invalid_arg "Cmac.digest_trunc_into: tag_len must be in 1..16";
+  if dst_off < 0 || dst_off + tag_len > Bytes.length dst then
+    invalid_arg "Cmac.digest_trunc_into: dst span out of bounds";
+  digest_core k msg ~off ~len;
+  Bytes.blit k.x 0 dst dst_off tag_len
+
+(** [digest key msg] is the full 16-byte CMAC of [msg]. *)
+let digest (k : key) (msg : bytes) : bytes =
+  let out = Bytes.create 16 in
+  digest_into k msg ~off:0 ~len:(Bytes.length msg) ~dst:out ~dst_off:0;
+  out
+
+(** [digest_trunc key msg ~len] is the first [len] bytes of the CMAC. *)
 let digest_trunc (k : key) (msg : bytes) ~len : bytes =
   if len < 1 || len > 16 then invalid_arg "Cmac.digest_trunc: len must be in 1..16";
-  Bytes.sub (digest k msg) 0 len
+  let out = Bytes.create len in
+  digest_trunc_into k msg ~off:0 ~len:(Bytes.length msg) ~dst:out ~dst_off:0
+    ~tag_len:len;
+  out
 
 (** Constant-time tag comparison (length must match). *)
 let verify (k : key) (msg : bytes) ~(tag : bytes) : bool =
   let len = Bytes.length tag in
   if len < 1 || len > 16 then false
   else begin
-    let expect = digest k msg in
+    digest_core k msg ~off:0 ~len:(Bytes.length msg);
+    let expect = k.x in
     let acc = ref 0 in
     for i = 0 to len - 1 do
       acc := !acc lor (Char.code (Bytes.get expect i) lxor Char.code (Bytes.get tag i))
+    done;
+    !acc = 0
+  end
+
+(** Constant-time comparison of the first [tag_len] bytes of the CMAC of
+    the span [msg+off, msg+off+len) against [tag+tag_off]. Allocation-
+    free: this is what the router's per-packet HVF check compiles to. *)
+(* hot-path *)
+let verify_at (k : key) (msg : bytes) ~off ~len ~(tag : bytes) ~tag_off ~tag_len
+    : bool =
+  if tag_len < 1 || tag_len > 16 then false
+  else if tag_off < 0 || tag_off + tag_len > Bytes.length tag then false
+  else begin
+    digest_core k msg ~off ~len;
+    let expect = k.x in
+    let acc = ref 0 in
+    for i = 0 to tag_len - 1 do
+      acc :=
+        !acc
+        lor (Char.code (Bytes.get expect i)
+            lxor Char.code (Bytes.get tag (tag_off + i)))
     done;
     !acc = 0
   end

@@ -1,0 +1,17 @@
+(* Fixture: must trigger [hot-path-alloc] (R7) — a fresh buffer inside
+   a [(* hot-path *)] definition defeats the allocation-free wire path. *)
+
+(* hot-path *)
+let encode_header (ts : int) : bytes =
+  let b = Bytes.create 16 in
+  Bytes.set_uint8 b 0 (ts land 0xff);
+  b
+
+(* Unmarked definitions may allocate freely: this one must NOT flag. *)
+let encode_copy (src : bytes) : bytes = Bytes.sub src 0 (Bytes.length src)
+
+(* A pragma keeps a justified allocation (grow-on-demand) legal. *)
+(* hot-path *)
+let grow (b : bytes) (needed : int) : bytes =
+  if Bytes.length b >= needed then b
+  else Bytes.sub b 0 needed (* lint: allow hot-path-alloc *)

@@ -1,0 +1,3 @@
+val encode_header : int -> bytes
+val encode_copy : bytes -> bytes
+val grow : bytes -> int -> bytes

@@ -9,6 +9,7 @@ let () =
       ("monitor", Test_monitor.suite);
       ("net", Test_net.suite);
       ("packet", Test_packet.suite);
+      ("view", Test_view.suite);
       ("admission", Test_admission.suite);
       ("cserv", Test_cserv.suite);
       ("dataplane", Test_dataplane.suite);
