@@ -15,3 +15,12 @@ let encode_copy (src : bytes) : bytes = Bytes.sub src 0 (Bytes.length src)
 let grow (b : bytes) (needed : int) : bytes =
   if Bytes.length b >= needed then b
   else Bytes.sub b 0 needed (* lint: allow hot-path-alloc *)
+
+(* Growing a buffer in place still allocates a fresh block. *)
+(* hot-path *)
+let widen (b : bytes) (extra : int) : bytes = Bytes.extend b 0 extra
+
+(* Buffer.create hides the same fresh-block allocation behind an
+   amortized API; the wire path may not use it either. *)
+(* hot-path *)
+let scratch_buffer (hint : int) : Buffer.t = Buffer.create hint

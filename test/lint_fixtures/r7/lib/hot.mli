@@ -1,3 +1,5 @@
 val encode_header : int -> bytes
 val encode_copy : bytes -> bytes
 val grow : bytes -> int -> bytes
+val widen : bytes -> int -> bytes
+val scratch_buffer : int -> Buffer.t

@@ -1,0 +1,34 @@
+(** The finding record shared by the project's static analyzers:
+    [colibri-lint] (token level, {!Lint}) and [colibri-deepscan]
+    (typedtree level, [tool/deepscan]). Both print the same
+    [file:line: [rule] message] diagnostics and use the same exit-code
+    convention, so CI output stays uniform regardless of which layer
+    caught the problem. *)
+
+type t = { file : string; line : int; rule : string; message : string }
+
+let v ~file ~line ~rule ~message = { file; line; rule; message }
+
+let pp ppf (f : t) =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+(* Stable report order: by file, then line, then rule — analyzers that
+   collect findings out of traversal order still print deterministically. *)
+let order (a : t) (b : t) =
+  match String.compare a.file b.file with
+  | 0 -> ( match Int.compare a.line b.line with
+           | 0 -> String.compare a.rule b.rule
+           | c -> c)
+  | c -> c
+
+(** Print findings plus a one-line summary; the result is the process
+    exit code (0 clean, 1 on findings) shared by both analyzers. *)
+let report ~(tool : string) ~(scanned : int) ~(unit_name : string)
+    (findings : t list) : int =
+  List.iter (fun f -> Format.printf "%a@." pp f) findings;
+  let n = List.length findings in
+  Format.printf "%s: %d %s%s scanned, %d finding%s@." tool scanned unit_name
+    (if scanned = 1 then "" else "s")
+    n
+    (if n = 1 then "" else "s");
+  if n = 0 then 0 else 1

@@ -29,10 +29,11 @@
       the subsequent [mod] is negative and the index lands out of
       bounds. Clear the sign bit with [land max_int] instead.
     - {b hot-path-alloc} (R7): no [Bytes.create]/[Bytes.sub]/
-      [Bytes.copy] inside a definition marked [(* hot-path *)]. Those
-      markers annotate the per-packet wire path, which DESIGN.md §8
-      requires to be allocation-free; fresh buffers there silently
-      reintroduce GC pressure the gc bench would only catch later.
+      [Bytes.copy]/[Bytes.extend]/[Buffer.create] inside a definition
+      marked [(* hot-path *)]. Those markers annotate the per-packet
+      wire path, which DESIGN.md §8 requires to be allocation-free;
+      fresh buffers there silently reintroduce GC pressure the gc
+      bench would only catch later.
 
     Escape hatch: a comment [(* lint: allow <rule> ... *)] suppresses
     the named rules (or [all]) on its own line and on the line
@@ -40,10 +41,20 @@
     masked before token matching, so prose mentioning [Hashtbl.hash]
     is not flagged. *)
 
-type finding = { file : string; line : int; rule : string; message : string }
+type finding = Finding.t = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+(* Re-exported from {!Finding} (shared with colibri-deepscan) so that
+   [f.Lint.rule] record access keeps working for existing callers. *)
 
-let pp_finding ppf (f : finding) =
-  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+let pp_finding = Finding.pp
+
+(* Surface the shared module to other tools (deepscan) that link
+   against this library; [Finding] alone would stay library-private. *)
+module Finding = Finding
 
 (* ------------------------------ paths ------------------------------ *)
 
@@ -145,7 +156,8 @@ let rule_names =
   [ "poly-hash"; "hot-path-exn"; "mac-compare"; "missing-mli"; "nondet";
     "negative-modulo"; "hot-path-alloc" ]
 
-let hot_alloc_tokens = [ "Bytes.create"; "Bytes.sub"; "Bytes.copy" ]
+let hot_alloc_tokens =
+  [ "Bytes.create"; "Bytes.sub"; "Bytes.copy"; "Bytes.extend"; "Buffer.create" ]
 
 let hot_alloc_message =
   "allocation inside a (* hot-path *) definition; the per-packet wire path \
@@ -399,10 +411,5 @@ let run_cli (roots : string list) : int =
         2
     | [] ->
         let findings = lint_roots roots in
-        List.iter (fun f -> Format.printf "%a@." pp_finding f) findings;
         let files = List.fold_left (fun acc r -> acc + List.length (source_files r)) 0 roots in
-        Format.printf "colibri-lint: %d file%s scanned, %d finding%s@." files
-          (if files = 1 then "" else "s")
-          (List.length findings)
-          (if List.length findings = 1 then "" else "s");
-        if findings = [] then 0 else 1
+        Finding.report ~tool:"colibri-lint" ~scanned:files ~unit_name:"file" findings

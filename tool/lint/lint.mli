@@ -20,16 +20,26 @@
     - [negative-modulo] (R6): no [abs … mod …] indexing anywhere —
       [abs min_int] stays negative, so the index goes out of bounds;
       use [land max_int] to clear the sign bit.
-    - [hot-path-alloc] (R7): no [Bytes.create]/[Bytes.sub]/[Bytes.copy]
-      inside a definition marked [(* hot-path *)]; the per-packet wire
-      path must stay allocation-free (DESIGN.md §8).
+    - [hot-path-alloc] (R7): no [Bytes.create]/[Bytes.sub]/[Bytes.copy]/
+      [Bytes.extend]/[Buffer.create] inside a definition marked
+      [(* hot-path *)]; the per-packet wire path must stay
+      allocation-free (DESIGN.md §8).
 
     Comment and string-literal contents are masked before token
     matching, so documentation never triggers findings. *)
 
-type finding = { file : string; line : int; rule : string; message : string }
+type finding = Finding.t = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+}
+(** Shared with [colibri-deepscan]; see {!Finding}. *)
 
 val pp_finding : Format.formatter -> finding -> unit
+
+module Finding : module type of Finding
+(** The shared finding/report module, re-exported for sibling tools. *)
 
 val rule_names : string list
 (** The seven pragma names, in R1..R7 order. *)
