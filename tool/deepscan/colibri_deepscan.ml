@@ -1,0 +1,1 @@
+let () = exit (Deepscan.run_cli (List.tl (Array.to_list Sys.argv)))

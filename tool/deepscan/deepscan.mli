@@ -1,0 +1,49 @@
+(** [colibri-deepscan]: typedtree-level interprocedural analysis over
+    the [.cmt] files dune produces (DESIGN.md §6).
+
+    Five rules, each suppressible with a [[@colibri.allow "<rule>"]]
+    attribute on the offending expression or a
+    [[@@colibri.allow "<rule>"]] attribute on the enclosing binding
+    (the payload may name several rules, space- or comma-separated):
+
+    - [d1] — allocation in the hot closure: any function reachable
+      from a [(* hot-path *)] root (transitively, across modules) that
+      allocates: a denylisted stdlib call ([Bytes.create], [List.map],
+      [Printf.sprintf], ...), a list cons, an array literal, or an
+      anonymous closure. The interprocedural generalization of the
+      token rule R7, which only sees the marked function itself.
+    - [d2] — exception escape: a reachable [raise]/[failwith]/
+      [invalid_arg]/[assert], or a partial stdlib call ([List.hd],
+      [Option.get], [Hashtbl.find], ...), in the same hot closure.
+    - [d3] — polymorphic comparison at the wrong type: [compare] at
+      any type (use the keyed [Int.compare]/[Ids.compare_asn]/...);
+      [=], [<>], [min], [max], [List.mem], [List.assoc],
+      [List.mem_assoc] and [Hashtbl.hash] when the subject type is
+      composite (record, tuple, list, non-constant variant, or
+      abstract). Applies everywhere, not only under hot roots.
+    - [d4] — shard race: a function in a [*shard*] module whose call
+      closure reaches module-level mutable state (a top-level [ref],
+      [Hashtbl.create], mutable record, ...) instead of the per-shard
+      state record.
+    - [d5] — constant-time discipline: an intra-function taint pass;
+      a digest produced by [Cmac.digest]/[Hvf.seg_token]/... must not
+      reach an [if] condition or [match] scrutinee except through the
+      constant-time sanitizers ([Cmac.verify], [Hvf.equal_hvf], ...).
+      Files under [crypto/] implement the primitives and are exempt.
+
+    Hot roots are bindings that begin within three lines of a
+    [(* hot-path *)] marker, plus a named list covering the monitor
+    observe path ([Ofd.observe], [Token_bucket.admit], ...). *)
+
+val rule_names : string list
+(** The five rule slugs, ["d1"] .. ["d5"]. *)
+
+val scan : string list -> Lint.Finding.t list * int
+(** [scan dirs] walks [dirs] recursively for [.cmt] files (and [.ml]
+    sources, for the hot-path markers), analyzes every implementation
+    module found, and returns the sorted findings plus the number of
+    modules scanned. *)
+
+val run_cli : string list -> int
+(** [run_cli dirs] scans, prints a report, and returns the exit code:
+    0 when clean, 1 on findings, 2 on usage errors. *)
