@@ -34,13 +34,13 @@ let host addr = { addr }
 let local_iface : iface = 0
 
 let compare_asn (a : asn) (b : asn) =
-  match compare a.isd b.isd with 0 -> compare a.num b.num | c -> c
+  match Int.compare a.isd b.isd with 0 -> Int.compare a.num b.num | c -> c
 
 let equal_asn a b = compare_asn a b = 0
 
 let compare_res_key (a : res_key) (b : res_key) =
   match compare_asn a.src_as b.src_as with
-  | 0 -> compare a.res_id b.res_id
+  | 0 -> Int.compare a.res_id b.res_id
   | c -> c
 
 let equal_res_key a b = compare_res_key a b = 0
