@@ -67,7 +67,7 @@ module Db = struct
 
     (* Lookups return shortest-first. *)
 
-  let sort_segs = List.sort (fun a b -> compare (length a) (length b))
+  let sort_segs = List.sort (fun a b -> Int.compare (length a) (length b))
 
   let up_segments (db : t) ~(src : Ids.asn) : seg list =
     sort_segs (Option.value ~default:[] (Ids.Asn_map.find_opt src db.up))
@@ -132,7 +132,7 @@ module Db = struct
                       core_segments db ~src:core_end ~dst:core_start
                       |> List.iter (fun c -> add [ u; c; d ])));
       let total_len combo = List.fold_left (fun acc s -> acc + length s) 0 combo in
-      let sorted = List.sort (fun a b -> compare (total_len a) (total_len b)) !results in
+      let sorted = List.sort (fun a b -> Int.compare (total_len a) (total_len b)) !results in
       let rec take n = function
         | [] -> []
         | _ when n = 0 -> []
@@ -162,7 +162,7 @@ let intra_isd_beacons (topo : Topology.t) ~(core : Ids.asn) ~(db : Db.t)
   let rec dfs (path_rev : Path.hop list) (at : Ids.asn) (in_iface : Ids.iface) depth =
     (* [path_rev]: hops strictly above [at], last element = core AS. *)
     let register () =
-      if path_rev <> [] then begin
+      if not (List.is_empty path_rev) then begin
         let down_path =
           List.rev (Path.hop ~asn:at ~ingress:in_iface ~egress:Ids.local_iface :: path_rev)
         in

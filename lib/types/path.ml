@@ -52,8 +52,8 @@ let validate (path : t) : (unit, error) result =
             else
               let transit_ok =
                 (* Interior interfaces must be non-zero. *)
-                let is_first = seen = [] in
-                let is_last = rest = [] in
+                let is_first = List.is_empty seen in
+                let is_last = List.is_empty rest in
                 (is_first || h.ingress <> Ids.local_iface)
                 && (is_last || h.egress <> Ids.local_iface)
               in
