@@ -388,7 +388,7 @@ module Eer = struct
       (match f.via_up with Some slot -> add_up_demand t slot delta | None -> ());
       f.contribution <- contribution
     end;
-    if f.versions = [] then Ids.Res_key_tbl.remove t.flows key
+    if List.is_empty f.versions then Ids.Res_key_tbl.remove t.flows key
 
   (** Admit one EER version over the given SegRs. [segr_bw segr]
       returns the SegR's current bandwidth (0 when expired/unknown).
@@ -511,7 +511,7 @@ module Eer = struct
     let errs = ref [] in
     Ids.Res_key_tbl.iter
       (fun key (f : flow) ->
-        if f.versions = [] then
+        if List.is_empty f.versions then
           errs :=
             Fmt.str "flows[%a]: empty flow still in table" Ids.pp_res_key key :: !errs;
         let expected =

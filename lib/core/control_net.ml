@@ -132,7 +132,7 @@ let measure_latency (t : t) ~(route : Ids.asn list) ~(cls : Net.Traffic_class.t)
   let t0 = Net.Engine.now t.engine in
   let arrival = ref None in
   send_along t ~route ~cls ~bytes ~deliver:(fun () ->
-      if !arrival = None then arrival := Some (Net.Engine.now t.engine -. t0));
+      if Option.is_none !arrival then arrival := Some (Net.Engine.now t.engine -. t0));
   Net.Engine.run t.engine ~until:(t0 +. timeout);
   !arrival
 

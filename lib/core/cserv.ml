@@ -554,7 +554,7 @@ let handle_eer_request_forward (t : t) ~(req : Protocol.eer_request)
             `Deny (if is_dest then Protocol.Destination_refused else Protocol.Policy_refused)
           else begin
             let local = local_segrs t req in
-            if local = [] then
+            if List.is_empty local then
               `Deny
                 (Protocol.Unknown_segr
                    (match req.segr_keys with

@@ -246,7 +246,7 @@ let lookup_eer_routes (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : eer_route list
                     if Ids.equal_asn top head then add [ u; d ]
                     else cores_from top head |> List.iter (fun c -> add [ u; c; d ])));
     List.sort
-      (fun a b -> compare (Path.length a.path) (Path.length b.path))
+      (fun a b -> Int.compare (Path.length a.path) (Path.length b.path))
       !routes
   end
 

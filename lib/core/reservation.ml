@@ -95,7 +95,7 @@ let prune_eer (e : eer) ~now =
     first. *)
 let eer_valid_versions (e : eer) ~now : version list =
   prune_eer e ~now;
-  List.sort (fun a b -> compare b.version a.version) e.versions
+  List.sort (fun a b -> Int.compare b.version a.version) e.versions
 
 (** The bandwidth the EER's holder may use now: the maximum over valid
     versions (§4.8 — versions share one monitored flow). *)
@@ -103,7 +103,7 @@ let eer_bw (e : eer) ~now : Bandwidth.t =
   List.fold_left (fun acc v -> Bandwidth.max acc v.bw) Bandwidth.zero
     (eer_valid_versions e ~now)
 
-let eer_expired (e : eer) ~now = eer_valid_versions e ~now = []
+let eer_expired (e : eer) ~now = List.is_empty (eer_valid_versions e ~now)
 
 (** Latest valid version — the one the gateway stamps into packets. *)
 let eer_current_version (e : eer) ~now : version option =
