@@ -63,8 +63,10 @@ let admit (t : t) ~(id : flow_id) ~(bw : Bandwidth.t) ~(exp_time : Timebase.t)
 (** Data-plane classification: find the packet's flow; the claimed
     [id] is taken at face value — there is no cryptographic binding,
     so spoofed packets match an honest flow's reservation. *)
+let equal_flow_id (a : flow_id) (b : flow_id) = a.src = b.src && a.dst = b.dst
+
 let classify (t : t) ~(id : flow_id) : flow_state option =
-  List.find_opt (fun f -> f.id = id) t.flows
+  List.find_opt (fun f -> equal_flow_id f.id id) t.flows
 
 let forward (t : t) ~(id : flow_id) ~(bytes : int) : [ `Reserved | `Best_effort ] =
   match classify t ~id with

@@ -88,7 +88,8 @@ let next_class (t : 'a t) : int option =
   match t.scheduler with
   | Strict_priority ->
       Traffic_class.all
-      |> List.sort (fun a b -> compare (Traffic_class.priority a) (Traffic_class.priority b))
+      |> List.sort (fun a b ->
+             Int.compare (Traffic_class.priority a) (Traffic_class.priority b))
       |> List.find_opt (fun c -> nonempty (Traffic_class.index c))
       |> Option.map Traffic_class.index
   | Cbwfq weights ->
