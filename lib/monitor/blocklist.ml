@@ -19,7 +19,9 @@ let create ~clock () = { entries = Ids.Asn_tbl.create 16; clock }
 (** [block t asn ~duration] blocks [asn]; [duration = None] blocks it
     until {!unblock}. Re-blocking extends/overwrites the entry. *)
 let block (t : t) (asn : Ids.asn) ~(duration : float option) =
-  let expiry = Option.map (fun d -> t.clock () +. d) duration in
+  (* A match, not [Option.map f]: blocking happens on the enforcement
+     path out of [Router.police], and [f]'s closure would allocate. *)
+  let expiry = match duration with None -> None | Some d -> Some (t.clock () +. d) in
   Ids.Asn_tbl.replace t.entries asn expiry
 
 let unblock (t : t) (asn : Ids.asn) = Ids.Asn_tbl.remove t.entries asn

@@ -80,26 +80,43 @@ let maybe_rotate (t : t) ~now =
    seeded polymorphic hash is intentional here: Bloom indexing needs a
    fast non-cryptographic spread, not authentication — a collision only
    costs a bounded false-positive drop, never a forged acceptance. *)
-let indexes (t : t) (key : int) =
+let h1_of (key : int) =
   (* lint: allow poly-hash *)
-  let h1 = Hashtbl.hash (key, 0x9e3779b9) and h2 = Hashtbl.hash (key, 0x85ebca6b) in
-  let h2 = (h2 lor 1) land max_int in
-  (* [land max_int], not [abs]: [abs min_int] is [min_int], so an
-     overflowing sum would produce a negative [mod] and an
-     out-of-bounds bit index. Masking the sign bit is total. *)
-  Array.init t.hashes (fun i -> (h1 + (i * h2)) land max_int mod t.bits)
+  (Hashtbl.hash (key, 0x9e3779b9) [@colibri.allow "d3"])
+
+let h2_of (key : int) =
+  (* lint: allow poly-hash *)
+  ((Hashtbl.hash (key, 0x85ebca6b) [@colibri.allow "d3"]) lor 1) land max_int
+
+(* [land max_int], not [abs]: [abs min_int] is [min_int], so an
+   overflowing sum would produce a negative [mod] and an out-of-bounds
+   bit index. Masking the sign bit is total. *)
+let probe (t : t) ~(h1 : int) ~(h2 : int) (i : int) : int =
+  (h1 + (i * h2)) land max_int mod t.bits
+
+(* Probe loops are top-level recursive functions, not closures over an
+   index array: this runs per packet on the monitored wire path and
+   must not allocate. *)
+let rec all_set (t : t) (field : Bytes.t) ~h1 ~h2 (i : int) : bool =
+  i >= t.hashes || (bit_get field (probe t ~h1 ~h2 i) && all_set t field ~h1 ~h2 (i + 1))
+
+let rec set_all (t : t) ~h1 ~h2 (i : int) : unit =
+  if i < t.hashes then begin
+    bit_set t.current (probe t ~h1 ~h2 i);
+    set_all t ~h1 ~h2 (i + 1)
+  end
 
 (** [check_and_insert t ~now key] returns [true] when [key] is fresh
     (first sighting in the window) and records it; [false] flags a
     duplicate to be discarded. *)
 let check_and_insert (t : t) ~(now : float) (key : int) : bool =
   maybe_rotate t ~now;
-  let idx = indexes t key in
-  let in_current = Array.for_all (fun i -> bit_get t.current i) idx in
-  let in_previous = Array.for_all (fun i -> bit_get t.previous i) idx in
+  let h1 = h1_of key and h2 = h2_of key in
+  let in_current = all_set t t.current ~h1 ~h2 0 in
+  let in_previous = all_set t t.previous ~h1 ~h2 0 in
   if in_current || in_previous then false
   else begin
-    Array.iter (fun i -> bit_set t.current i) idx;
+    set_all t ~h1 ~h2 0;
     t.inserted <- t.inserted + 1;
     true
   end

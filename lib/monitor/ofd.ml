@@ -55,7 +55,11 @@ let create ?(width = 4096) ?(depth = 4) ~(window : float) ~(threshold : float)
 
 let maybe_rotate (t : t) ~now =
   if now -. t.window_start >= t.window then begin
-    Array.iter (fun row -> Array.fill row 0 t.width 0.) t.rows;
+    (* A [for] loop, not [Array.iter f]: rotation is reached from every
+       [observe], and the closure for [f] would allocate each call. *)
+    for r = 0 to Array.length t.rows - 1 do
+      Array.fill t.rows.(r) 0 t.width 0.
+    done;
     Ids.Res_key_tbl.reset t.suspects;
     t.window_start <- now;
     t.observed_packets <- 0
