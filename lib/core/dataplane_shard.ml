@@ -113,7 +113,8 @@ module Sharded_router = struct
     let dispatch = if Bytes.length raw > 8 then Char.code (Bytes.get raw 8) else 0 in
     let i =
       (* lint: allow poly-hash *)
-      Hashtbl.hash (Bytes.length raw, dispatch) land max_int mod Array.length t.shards
+      (Hashtbl.hash (Bytes.length raw, dispatch) [@colibri.allow "d3"])
+      land max_int mod Array.length t.shards
     in
     Router.process_bytes t.shards.(i) ~raw ~payload_len
 

@@ -310,7 +310,7 @@ let process (t : t) ~(packet : Packet.t) ~(actual_size : int) :
                              key.src_as.num,
                              key.res_id,
                              Timebase.Ts.to_int packet.ts,
-                             actual_size ))
+                             actual_size ) [@colibri.allow "d3"])
                 in
                 if not fresh then drop Duplicate
                 else if police t ~now ~key ~actual_size then drop Policed
@@ -416,7 +416,7 @@ let process_view (t : t) ~(actual_size : int) : (action, drop_reason) result =
                          Packet.View.src_num v,
                          Packet.View.res_id v,
                          Timebase.Ts.to_int (Packet.View.ts v),
-                         actual_size ))
+                         actual_size ) [@colibri.allow "d3"])
             in
             if not fresh then drop Duplicate
             else begin

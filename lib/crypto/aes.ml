@@ -96,8 +96,9 @@ let of_secret = expand
     derives the per-reservation σ key without allocating (DESIGN.md §8). *)
 (* hot-path *)
 let rekey (k : key) (key : bytes) ~(off : int) =
+  (* Caller-contract guard: σ-key offsets come from validated headers. *)
   if off < 0 || off + 16 > Bytes.length key then
-    invalid_arg "Aes.rekey: need 16 bytes";
+    invalid_arg "Aes.rekey: need 16 bytes" [@colibri.allow "d2"];
   expand_into k.rk key ~off
 
 (** [encrypt_block key ~src ~src_off ~dst ~dst_off] encrypts the

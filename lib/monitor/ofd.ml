@@ -71,7 +71,8 @@ let maybe_rotate (t : t) ~now =
    exact monitoring), never hides overuse. *)
 let slot (t : t) (key : Ids.res_key) (row : int) =
   (* lint: allow poly-hash *)
-  Hashtbl.hash (key.src_as.isd, key.src_as.num, key.res_id, t.seeds.(row))
+  (Hashtbl.hash (key.src_as.isd, key.src_as.num, key.res_id, t.seeds.(row))
+  [@colibri.allow "d3"])
   land max_int mod t.width
 
 (** Current sketch estimate (normalized seconds in this window) for a

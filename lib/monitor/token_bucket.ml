@@ -19,11 +19,14 @@ type t = {
     burst allowance in {e seconds at rate}: the bucket holds
     [rate * burst] bits. A typical value is 0.05–0.2 s. *)
 let create ~(rate : Bandwidth.t) ~(burst : float) ~(now : Timebase.t) : t =
-  (* Construction-time validation; never on the per-packet path. *)
+  (* Construction-time validation; reached from the router only when a
+     flow's bucket is first created, with a configured (positive)
+     rate — never per packet. *)
+  if not (Bandwidth.is_positive rate) then
+    (* lint: allow hot-path-exn *)
+    invalid_arg "Token_bucket.create: rate <= 0" [@colibri.allow "d2"];
   (* lint: allow hot-path-exn *)
-  if not (Bandwidth.is_positive rate) then invalid_arg "Token_bucket.create: rate <= 0";
-  (* lint: allow hot-path-exn *)
-  if burst <= 0. then invalid_arg "Token_bucket.create: burst <= 0";
+  if burst <= 0. then invalid_arg "Token_bucket.create: burst <= 0" [@colibri.allow "d2"];
   let cap = Bandwidth.to_bps rate *. burst in
   { rate; burst = cap; tokens = cap; last = now }
 

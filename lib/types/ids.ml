@@ -61,8 +61,10 @@ let hash_iface (i : iface) = hash_fold [ i ]
    hash of the integer components — this module is the one place the
    lint rule permits it): long-standing simulation traces depend on
    the iteration order of [Asn_tbl]/[Res_key_tbl]. *)
-let hash_asn (a : asn) = Hashtbl.hash (a.isd, a.num)
-let hash_res_key (k : res_key) = Hashtbl.hash (k.src_as.isd, k.src_as.num, k.res_id)
+let hash_asn (a : asn) = (Hashtbl.hash (a.isd, a.num) [@colibri.allow "d3"])
+
+let hash_res_key (k : res_key) =
+  (Hashtbl.hash (k.src_as.isd, k.src_as.num, k.res_id) [@colibri.allow "d3"])
 
 let pp_asn ppf (a : asn) = Fmt.pf ppf "%d-%d" a.isd a.num
 let pp_host ppf (h : host) = Fmt.pf ppf "h%d" h.addr
