@@ -70,6 +70,18 @@ let taint_sanitizers =
   SS.of_list
     [ "Cmac.verify"; "Cmac.verify_at"; "Hvf.equal_hvf"; "Hvf.equal_hvf_at"; "Hvf.seg_check"; "Hvf.eer_check" ]
 
+(* Membership that tolerates a leading qualifier: a scan that never
+   loaded the crypto cmts does not know [Crypto] is a wrapper alias, so
+   [Crypto.Cmac.digest] must still match the source [Cmac.digest].
+   Two-component table entries therefore also match on the last two
+   path components. *)
+let mem_qualified (set : SS.t) (name : string) : bool =
+  SS.mem name set
+  ||
+  match List.rev (String.split_on_char '.' name) with
+  | f :: m :: _ :: _ -> SS.mem (m ^ "." ^ f) set
+  | _ -> false
+
 (* Hot roots that carry no [(* hot-path *)] marker of their own but
    sit on the per-packet observe path (DESIGN.md §7). *)
 let named_hot_roots =
@@ -324,8 +336,11 @@ let collect_nodes (ctx : ctx) ~(m_name : string) (str : structure) :
         | Tstr_value (_, vbs) ->
             List.iter
               (fun (vb : value_binding) ->
+                (* A constrained binding [let x : t = e] reaches the
+                   typedtree as [Tpat_alias] over the constraint, not
+                   [Tpat_var] — both bind exactly one name. *)
                 match vb.vb_pat.pat_desc with
-                | Tpat_var (id, name) ->
+                | Tpat_var (id, name) | Tpat_alias (_, id, name) ->
                     let n_name = prefix ^ "." ^ name.txt in
                     let loc = vb.vb_loc.loc_start in
                     let allowed = attrs_allowed vb.vb_attributes in
@@ -412,20 +427,24 @@ let analyze_node (ctx : ctx) (m : modul) (node : node) ~(emit : Finding.t -> uni
         let name = canon ~wrappers:ctx.wrappers p in
         (* Call edge: local idents resolve through the module table to
            their full node name; everything else keeps its canonical
-           dotted name for cross-module resolution. *)
-        (match p with
-        | Path.Pident id -> (
-            match Hashtbl.find_opt m.m_idents (Ident.unique_name id) with
-            | Some full -> node.n_calls <- SS.add full node.n_calls
-            | None -> node.n_calls <- SS.add name node.n_calls)
-        | _ -> node.n_calls <- SS.add name node.n_calls);
+           dotted name for cross-module resolution. The resolved name
+           is also what the mutable-global table is keyed by — a bare
+           [hits] must find [Shard.hits]. *)
+        let resolved =
+          match p with
+          | Path.Pident id ->
+              Option.value ~default:name
+                (Hashtbl.find_opt m.m_idents (Ident.unique_name id))
+          | _ -> name
+        in
+        node.n_calls <- SS.add resolved node.n_calls;
         if SS.mem name alloc_calls then d1 e (Printf.sprintf "[%s] allocates" name);
         if SS.mem name raise_calls then d2 e (Printf.sprintf "[%s] raises" name);
         if SS.mem name partial_calls then
           d2 e (Printf.sprintf "partial [%s] raises on the missing case" name);
         if SS.mem name compare_at_any_type || SS.mem name compare_at_composite then d3 e name;
-        match Hashtbl.find_opt ctx.mutables name with
-        | Some _ when ok "d4" -> node.n_mut_refs <- (loc_line e, name) :: node.n_mut_refs
+        match Hashtbl.find_opt ctx.mutables resolved with
+        | Some _ when ok "d4" -> node.n_mut_refs <- (loc_line e, resolved) :: node.n_mut_refs
         | _ -> ())
     | Texp_construct (_, cd, args) ->
         if cd.Types.cstr_name = "::" && args <> [] then d1 e "list cons allocates"
@@ -468,9 +487,9 @@ let d5_node (ctx : ctx) (node : node) ~(emit : Finding.t -> unit) : unit =
         match e.exp_desc with
         | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) ->
             let name = canon ~wrappers:ctx.wrappers p in
-            if SS.mem name taint_sanitizers then () (* sanitized subtree *)
+            if mem_qualified taint_sanitizers name then () (* sanitized subtree *)
             else begin
-              if SS.mem name taint_sources then found := true;
+              if mem_qualified taint_sources name then found := true;
               List.iter (fun (_, a) -> Option.iter walk a) args
             end
         | Texp_ident (Path.Pident id, _, _) ->
@@ -495,7 +514,7 @@ let d5_node (ctx : ctx) (node : node) ~(emit : Finding.t -> unit) : unit =
     let rec result_taints (e : expression) : bool =
       match e.exp_desc with
       | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, _) ->
-          SS.mem (canon ~wrappers:ctx.wrappers p) taint_sources
+          mem_qualified taint_sources (canon ~wrappers:ctx.wrappers p)
       | Texp_ident (Path.Pident id, _, _) -> Hashtbl.mem tainted (Ident.unique_name id)
       | Texp_let (_, _, body) -> result_taints body
       | Texp_sequence (_, b) -> result_taints b
@@ -670,6 +689,19 @@ let scan (dirs : string list) : Finding.t list * int =
         m.m_nodes)
     mods;
   (* Pass 3: hot closure (D1/D2) and shard closure (D4). *)
+  if Sys.getenv_opt "COLIBRI_DEEPSCAN_DEBUG" <> None then begin
+    Hashtbl.iter (fun k v -> Printf.eprintf "MUTABLE %s (%s)\n" k v) ctx.mutables;
+    List.iter
+      (fun m ->
+        List.iter
+          (fun n ->
+            Printf.eprintf "NODE %s hot=%b fun=%b mut_refs=[%s] calls=[%s]\n" n.n_name n.n_hot
+              n.n_is_fun
+              (String.concat "," (List.map snd n.n_mut_refs))
+              (String.concat "," (SS.elements n.n_calls)))
+          m.m_nodes)
+      mods
+  end;
   let resolver = build_resolver mods in
   let all_nodes = List.concat_map (fun m -> m.m_nodes) mods in
   let hot_roots = List.filter (fun n -> n.n_hot) all_nodes in
