@@ -1,0 +1,8 @@
+(* Deepscan fixture: hot roots whose only allocations happen inside a
+   helper in another module (D1_alloc_helper). *)
+
+(* hot-path *)
+let forward (n : int) : bytes = D1_alloc_helper.alloc_payload n
+
+(* hot-path *)
+let forward_quiet (n : int) : bytes = D1_alloc_helper.alloc_quiet n

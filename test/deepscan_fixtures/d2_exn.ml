@@ -1,0 +1,15 @@
+(* Deepscan fixture: exceptions escaping the hot path (d2), both
+   directly and through a local helper. *)
+
+(* hot-path *)
+let first (l : int list) : int = List.hd l
+
+(* The helper sits deliberately far from any marker: only the closure
+   from [via_helper] reaches it. *)
+let pick (o : int option) : int = Option.get o
+
+(* hot-path *)
+let via_helper (o : int option) : int = pick o
+
+(* hot-path *)
+let first_quiet (l : int list) : int = (List.hd l [@colibri.allow "d2"])

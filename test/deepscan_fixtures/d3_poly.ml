@@ -1,0 +1,12 @@
+(* Deepscan fixture: polymorphic comparison at structural types (d3).
+   [same_int] compares immediates and must stay clean. *)
+
+type pair = { left : int; right : int }
+
+let same (x : pair) (y : pair) : bool = x = y
+
+let order (x : pair) (y : pair) : int = compare x y
+
+let same_int (x : int) (y : int) : bool = x = y
+
+let same_quiet (x : pair) (y : pair) : bool = ((x = y) [@colibri.allow "d3"])

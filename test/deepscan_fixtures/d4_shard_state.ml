@@ -1,0 +1,12 @@
+(* Deepscan fixture: module-level mutable state touched by workers in
+   a [*shard*] module (d4).  [quiet_hits] opts out on its binding. *)
+
+let hits : (int, int) Hashtbl.t = Hashtbl.create 16
+
+let quiet_hits : (int, int) Hashtbl.t = Hashtbl.create 16 [@@colibri.allow "d4"]
+
+let worker (k : int) : int =
+  match Hashtbl.find_opt hits k with Some v -> v | None -> 0
+
+let worker_quiet (k : int) : int =
+  match Hashtbl.find_opt quiet_hits k with Some v -> v | None -> 0

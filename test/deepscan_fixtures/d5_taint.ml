@@ -1,0 +1,13 @@
+(* Deepscan fixture: secret-derived digests reaching a branch (d5).
+   [safe] goes through the constant-time comparator and stays clean. *)
+
+let leaky (k : Crypto.Cmac.key) (msg : bytes) (stored : bytes) : bool =
+  let tag = Crypto.Cmac.digest k msg in
+  if Bytes.equal tag stored then true else false
+
+let safe (k : Crypto.Cmac.key) (msg : bytes) (stored : bytes) : bool =
+  Crypto.Cmac.verify k msg ~tag:stored
+
+let leaky_quiet (k : Crypto.Cmac.key) (msg : bytes) (stored : bytes) : bool =
+  let tag = Crypto.Cmac.digest k msg in
+  ((if Bytes.equal tag stored then true else false) [@colibri.allow "d5"])

@@ -25,5 +25,6 @@ let () =
       ("control_net", Test_control_net.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
+      ("deepscan", Test_deepscan.suite);
       ("audit", Test_audit.suite);
     ]
