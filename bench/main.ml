@@ -46,6 +46,31 @@ let write_metrics () =
         (List.length sections)
         (if List.length sections = 1 then "" else "s")
 
+(* Headline summary: the wire-path numbers CI and the docs track
+   (gateway/router throughput and allocation budget), written as flat
+   JSON at the repo root where [dune exec bench/main.exe] runs. *)
+
+let summary : (string * float) list ref = ref []
+let record_summary (key : string) (v : float) = summary := (key, v) :: !summary
+
+let write_summary () =
+  match List.rev !summary with
+  | [] -> ()
+  | kvs ->
+      let path = "BENCH_colibri.json" in
+      let oc = open_out path in
+      output_string oc "{";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then output_string oc ",";
+          Printf.fprintf oc "\n  %S: %.4f" k v)
+        kvs;
+      output_string oc "\n}\n";
+      close_out oc;
+      Printf.printf "Benchmark summary written to %s (%d entr%s)\n" path
+        (List.length kvs)
+        (if List.length kvs = 1 then "y" else "ies")
+
 (* ------------------------------------------------------------------ *)
 (* Fig. 3: SegR admission latency.                                     *)
 (* ------------------------------------------------------------------ *)
@@ -271,23 +296,25 @@ let gc_mode () =
     "GC: minor-heap words per packet on the data-plane wire path (after warm-up)";
   let sends = if quick then 10_000 else 50_000 in
   Printf.printf "%-34s %-18s %-14s\n" "component" "minor words/pkt" "Mpps";
-  let row name mk_run =
+  let row key name mk_run =
     (* Fresh rig per metric so the allocation count is not polluted by
        the other measurement's warm-up. *)
     let words = Measure.minor_words_per_run ~n:sends (mk_run ()) in
     let rate = Measure.throughput ~n:sends (mk_run ()) in
+    record_summary (key ^ "_minor_words_per_pkt") words;
+    record_summary (key ^ "_mpps") (Measure.mpps rate);
     Printf.printf "%-34s %-18.3f %-14.4f\n" name words (Measure.mpps rate)
   in
-  row "router process_bytes (EER, bare)" (fun () ->
+  row "router_bare" "router process_bytes (EER, bare)" (fun () ->
       (Workloads.router_rig ~path_len:4 ~distinct_packets:4096 ()).process);
   (* 2^16 distinct packets: the duplicate filter must never see a
      replay of the measurement traffic itself. *)
-  row "router process_bytes (EER, monitored)" (fun () ->
+  row "router_monitored" "router process_bytes (EER, monitored)" (fun () ->
       (Workloads.router_rig ~monitoring:true ~path_len:4 ~distinct_packets:65536 ())
         .process);
-  row "gateway send (r=2^15)" (fun () ->
+  row "gateway" "gateway send (r=2^15)" (fun () ->
       (Workloads.gateway_rig ~path_len:4 ~reservations:(1 lsl 15) ()).send);
-  row "gateway send (r=2^15, 1500B)" (fun () ->
+  row "gateway_1500b" "gateway send (r=2^15, 1500B)" (fun () ->
       (Workloads.gateway_rig ~payload_len:1500 ~path_len:4 ~reservations:(1 lsl 15) ())
         .send);
   print_newline ();
@@ -446,4 +473,5 @@ let () =
                 (String.concat ", " (List.map fst cmds));
               exit 1)
         names);
-  write_metrics ()
+  write_metrics ();
+  write_summary ()
