@@ -492,6 +492,18 @@ module Eer = struct
         f.versions <- List.filter (fun (v, _, _) -> v <> version) f.versions;
         refresh_flow t key f ~now
 
+  (** Grant already held by a (key, version) pair — the retransmission
+      shortcut: re-admitting a version that is already live would
+      double-add it, so handlers answer retransmits from here. *)
+  let granted_of (t : t) ~(key : Ids.res_key) ~(version : int) : Bandwidth.t option =
+    match Ids.Res_key_tbl.find_opt t.flows key with
+    | None -> None
+    | Some f ->
+        List.find_map
+          (fun (v, bw, _) ->
+            if Int.equal v version then Some (Bandwidth.of_bps bw) else None)
+          f.versions
+
   let allocated_over (t : t) (segr : Ids.res_key) : Bandwidth.t =
     Bandwidth.of_bps (alloc_of t segr)
 

@@ -109,6 +109,10 @@ module Eer : sig
   val remove_version : t -> key:Ids.res_key -> version:int -> now:Timebase.t -> unit
   (** Failed-setup cleanup: drop one tentative version. *)
 
+  val granted_of : t -> key:Ids.res_key -> version:int -> Bandwidth.t option
+  (** Grant already held by a (key, version) pair — the retransmission
+      shortcut; re-admitting a live version would double-add it. *)
+
   val allocated_over : t -> Ids.res_key -> Bandwidth.t
   (** Σ EER bandwidth currently booked over a SegR. *)
 

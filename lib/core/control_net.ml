@@ -26,14 +26,17 @@
 open Colibri_types
 open Colibri_topology
 
-type message = { bytes : int; deliver : unit -> unit }
+type message = { bytes : int; track : bool; deliver : unit -> unit }
 
-(* Round-trip accounting (DESIGN.md §7): sent vs. delivered exposes
-   the DoC loss rate directly; the difference is tail-dropped
-   messages. *)
+(* Round-trip accounting (DESIGN.md §7): every tracked control message
+   ends up exactly once in delivered or lost, so after the engine
+   drains, sent = delivered + lost — the invariant the chaos suite
+   asserts. Losses cover tail drops, fault-injected drops (loss, link
+   flaps), and broken routes; flood filler is not tracked. *)
 type metrics = {
   m_sent : Obs.Counter.t;
   m_delivered : Obs.Counter.t;
+  m_lost : Obs.Counter.t;
   m_flood_packets : Obs.Counter.t;
 }
 
@@ -44,6 +47,7 @@ type t = {
   links : message Net.Link.t Ids.Asn_pair_tbl.t;
   scheduler : Net.Link.scheduler;
   delay : float;
+  faults : Net.Fault.t option;
   registry : Obs.Registry.t;
   metrics : metrics;
 }
@@ -52,8 +56,9 @@ let link_key (a : Ids.asn) (b : Ids.asn) = (a, b)
 
 (** Build the directed link mesh of the topology. [scheduler] defaults
     to the strict-priority queuing of Appendix B; [delay] is the
-    per-link propagation delay. *)
-let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
+    per-link propagation delay; [faults] subjects every tracked message
+    to the fault injector's per-link verdicts. *)
+let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005) ?faults
     ?(registry = Obs.Registry.create ()) ~(engine : Net.Engine.t) (topo : Topology.t)
     : t =
   let metrics =
@@ -61,13 +66,14 @@ let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
       m_sent = Obs.Registry.counter registry "control_net_messages_sent_total";
       m_delivered =
         Obs.Registry.counter registry "control_net_messages_delivered_total";
+      m_lost = Obs.Registry.counter registry "control_net_messages_lost_total";
       m_flood_packets =
         Obs.Registry.counter registry "control_net_flood_packets_total";
     }
   in
   let t =
     { engine; topo; links = Ids.Asn_pair_tbl.create 64; scheduler; delay;
-      registry; metrics }
+      faults; registry; metrics }
   in
   Topology.ases topo
   |> List.iter (fun asn ->
@@ -77,6 +83,8 @@ let create ?(scheduler = Net.Link.Strict_priority) ?(delay = 0.005)
                 if not (Ids.Asn_pair_tbl.mem t.links key) then
                   Ids.Asn_pair_tbl.replace t.links key
                     (Net.Link.create ~engine ~capacity:l.capacity ~delay ~scheduler
+                       ~on_drop:(fun (p : message Net.Link.packet) ->
+                         if p.payload.track then Obs.Counter.incr metrics.m_lost)
                        ~deliver:(fun (p : message Net.Link.packet) ->
                          p.payload.deliver ())
                        ())));
@@ -86,6 +94,9 @@ let link (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : message Net.Link.t option =
   Ids.Asn_pair_tbl.find_opt t.links (link_key src dst)
 
 let metrics (t : t) = t.registry
+let sent_count (t : t) = Obs.Counter.value t.metrics.m_sent
+let delivered_count (t : t) = Obs.Counter.value t.metrics.m_delivered
+let lost_count (t : t) = Obs.Counter.value t.metrics.m_lost
 
 (** Inject best-effort background traffic on the [src → dst] link — the
     flooding adversary of §5.3. Returns the source so tests can stop
@@ -99,7 +110,7 @@ let flood (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(rate : Bandwidth.t)
         Net.Source.create ~engine:t.engine ~rate ~packet_bytes ~emit:(fun bytes ->
             Obs.Counter.incr t.metrics.m_flood_packets;
             Net.Link.send l ~bytes ~cls:Net.Traffic_class.Best_effort
-              { bytes; deliver = ignore })
+              { bytes; track = false; deliver = ignore })
       in
       Net.Source.start s;
       s
@@ -107,19 +118,36 @@ let flood (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(rate : Bandwidth.t)
 (** Send one control-plane message of [bytes] along the AS-level
     [route] (adjacent ASes), in the given traffic class; [deliver]
     fires when the last hop receives it. Messages that are tail-dropped
-    on a congested link are silently lost — exactly the DoC exposure of
-    unprotected setup requests. *)
+    on a congested link, killed by the fault injector, or sent down a
+    broken route count as lost — exactly the DoC exposure of
+    unprotected setup requests, widened to the full failure model. *)
 let send_along (t : t) ~(route : Ids.asn list) ~(cls : Net.Traffic_class.t)
     ~(bytes : int) ~(deliver : unit -> unit) : unit =
   Obs.Counter.incr t.metrics.m_sent;
+  let lose () = Obs.Counter.incr t.metrics.m_lost in
   let rec hop = function
     | [] | [ _ ] ->
         Obs.Counter.incr t.metrics.m_delivered;
         deliver ()
     | a :: (b :: _ as rest) -> (
         match link t ~src:a ~dst:b with
-        | None -> () (* broken route: lost *)
-        | Some l -> Net.Link.send l ~bytes ~cls { bytes; deliver = (fun () -> hop rest) })
+        | None -> lose () (* broken route *)
+        | Some l -> (
+            let forward () =
+              Net.Link.send l ~bytes ~cls
+                { bytes; track = true; deliver = (fun () -> hop rest) }
+            in
+            match t.faults with
+            | None -> forward ()
+            | Some f -> (
+                match
+                  Net.Fault.judge f ~src:a ~dst:b ~now:(Net.Engine.now t.engine)
+                with
+                | Net.Fault.Drop _ -> lose ()
+                | Net.Fault.Deliver { extra_delay } ->
+                    if extra_delay > 0. then
+                      Net.Engine.schedule t.engine ~delay:extra_delay forward
+                    else forward ())))
   in
   hop route
 

@@ -12,27 +12,39 @@ open Colibri_topology
 
 type t
 
-type message = { bytes : int; deliver : unit -> unit }
+type message = { bytes : int; track : bool; deliver : unit -> unit }
+(** [track] marks accountable control messages (every loss is counted);
+    flood filler is untracked. *)
 
 val create :
   ?scheduler:Net.Link.scheduler ->
   ?delay:float ->
+  ?faults:Net.Fault.t ->
   ?registry:Obs.Registry.t ->
   engine:Net.Engine.t ->
   Topology.t ->
   t
 (** Build the directed link mesh of the topology (strict-priority
-    queuing and 5 ms per-link delay by default). [registry] receives
-    the delivery metrics (DESIGN.md §7); a private registry is created
-    when omitted. *)
+    queuing and 5 ms per-link delay by default). [faults] subjects every
+    tracked message to per-link fault verdicts. [registry] receives the
+    delivery metrics (DESIGN.md §7); a private registry is created when
+    omitted. *)
 
 val link : t -> src:Ids.asn -> dst:Ids.asn -> message Net.Link.t option
 
 val metrics : t -> Obs.Registry.t
 (** Delivery accounting: [control_net_messages_sent_total] /
-    [control_net_messages_delivered_total] (their difference is the
-    DoC loss) and [control_net_flood_packets_total] for injected
-    adversarial traffic. *)
+    [control_net_messages_delivered_total] /
+    [control_net_messages_lost_total] (after the engine drains,
+    sent = delivered + lost) and [control_net_flood_packets_total] for
+    injected adversarial traffic. *)
+
+val sent_count : t -> int
+val delivered_count : t -> int
+
+val lost_count : t -> int
+(** Tracked messages lost to tail drops, fault-injected drops, or
+    broken routes. *)
 
 val flood :
   t -> src:Ids.asn -> dst:Ids.asn -> rate:Bandwidth.t -> ?packet_bytes:int -> unit ->
@@ -47,9 +59,10 @@ val send_along :
   bytes:int ->
   deliver:(unit -> unit) ->
   unit
-(** Send one control message along adjacent ASes; tail-dropped
-    messages are silently lost — the DoC exposure of unprotected setup
-    requests. *)
+(** Send one control message along adjacent ASes; messages killed by
+    tail drops, the fault injector, or a broken route are counted lost
+    — the DoC exposure of unprotected setup requests, widened to the
+    full failure model. *)
 
 val measure_latency :
   t ->

@@ -245,14 +245,24 @@ let handle_seg_request_forward (t : t) ~(req : Protocol.seg_request)
       | None -> `Deny Protocol.Bad_authentication
       | Some hop -> (
           let rkey : Ids.res_key = { src_as = src; res_id = req.res_info.res_id } in
+          (* Retransmission of a request this AS already admitted (the
+             original reply was lost downstream): answer from the
+             recorded grant. Re-running [admit] would deny the
+             duplicate (key, version) pair. *)
           match
-            Admission.Seg.admit t.seg_adm ~key:rkey ~version:req.res_info.version
-              ~src ~ingress:hop.ingress ~egress:hop.egress ~demand:req.res_info.bw
-              ~min_bw:req.min_bw ~exp_time:req.res_info.exp_time ~now
+            Admission.Seg.granted_of t.seg_adm ~key:rkey
+              ~version:req.res_info.version
           with
-          | Admission.Granted bw -> `Continue bw
-          | Admission.Denied { available } ->
-              `Deny (Protocol.Insufficient_bandwidth { available }))
+          | Some bw -> `Continue bw
+          | None -> (
+              match
+                Admission.Seg.admit t.seg_adm ~key:rkey ~version:req.res_info.version
+                  ~src ~ingress:hop.ingress ~egress:hop.egress ~demand:req.res_info.bw
+                  ~min_bw:req.min_bw ~exp_time:req.res_info.exp_time ~now
+              with
+              | Admission.Granted bw -> `Continue bw
+              | Admission.Denied { available } ->
+                  `Deny (Protocol.Insufficient_bandwidth { available })))
     end
   end
 
@@ -587,17 +597,27 @@ let handle_eer_request_forward (t : t) ~(req : Protocol.eer_request)
                   let rkey : Ids.res_key =
                     { src_as = src; res_id = req.res_info.res_id }
                   in
+                  (* Retransmission shortcut (cf. the SegReq handler):
+                     re-admitting a live version would double-add it to
+                     the flow's version list. *)
                   match
-                    (* Renewals are flexible: an AS can grant less than
-                       requested, re-negotiating the bandwidth without
-                       interrupting service (§4.2). Setups are strict. *)
-                    Admission.Eer.admit ~partial:req.renewal t.eer_adm ~key:rkey
-                      ~version:req.res_info.version ~segrs ~via_up
-                      ~demand:req.res_info.bw ~exp_time:req.res_info.exp_time ~now
+                    Admission.Eer.granted_of t.eer_adm ~key:rkey
+                      ~version:req.res_info.version
                   with
-                  | Admission.Granted bw -> `Continue bw
-                  | Admission.Denied { available } ->
-                      `Deny (Protocol.Insufficient_bandwidth { available }))
+                  | Some bw -> `Continue bw
+                  | None -> (
+                      match
+                        (* Renewals are flexible: an AS can grant less
+                           than requested, re-negotiating the bandwidth
+                           without interrupting service (§4.2). Setups
+                           are strict. *)
+                        Admission.Eer.admit ~partial:req.renewal t.eer_adm ~key:rkey
+                          ~version:req.res_info.version ~segrs ~via_up
+                          ~demand:req.res_info.bw ~exp_time:req.res_info.exp_time ~now
+                      with
+                      | Admission.Granted bw -> `Continue bw
+                      | Admission.Denied { available } ->
+                          `Deny (Protocol.Insufficient_bandwidth { available })))
             end
           end)
     end
@@ -726,4 +746,15 @@ let own_segr (t : t) (key : Ids.res_key) = Ids.Res_key_tbl.find_opt t.own_segrs 
 let own_eer (t : t) (key : Ids.res_key) = Ids.Res_key_tbl.find_opt t.own_eers key
 let seg_admission (t : t) = t.seg_adm
 let eer_admission (t : t) = t.eer_adm
+let drkey_cache (t : t) = t.drkey_cache
 let set_fetch_remote_key (t : t) f = t.fetch_remote_key <- f
+
+(** Consistency audit of both admission states, messages prefixed with
+    this AS — the chaos suite's leak detector after crashes and
+    exhausted retries. [[]] means clean. *)
+let audit (t : t) : string list =
+  let tag sub msgs =
+    List.map (fun m -> Fmt.str "%a/%s: %s" Ids.pp_asn t.asn sub m) msgs
+  in
+  tag "seg" (Admission.Seg.audit t.seg_adm)
+  @ tag "eer" (Admission.Eer.audit t.eer_adm)

@@ -195,6 +195,12 @@ val own_segr : t -> Ids.res_key -> Reservation.segr option
 val own_eer : t -> Ids.res_key -> Reservation.eer option
 val seg_admission : t -> Admission.Seg.t
 val eer_admission : t -> Admission.Eer.t
+val drkey_cache : t -> Drkey.Cache.t
+
+val audit : t -> string list
+(** Consistency audit of both admission states, messages prefixed with
+    this AS. [[]] means clean — the chaos suite's leak detector after
+    crashes and exhausted retries. *)
 
 val set_fetch_remote_key : t -> (Ids.asn -> Drkey.as_key) -> unit
 (** Wire the slow-side DRKey fetch to remote key servers (done by the

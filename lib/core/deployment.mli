@@ -126,6 +126,134 @@ val setup_eer_auto :
 (** Look up routes and set up an EER over the shortest feasible one,
     trying alternatives on failure (path choice, §2.1). *)
 
+(** {1 Networked control plane}
+
+    Everything above moves control messages instantaneously (right for
+    the admission benchmarks, §6.1). The networked variants run the
+    same per-AS handlers over the simulated {!Control_net} with fault
+    injection, per-request timeouts, capped exponential backoff, and
+    bounded retry budgets ({!Retry}); on budget exhaustion the
+    tentative admission state is released through the existing failure
+    paths (cleanup-by-timeout, §3.3). *)
+
+val attach_network :
+  ?scheduler:Net.Link.scheduler ->
+  ?delay:float ->
+  ?faults:Net.Fault.t ->
+  ?retry_policy:Retry.policy ->
+  ?retry_seed:int ->
+  t ->
+  unit
+(** Build the link mesh under the control plane and the retry
+    machinery. Must be called before any [_net]/[_sync] operation or
+    renewal machine. *)
+
+val network_metrics : t -> Obs.Registry.t
+(** The shared registry of the network layer: [control_net_*] delivery
+    accounting, [retry_*] counters and histograms, and [renewal_*]
+    state-machine outcomes. *)
+
+val control_net : t -> Control_net.t
+val retrier : t -> Retry.t
+
+val server_up : t -> Ids.asn -> bool
+(** Is the AS's control service processing requests right now (fault
+    injector crash windows)? Always [true] without fault injection. *)
+
+val setup_segr_net :
+  ?renew:Ids.res_key ->
+  ?protection:Control_net.protection ->
+  t ->
+  path:Path.t ->
+  kind:Reservation.seg_kind ->
+  max_bw:Bandwidth.t ->
+  min_bw:Bandwidth.t ->
+  on_result:((Reservation.segr, string) result -> unit) ->
+  unit
+(** Networked {!setup_segr}; [on_result] fires once the engine has run
+    far enough. Renewals default to {!Control_net.Over_reservation},
+    setups to {!Control_net.Prioritized_control} (§5.3). *)
+
+val setup_eer_net :
+  ?renew:Ids.res_key ->
+  ?protection:Control_net.protection ->
+  t ->
+  route:eer_route ->
+  src_host:Ids.host ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  on_result:((Reservation.eer, string) result -> unit) ->
+  unit
+(** Networked {!setup_eer}; the reservation is installed at the source
+    gateway before [on_result] fires. *)
+
+val setup_segr_sync :
+  ?renew:Ids.res_key ->
+  ?protection:Control_net.protection ->
+  ?timeout:float ->
+  t ->
+  path:Path.t ->
+  kind:Reservation.seg_kind ->
+  max_bw:Bandwidth.t ->
+  min_bw:Bandwidth.t ->
+  (Reservation.segr, string) result
+(** Blocking convenience over {!setup_segr_net}: runs the engine until
+    the walk concludes (at most [timeout] simulated seconds). *)
+
+val setup_eer_sync :
+  ?renew:Ids.res_key ->
+  ?protection:Control_net.protection ->
+  ?timeout:float ->
+  t ->
+  route:eer_route ->
+  src_host:Ids.host ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  (Reservation.eer, string) result
+
+(** {1 Renewal before expiry}
+
+    A managed reservation is renewed over itself once a configurable
+    fraction of its lifetime has elapsed (§4.2); while it stays valid,
+    failed renewals retry with capped backoff; once it lapses the
+    machine degrades to a best-effort fresh setup under a new key, and
+    gives up after repeated failed recoveries. Outcomes are counted in
+    {!network_metrics} as [renewal_{started,ok,late,degraded,recovered,
+    gave_up}_total]. *)
+
+type managed
+
+val auto_renew_segr :
+  ?fraction:float ->
+  t ->
+  key:Ids.res_key ->
+  max_bw:Bandwidth.t ->
+  min_bw:Bandwidth.t ->
+  (managed, string) result
+(** Keep a SegR alive (renewal at [fraction = 0.7] of the lifetime by
+    default). [max_bw]/[min_bw] are reused for renewals and
+    recoveries. *)
+
+val auto_renew_eer :
+  ?fraction:float ->
+  t ->
+  key:Ids.res_key ->
+  route:eer_route ->
+  src_host:Ids.host ->
+  dst_host:Ids.host ->
+  bw:Bandwidth.t ->
+  (managed, string) result
+(** Keep an EER alive by renewing before each version expires;
+    versions overlap so traffic never stalls (§4.2). *)
+
+val managed_key : managed -> Ids.res_key
+(** The current key — changes when a lapse forces a fresh setup. *)
+
+val stop_renewal : managed -> unit
+
+val audit_all : t -> string list
+(** Audit every AS's admission state; [[]] means no AS leaks. *)
+
 (** {1 Data plane} *)
 
 type delivery = {

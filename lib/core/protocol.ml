@@ -130,3 +130,29 @@ let verify_reply_hop ~(digest : bytes) ~(key : Crypto.Cmac.key) (h : reply_hop) 
   Crypto.Cmac.verify key
     (reply_hop_mac_input ~digest ~granted:h.granted ~material:h.material)
     ~tag:h.mac
+
+(* ---------------- Wire-size estimates ---------------- *)
+
+(* Coarse on-the-wire sizes for the simulated control network, in the
+   spirit of the paper's header arithmetic (§5.1, Table 1): fixed
+   request metadata, one per-hop field on requests, and one reply_hop
+   (grant + sealed material + MAC) per on-path AS on replies. They only
+   need to be the right order of magnitude — link serialization and
+   queue occupancy, not exact encodings. *)
+
+let request_fixed_bytes = 64
+let request_per_hop_bytes = 16
+let reply_hop_bytes = 56
+
+let seg_request_bytes (r : seg_request) : int =
+  request_fixed_bytes + (request_per_hop_bytes * Path.length r.path)
+
+let eer_request_bytes (r : eer_request) : int =
+  request_fixed_bytes
+  + (request_per_hop_bytes * Path.length r.path)
+  + (8 * List.length r.segr_keys)
+
+let reply_bytes ~(hops : int) : int = request_fixed_bytes + (reply_hop_bytes * hops)
+
+let drkey_request_bytes = 48
+let drkey_reply_bytes = 80

@@ -89,3 +89,18 @@ val make_reply_hop :
   reply_hop
 
 val verify_reply_hop : digest:bytes -> key:Crypto.Cmac.key -> reply_hop -> bool
+
+(** {1 Wire-size estimates}
+
+    Coarse message sizes for the simulated control network (§5.1,
+    Table 1 spirit): right order of magnitude for link serialization,
+    not exact encodings. *)
+
+val seg_request_bytes : seg_request -> int
+val eer_request_bytes : eer_request -> int
+
+val reply_bytes : hops:int -> int
+(** Size of a reply carrying [hops] {!reply_hop}s. *)
+
+val drkey_request_bytes : int
+val drkey_reply_bytes : int

@@ -1,0 +1,184 @@
+(** Reliable request execution over an unreliable control network:
+    per-request timeouts driven by the simulated clock, capped
+    exponential backoff with deterministic jitter, and bounded retry
+    budgets.
+
+    The paper assumes request/reply loss is the normal case for setup
+    traffic (§4.4: initial SegReqs are best-effort; §5.3: only
+    renewals are protected), and that state left behind by lost
+    messages is cleaned up by timeout (§3.3). This module is the
+    requester-side half of that contract: a request is retransmitted on
+    a capped exponential schedule until a reply arrives or the budget
+    is exhausted, at which point [on_exhausted] fires so the caller can
+    route cleanup through its failure path.
+
+    Correctness notes:
+
+    - Attempt 1 is sent via the engine at delay 0, never synchronously,
+      so a reply that completes in the same engine step still finds the
+      handle registered.
+    - [complete] returns whether this completion {e won}: late replies
+      (after exhaustion) and duplicate replies (retransmission made two
+      copies arrive) are counted and ignored, so callers apply each
+      outcome at most once.
+    - All jitter comes from one explicit [Random.State], so a fixed
+      seed gives a deterministic retransmission schedule. *)
+
+open Colibri_types
+
+type policy = {
+  base_timeout : float; (* seconds before the first retransmit *)
+  backoff : float; (* multiplier per attempt, >= 1 *)
+  max_timeout : float; (* cap on the per-attempt timeout *)
+  max_attempts : int; (* total transmissions, >= 1 *)
+  jitter : float; (* fraction of the timeout added uniformly, [0,1] *)
+}
+
+let policy ?(base_timeout = 0.25) ?(backoff = 2.0) ?(max_timeout = 4.0)
+    ?(max_attempts = 6) ?(jitter = 0.1) () : policy =
+  if base_timeout <= 0. then invalid_arg "Retry.policy: base_timeout <= 0";
+  if backoff < 1. then invalid_arg "Retry.policy: backoff < 1";
+  if max_timeout < base_timeout then
+    invalid_arg "Retry.policy: max_timeout < base_timeout";
+  if max_attempts < 1 then invalid_arg "Retry.policy: max_attempts < 1";
+  if jitter < 0. || jitter > 1. then invalid_arg "Retry.policy: jitter outside [0,1]";
+  { base_timeout; backoff; max_timeout; max_attempts; jitter }
+
+let default_policy = policy ()
+
+(** Timeout before retransmission number [attempt + 1], excluding
+    jitter: [base * backoff^(attempt-1)], capped at [max_timeout].
+    Pure, monotone in [attempt], and capped — the QCheck targets. *)
+let timeout_for (p : policy) ~(attempt : int) : float =
+  if attempt < 1 then invalid_arg "Retry.timeout_for: attempt < 1";
+  let raw = p.base_timeout *. (p.backoff ** float_of_int (attempt - 1)) in
+  Float.min raw p.max_timeout
+
+type metrics = {
+  m_requests : Obs.Counter.t;
+  m_attempts : Obs.Counter.t;
+  m_retries : Obs.Counter.t;
+  m_timeouts : Obs.Counter.t;
+  m_success : Obs.Counter.t;
+  m_exhausted : Obs.Counter.t;
+  m_late : Obs.Counter.t;
+  m_duplicate : Obs.Counter.t;
+  h_attempts : Obs.Histogram.t;
+  h_latency : Obs.Histogram.t;
+}
+
+type state = Pending | Done | Exhausted
+
+type handle = {
+  id : int;
+  mutable state : state;
+  mutable attempt : int; (* transmissions so far *)
+  started_at : Timebase.t;
+}
+
+type t = {
+  engine : Net.Engine.t;
+  policy : policy;
+  rng : Random.State.t;
+  metrics : metrics;
+  mutable live : int; (* handles still Pending *)
+  mutable next_id : int;
+}
+
+let create ?(policy = default_policy) ?(seed = 0x5E77) ?(registry = Obs.Registry.create ())
+    ~(engine : Net.Engine.t) () : t =
+  let c = Obs.Registry.counter registry in
+  let h = Obs.Registry.histogram registry in
+  {
+    engine;
+    policy;
+    rng = Random.State.make [| seed; 0xBAC0FF |];
+    metrics =
+      {
+        m_requests = c "retry_requests_total";
+        m_attempts = c "retry_attempts_total";
+        m_retries = c "retry_retransmissions_total";
+        m_timeouts = c "retry_timeouts_total";
+        m_success = c "retry_success_total";
+        m_exhausted = c "retry_exhausted_total";
+        m_late = c "retry_late_replies_total";
+        m_duplicate = c "retry_duplicate_replies_total";
+        h_attempts = h "retry_attempts_per_request";
+        h_latency = h "retry_request_latency_seconds";
+      };
+    live = 0;
+    next_id = 0;
+  }
+
+let pending (t : t) = t.live
+let policy_of (t : t) = t.policy
+
+let finish_stats (t : t) (h : handle) =
+  t.live <- t.live - 1;
+  Obs.Histogram.observe t.metrics.h_attempts (float_of_int h.attempt);
+  Obs.Histogram.observe t.metrics.h_latency (Net.Engine.now t.engine -. h.started_at)
+
+(** Start a reliable request. [send attempt] transmits attempt number
+    [attempt] (1-based); it will be called from engine context, the
+    first time at delay 0. When no [complete] wins before the budget of
+    [max_attempts] transmissions runs out, [on_exhausted] fires (also
+    from engine context) exactly once. *)
+let run (t : t) ~(send : int -> unit) ~(on_exhausted : unit -> unit) () : handle =
+  Obs.Counter.incr t.metrics.m_requests;
+  let h =
+    { id = t.next_id; state = Pending; attempt = 0;
+      started_at = Net.Engine.now t.engine }
+  in
+  t.next_id <- t.next_id + 1;
+  t.live <- t.live + 1;
+  let rec attempt_round () =
+    match h.state with
+    | Done | Exhausted -> ()
+    | Pending ->
+        h.attempt <- h.attempt + 1;
+        Obs.Counter.incr t.metrics.m_attempts;
+        if h.attempt > 1 then Obs.Counter.incr t.metrics.m_retries;
+        let timeout = timeout_for t.policy ~attempt:h.attempt in
+        (* Deterministic jitter: one draw per transmission. *)
+        let jittered =
+          timeout +. (timeout *. t.policy.jitter *. Random.State.float t.rng 1.)
+        in
+        send h.attempt;
+        Net.Engine.schedule t.engine ~delay:jittered (fun () ->
+            match h.state with
+            | Done | Exhausted -> ()
+            | Pending ->
+                Obs.Counter.incr t.metrics.m_timeouts;
+                if h.attempt >= t.policy.max_attempts then begin
+                  h.state <- Exhausted;
+                  Obs.Counter.incr t.metrics.m_exhausted;
+                  finish_stats t h;
+                  on_exhausted ()
+                end
+                else attempt_round ())
+  in
+  (* Never send synchronously: a same-step reply must find the handle
+     already registered with its caller. *)
+  Net.Engine.schedule t.engine ~delay:0. attempt_round;
+  h
+
+(** Report a reply for [h]. Returns [true] iff this completion won the
+    request — callers must apply the outcome only then. Late replies
+    (budget already exhausted) and duplicates are counted and
+    ignored. *)
+let complete (t : t) (h : handle) : bool =
+  match h.state with
+  | Pending ->
+      h.state <- Done;
+      Obs.Counter.incr t.metrics.m_success;
+      finish_stats t h;
+      true
+  | Done ->
+      Obs.Counter.incr t.metrics.m_duplicate;
+      false
+  | Exhausted ->
+      Obs.Counter.incr t.metrics.m_late;
+      false
+
+let state (h : handle) = h.state
+let attempts (h : handle) = h.attempt

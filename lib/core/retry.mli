@@ -1,0 +1,74 @@
+(** Reliable request execution over an unreliable control network:
+    per-request timeouts on the simulated clock, capped exponential
+    backoff with deterministic jitter, and bounded retry budgets.
+
+    The requester-side half of the paper's failure contract: setup
+    traffic is lossy (§4.4, §5.3) and orphaned state is cleaned up by
+    timeout (§3.3). A request is retransmitted on a capped exponential
+    schedule until {!complete} is called for its handle or the budget
+    runs out, at which point [on_exhausted] fires so the caller can
+    route cleanup through its failure path. *)
+
+type policy = {
+  base_timeout : float;  (** seconds before the first retransmit *)
+  backoff : float;  (** multiplier per attempt, >= 1 *)
+  max_timeout : float;  (** cap on the per-attempt timeout *)
+  max_attempts : int;  (** total transmissions, >= 1 *)
+  jitter : float;  (** fraction of the timeout added uniformly, [0,1] *)
+}
+
+val policy :
+  ?base_timeout:float ->
+  ?backoff:float ->
+  ?max_timeout:float ->
+  ?max_attempts:int ->
+  ?jitter:float ->
+  unit ->
+  policy
+(** Build a validated policy; raises [Invalid_argument] on nonsense
+    (non-positive base, backoff < 1, cap below base, zero budget,
+    jitter outside [0,1]). *)
+
+val default_policy : policy
+(** 250 ms base, 2× backoff capped at 4 s, 6 attempts, 10% jitter. *)
+
+val timeout_for : policy -> attempt:int -> float
+(** Timeout before retransmission number [attempt + 1], excluding
+    jitter: [base * backoff^(attempt-1)] capped at [max_timeout]. Pure,
+    monotone in [attempt], and capped. *)
+
+type state = Pending | Done | Exhausted
+
+type handle
+
+type t
+
+val create :
+  ?policy:policy -> ?seed:int -> ?registry:Obs.Registry.t -> engine:Net.Engine.t ->
+  unit -> t
+(** All jitter comes from one [Random.State] built from [seed], so a
+    fixed seed gives a deterministic retransmission schedule.
+    [registry] receives the retry metrics ([retry_*_total] counters,
+    attempts/latency histograms). *)
+
+val run : t -> send:(int -> unit) -> on_exhausted:(unit -> unit) -> unit -> handle
+(** Start a reliable request. [send attempt] transmits attempt number
+    [attempt] (1-based), called from engine context — the first time at
+    delay 0, never synchronously, so a same-step reply still finds the
+    handle registered. [on_exhausted] fires exactly once if the budget
+    of [max_attempts] transmissions runs out without a winning
+    {!complete}. *)
+
+val complete : t -> handle -> bool
+(** Report a reply. [true] iff this completion won the request —
+    callers must apply the outcome only then. Late replies (after
+    exhaustion) and duplicates are counted and ignored. *)
+
+val state : handle -> state
+val attempts : handle -> int
+(** Transmissions so far. *)
+
+val pending : t -> int
+(** Handles still [Pending] — zero once every request concluded. *)
+
+val policy_of : t -> policy

@@ -155,5 +155,11 @@ module Cache = struct
         Ids.Asn_tbl.replace t.table fast { key; expires = Epoch.end_ key.epoch };
         key
 
+  (** Insert a key obtained out of band (an asynchronous fetch over the
+      control network); cached until its epoch ends, replacing any
+      entry for the same fast AS. *)
+  let put (t : t) (key : as_key) : unit =
+    Ids.Asn_tbl.replace t.table key.fast { key; expires = Epoch.end_ key.epoch }
+
   let size (t : t) = Ids.Asn_tbl.length t.table
 end

@@ -90,5 +90,9 @@ module Cache : sig
   (** Return the cached key for [fast] or fetch ([fetch] stands for
       the network round trip) and cache it until epoch end. *)
 
+  val put : t -> as_key -> unit
+  (** Insert a key obtained out of band (an asynchronous fetch over the
+      control network); cached until its epoch ends. *)
+
   val size : t -> int
 end

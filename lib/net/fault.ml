@@ -1,0 +1,154 @@
+(** Deterministic, seedable fault injection for the simulated network.
+
+    The paper's DoC story (§5.3) treats loss of setup requests as the
+    expected case: initial SegReqs travel as best-effort traffic and
+    are tail-dropped under congestion. This module widens the failure
+    model beyond congestion so the control plane's recovery machinery
+    ({!Colibri.Retry}, the renewal state machine in
+    {!Colibri.Deployment}) can be tested against every failure class
+    the infrastructure must survive:
+
+    - {e random loss} — per-link drop probability, modeling congestion
+      on links outside the simulated mesh;
+    - {e delay jitter} and {e reordering} — extra per-message delay,
+      letting retransmissions overtake originals;
+    - {e link flaps} — scheduled down-intervals during which every
+      message on the link is lost;
+    - {e CServ crash/restart} — scheduled per-AS outage windows during
+      which the AS's control service processes nothing (fail-stop with
+      durable reservation state, §3.3: neighbors keep their state and
+      clean it up by timeout).
+
+    Every decision is drawn from one explicit [Random.State] seeded at
+    construction, and the per-decision draw count is fixed regardless
+    of outcome — so the same seed against the same (deterministic)
+    event engine reproduces the identical fault trace, which the chaos
+    suite relies on to replay scenarios byte-for-byte. *)
+
+open Colibri_types
+
+type drop_reason = Loss | Link_down
+(** Why a message was killed on a link. Server outages are not link
+    drops: the message is delivered and then swallowed by the dead
+    service (query {!server_up} at the processing site). *)
+
+let pp_drop_reason ppf = function
+  | Loss -> Fmt.string ppf "loss"
+  | Link_down -> Fmt.string ppf "link-down"
+
+type plan = {
+  loss : float; (* drop probability per link traversal, [0,1] *)
+  jitter : float; (* extra delay uniform in [0, jitter] seconds *)
+  reorder : float; (* probability of an additional hold-back delay *)
+  reorder_delay : float; (* magnitude of the hold-back, seconds *)
+  flaps : (Timebase.t * Timebase.t) list; (* [down_at, up_at) intervals *)
+}
+
+let plan ?(loss = 0.) ?(jitter = 0.) ?(reorder = 0.) ?(reorder_delay = 0.05)
+    ?(flaps = []) () : plan =
+  if loss < 0. || loss > 1. then invalid_arg "Fault.plan: loss outside [0,1]";
+  if jitter < 0. then invalid_arg "Fault.plan: negative jitter";
+  if reorder < 0. || reorder > 1. then invalid_arg "Fault.plan: reorder outside [0,1]";
+  { loss; jitter; reorder; reorder_delay; flaps }
+
+let healthy = plan ()
+
+type verdict = Deliver of { extra_delay : float } | Drop of drop_reason
+
+type t = {
+  seed : int;
+  rng : Random.State.t;
+  mutable default_plan : plan;
+  links : plan Ids.Asn_pair_tbl.t;
+  crashes : (Timebase.t * Timebase.t) list Ids.Asn_tbl.t; (* down intervals *)
+  record_trace : bool;
+  mutable trace : (Timebase.t * string) list; (* newest first *)
+  mutable decisions : int;
+}
+
+let create ?(seed = 0xFA17) ?(record_trace = false) () : t =
+  {
+    seed;
+    rng = Random.State.make [| seed; 0xC4A05 |];
+    default_plan = healthy;
+    links = Ids.Asn_pair_tbl.create 64;
+    crashes = Ids.Asn_tbl.create 16;
+    record_trace;
+    trace = [];
+    decisions = 0;
+  }
+
+let seed (t : t) = t.seed
+let decisions (t : t) = t.decisions
+
+let set_default (t : t) (p : plan) = t.default_plan <- p
+
+let set_link (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) (p : plan) =
+  Ids.Asn_pair_tbl.replace t.links (src, dst) p
+
+let plan_for (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) : plan =
+  match Ids.Asn_pair_tbl.find_opt t.links (src, dst) with
+  | Some p -> p
+  | None -> t.default_plan
+
+(** Add one down-interval to a directed link's flap schedule. *)
+let flap_link (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(down_at : Timebase.t)
+    ~(up_at : Timebase.t) =
+  if up_at <= down_at then invalid_arg "Fault.flap_link: up_at <= down_at";
+  let p = plan_for t ~src ~dst in
+  set_link t ~src ~dst { p with flaps = (down_at, up_at) :: p.flaps }
+
+(** Schedule a CServ outage: the AS's control service is down during
+    [[at, at + duration)). Reservation state survives the crash
+    (fail-stop with durable state). *)
+let crash_server (t : t) ~(asn : Ids.asn) ~(at : Timebase.t) ~(duration : float) =
+  if duration <= 0. then invalid_arg "Fault.crash_server: duration <= 0";
+  let prev = Option.value ~default:[] (Ids.Asn_tbl.find_opt t.crashes asn) in
+  Ids.Asn_tbl.replace t.crashes asn ((at, at +. duration) :: prev)
+
+let in_interval now (a, b) = a <= now && now < b
+
+let server_up (t : t) ~(asn : Ids.asn) ~(now : Timebase.t) : bool =
+  match Ids.Asn_tbl.find_opt t.crashes asn with
+  | None -> true
+  | Some intervals -> not (List.exists (in_interval now) intervals)
+
+let server_downtimes (t : t) (asn : Ids.asn) : (Timebase.t * Timebase.t) list =
+  Option.value ~default:[] (Ids.Asn_tbl.find_opt t.crashes asn)
+
+let record (t : t) ~(now : Timebase.t) fmt =
+  Fmt.kstr
+    (fun s -> if t.record_trace then t.trace <- (now, s) :: t.trace)
+    fmt
+
+(** Judge one message traversal of the [src → dst] link at simulated
+    time [now]. Exactly three uniform draws are consumed per call, so
+    the decision stream is a pure function of (seed, call sequence). *)
+let judge (t : t) ~(src : Ids.asn) ~(dst : Ids.asn) ~(now : Timebase.t) : verdict =
+  t.decisions <- t.decisions + 1;
+  let p = plan_for t ~src ~dst in
+  (* Fixed draw count per decision keeps replays aligned even when a
+     plan changes which draws matter. *)
+  let u_loss = Random.State.float t.rng 1. in
+  let u_jitter = Random.State.float t.rng 1. in
+  let u_reorder = Random.State.float t.rng 1. in
+  if List.exists (in_interval now) p.flaps then begin
+    record t ~now "drop link-down %a->%a" Ids.pp_asn src Ids.pp_asn dst;
+    Drop Link_down
+  end
+  else if p.loss > 0. && u_loss < p.loss then begin
+    record t ~now "drop loss %a->%a" Ids.pp_asn src Ids.pp_asn dst;
+    Drop Loss
+  end
+  else begin
+    let extra_delay =
+      (p.jitter *. u_jitter)
+      +. (if p.reorder > 0. && u_reorder < p.reorder then p.reorder_delay else 0.)
+    in
+    record t ~now "deliver %a->%a +%.6fs" Ids.pp_asn src Ids.pp_asn dst extra_delay;
+    Deliver { extra_delay }
+  end
+
+(** The recorded decision trace in chronological order (empty unless
+    [record_trace] was set). *)
+let trace (t : t) : (Timebase.t * string) list = List.rev t.trace

@@ -1,0 +1,82 @@
+(** Deterministic, seedable fault injection for the simulated network:
+    per-link loss probability, delay jitter, reordering, link-flap
+    schedules, and CServ crash/restart windows.
+
+    All randomness comes from one [Random.State] seeded at creation
+    with a fixed number of draws per decision, so the same seed against
+    the same deterministic event engine reproduces the identical fault
+    trace — the property the chaos test suite replays scenarios on. *)
+
+open Colibri_types
+
+type t
+
+(** Why a message was killed on a link. Server outages are not link
+    drops: the message is delivered and then swallowed by the dead
+    service (query {!server_up} at the processing site). *)
+type drop_reason = Loss | Link_down
+
+val pp_drop_reason : drop_reason Fmt.t
+
+type plan = {
+  loss : float;  (** drop probability per link traversal, [0,1] *)
+  jitter : float;  (** extra delay uniform in [0, jitter] seconds *)
+  reorder : float;  (** probability of an additional hold-back delay *)
+  reorder_delay : float;  (** magnitude of the hold-back, seconds *)
+  flaps : (Timebase.t * Timebase.t) list;
+      (** [down_at, up_at)] intervals during which the link drops
+          everything *)
+}
+
+val plan :
+  ?loss:float ->
+  ?jitter:float ->
+  ?reorder:float ->
+  ?reorder_delay:float ->
+  ?flaps:(Timebase.t * Timebase.t) list ->
+  unit ->
+  plan
+(** Build a link plan; everything defaults to the healthy no-fault
+    values. Raises [Invalid_argument] on probabilities outside [0,1]
+    or negative delays. *)
+
+val healthy : plan
+
+val create : ?seed:int -> ?record_trace:bool -> unit -> t
+(** [record_trace] keeps a textual log of every decision for the
+    determinism tests; leave it off for long soaks. *)
+
+val seed : t -> int
+
+val decisions : t -> int
+(** Total fault decisions drawn so far. *)
+
+val set_default : t -> plan -> unit
+(** Plan applied to links without a specific override. *)
+
+val set_link : t -> src:Ids.asn -> dst:Ids.asn -> plan -> unit
+
+val flap_link :
+  t -> src:Ids.asn -> dst:Ids.asn -> down_at:Timebase.t -> up_at:Timebase.t -> unit
+(** Add one down-interval to a directed link's flap schedule. *)
+
+val crash_server : t -> asn:Ids.asn -> at:Timebase.t -> duration:float -> unit
+(** Schedule a CServ outage window [[at, at + duration)). Reservation
+    state survives (fail-stop with durable state, §3.3); only request
+    processing stops. *)
+
+val server_up : t -> asn:Ids.asn -> now:Timebase.t -> bool
+
+val server_downtimes : t -> Ids.asn -> (Timebase.t * Timebase.t) list
+(** The scheduled outage windows of an AS (unordered). *)
+
+type verdict = Deliver of { extra_delay : float } | Drop of drop_reason
+
+val judge : t -> src:Ids.asn -> dst:Ids.asn -> now:Timebase.t -> verdict
+(** Judge one message traversal of a directed link. Exactly three
+    uniform draws are consumed per call, so the decision stream is a
+    pure function of (seed, call sequence). *)
+
+val trace : t -> (Timebase.t * string) list
+(** Recorded decisions in chronological order (empty unless
+    [record_trace] was set). *)

@@ -53,12 +53,13 @@ type 'a t = {
   mutable rr_at : int; (* DRR scan position *)
   mutable busy : bool;
   deliver : 'a packet -> unit;
+  on_drop : 'a packet -> unit;
   stats : counters array;
 }
 
 let create ~(engine : Engine.t) ~(capacity : Bandwidth.t) ?(delay = 0.001)
     ?(scheduler = Strict_priority) ?(queue_limit_bytes = 4 * 1024 * 1024)
-    ~(deliver : 'a packet -> unit) () : 'a t =
+    ?(on_drop : 'a packet -> unit = ignore) ~(deliver : 'a packet -> unit) () : 'a t =
   if not (Bandwidth.is_positive capacity) then invalid_arg "Link.create: capacity <= 0";
   (match scheduler with
   | Cbwfq w when Array.length w <> Traffic_class.count ->
@@ -77,6 +78,7 @@ let create ~(engine : Engine.t) ~(capacity : Bandwidth.t) ?(delay = 0.001)
     rr_at = 0;
     busy = false;
     deliver;
+    on_drop;
     stats = Array.init Traffic_class.count (fun _ -> fresh_counters ());
   }
 
@@ -152,7 +154,8 @@ let send (t : 'a t) ~(bytes : int) ~(cls : Traffic_class.t) (payload : 'a) =
   st.offered_pkts <- st.offered_pkts + 1;
   if t.queued_bytes.(i) + bytes > t.queue_limit_bytes then begin
     st.dropped_bytes <- st.dropped_bytes + bytes;
-    st.dropped_pkts <- st.dropped_pkts + 1
+    st.dropped_pkts <- st.dropped_pkts + 1;
+    t.on_drop { bytes; cls; payload }
   end
   else begin
     Queue.push { bytes; cls; payload } t.queues.(i);

@@ -30,13 +30,17 @@ val create :
   ?delay:float ->
   ?scheduler:scheduler ->
   ?queue_limit_bytes:int ->
+  ?on_drop:('a packet -> unit) ->
   deliver:('a packet -> unit) ->
   unit ->
   'a t
+(** [on_drop] fires (synchronously, inside {!send}) for every
+    tail-dropped packet, so transports can account losses instead of
+    losing messages silently. Default: [ignore]. *)
 
 val send : 'a t -> bytes:int -> cls:Traffic_class.t -> 'a -> unit
-(** Offer a packet; tail-dropped (with counters updated) when its
-    class queue is full. *)
+(** Offer a packet; tail-dropped (with counters updated and [on_drop]
+    called) when its class queue is full. *)
 
 val counters : 'a t -> Traffic_class.t -> counters
 val capacity : 'a t -> Bandwidth.t

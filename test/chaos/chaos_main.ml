@@ -1,0 +1,183 @@
+(** Chaos acceptance scenarios, run under @chaos with fixed seeds.
+
+    Three deterministic scenarios per seed, each asserting the
+    acceptance criteria of the chaos-tested control plane:
+
+    - {b loss}: with 5% per-link loss on the setup path, ≥ 99% of SegR
+      setups eventually succeed through retries;
+    - {b crash}: a CServ crash/restart in the middle of renewal churn
+      leaves zero leaked admission state (every AS audits clean, no
+      in-flight requests, message accounting closes);
+    - {b replay}: the same seed replayed from scratch produces a
+      byte-identical metrics snapshot.
+
+    Usage: [chaos_main SEED]. Exits non-zero on the first violated
+    invariant. *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+
+let fail fmt = Fmt.kstr (fun s -> prerr_endline ("CHAOS FAIL: " ^ s); exit 1) fmt
+
+let check_accounting what d =
+  let cn = Deployment.control_net d in
+  let sent = Control_net.sent_count cn
+  and delivered = Control_net.delivered_count cn
+  and lost = Control_net.lost_count cn in
+  if sent <> delivered + lost then
+    fail "%s: %d sent <> %d delivered + %d lost" what sent delivered lost
+
+let check_audits what d =
+  match Deployment.audit_all d with
+  | [] -> ()
+  | errs ->
+      List.iter (fun e -> Printf.eprintf "  audit: %s\n%!" e) errs;
+      fail "%s: %d admission audit errors (leaked state)" what (List.length errs)
+
+let check_drained what d =
+  let p = Retry.pending (Deployment.retrier d) in
+  if p <> 0 then fail "%s: %d requests still pending after drain" what p
+
+(* ---------------- Scenario 1: 5% loss, ≥99% success --------------- *)
+
+let scenario_loss seed =
+  let topo = Topology_gen.linear ~n:5 ~capacity:(gbps 100.) in
+  let d = Deployment.create topo in
+  let faults = Net.Fault.create ~seed () in
+  Net.Fault.set_default faults (Net.Fault.plan ~loss:0.05 ~jitter:0.001 ());
+  Deployment.attach_network ~faults ~retry_seed:(seed * 7) d;
+  let path = Topology_gen.linear_path ~n:5 in
+  let total = 100 in
+  let ok = ref 0 in
+  for _ = 1 to total do
+    match
+      Deployment.setup_segr_sync d ~path ~kind:Reservation.Core
+        ~max_bw:(mbps 100.) ~min_bw:(mbps 1.)
+    with
+    | Ok _ -> incr ok
+    | Error _ -> ()
+  done;
+  Deployment.advance d 300.;
+  if !ok * 100 < 99 * total then
+    fail "loss: only %d/%d setups succeeded under 5%% loss" !ok total;
+  check_accounting "loss" d;
+  check_audits "loss" d;
+  check_drained "loss" d;
+  Printf.printf "  loss: %d/%d setups succeeded under 5%% per-link loss\n%!" !ok
+    total
+
+(* ---------------- Scenario 2: crash mid-renewal, zero leaks ------- *)
+
+let scenario_crash seed =
+  let topo = Topology_gen.linear ~n:4 ~capacity:(gbps 100.) in
+  let d = Deployment.create topo in
+  let faults = Net.Fault.create ~seed () in
+  Net.Fault.set_default faults (Net.Fault.plan ~loss:0.02 ~jitter:0.001 ());
+  (* The second AS's CServ crashes right as the renewal cycle fires
+     (SegR renews at 70% of its 300 s lifetime, i.e. t ≈ 210 s), and
+     again around the next cycle. *)
+  let mid = Ids.asn ~isd:1 ~num:2 in
+  Net.Fault.crash_server faults ~asn:mid ~at:205. ~duration:30.;
+  Net.Fault.crash_server faults ~asn:mid ~at:500. ~duration:30.;
+  Deployment.attach_network ~faults ~retry_seed:(seed * 11) d;
+  let path = Topology_gen.linear_path ~n:4 in
+  let segr =
+    match
+      Deployment.setup_segr_sync d ~path ~kind:Reservation.Core ~max_bw:(gbps 1.)
+        ~min_bw:(mbps 1.)
+    with
+    | Ok s -> s
+    | Error e -> fail "crash: initial setup failed: %s" e
+  in
+  let m =
+    match
+      Deployment.auto_renew_segr d ~key:segr.key ~max_bw:(gbps 1.) ~min_bw:(mbps 1.)
+    with
+    | Ok m -> m
+    | Error e -> fail "crash: auto_renew_segr: %s" e
+  in
+  (* Also churn EERs over the SegR throughout. *)
+  let route : Deployment.eer_route = { path; segr_keys = [ segr.key ] } in
+  let eer =
+    match
+      Deployment.setup_eer_sync d ~route ~src_host:(Ids.host 1)
+        ~dst_host:(Ids.host 2) ~bw:(mbps 50.)
+    with
+    | Ok e -> e
+    | Error e -> fail "crash: initial EER failed: %s" e
+  in
+  let me =
+    match
+      Deployment.auto_renew_eer d ~key:eer.key ~route ~src_host:(Ids.host 1)
+        ~dst_host:(Ids.host 2) ~bw:(mbps 50.)
+    with
+    | Ok m -> m
+    | Error e -> fail "crash: auto_renew_eer: %s" e
+  in
+  Deployment.advance d 1_000.;
+  (* While renewal is still running the managed SegR must be alive:
+     either renewed in place or recovered under a fresh key after a
+     lapse. (After stop_renewal it expires by design.) *)
+  let key = Deployment.managed_key m in
+  (match Cserv.own_segr (Deployment.cserv d key.src_as) key with
+  | Some s ->
+      let bw = Reservation.segr_bw s ~now:(Deployment.now d) in
+      if not (Bandwidth.is_positive bw) then
+        fail "crash: managed SegR present but expired"
+  | None -> fail "crash: managed SegR vanished");
+  Deployment.stop_renewal m;
+  Deployment.stop_renewal me;
+  Deployment.advance d 300.;
+  check_accounting "crash" d;
+  check_audits "crash" d;
+  check_drained "crash" d;
+  Printf.printf "  crash: renewal survived two mid-renewal CServ outages, 0 leaks\n%!"
+
+(* ---------------- Scenario 3: replay determinism ------------------ *)
+
+let chaos_run seed =
+  let topo = Topology_gen.linear ~n:4 ~capacity:(gbps 10.) in
+  let d = Deployment.create topo in
+  let faults = Net.Fault.create ~seed () in
+  Net.Fault.set_default faults (Net.Fault.plan ~loss:0.15 ~jitter:0.003 ~reorder:0.1 ());
+  Net.Fault.flap_link faults
+    ~src:(Ids.asn ~isd:1 ~num:2)
+    ~dst:(Ids.asn ~isd:1 ~num:3)
+    ~down_at:1. ~up_at:3.;
+  Net.Fault.crash_server faults ~asn:(Ids.asn ~isd:1 ~num:3) ~at:6. ~duration:2.;
+  Deployment.attach_network ~faults ~retry_seed:(seed + 3) d;
+  let path = Topology_gen.linear_path ~n:4 in
+  let outcomes = ref [] in
+  for i = 1 to 20 do
+    (match
+       Deployment.setup_segr_sync d ~path ~kind:Reservation.Core ~max_bw:(mbps 50.)
+         ~min_bw:(mbps 1.)
+     with
+    | Ok s -> outcomes := Fmt.str "%d:ok:%d" i s.key.res_id :: !outcomes
+    | Error e -> outcomes := Fmt.str "%d:err:%s" i e :: !outcomes);
+    Deployment.advance d 0.5
+  done;
+  Deployment.advance d 120.;
+  ( String.concat "|" (List.rev !outcomes),
+    Obs.to_json (Obs.Registry.snapshot (Deployment.network_metrics d)) )
+
+let scenario_replay seed =
+  let o1, s1 = chaos_run seed in
+  let o2, s2 = chaos_run seed in
+  if o1 <> o2 then fail "replay: outcome sequences diverged";
+  if s1 <> s2 then fail "replay: metrics snapshots not byte-identical";
+  Printf.printf "  replay: byte-identical outcome trace and Obs snapshot\n%!"
+
+let () =
+  let seed =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1
+  in
+  Printf.printf "chaos seed %d\n%!" seed;
+  scenario_loss seed;
+  scenario_crash seed;
+  scenario_replay seed;
+  Printf.printf "chaos seed %d: all scenarios passed\n%!" seed

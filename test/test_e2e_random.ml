@@ -152,9 +152,68 @@ let prop_forged_packets_never_traverse =
               in
               walk 0 pkt.Packet.path))
 
+(* 10 000 simulated seconds of chaos: random topology, random loss and
+   jitter on every link, periodic CServ crashes at the destination, and
+   continuous renewal churn (the managed EER renews every ~8 s, the
+   managed SegR every ~210 s, both degrading and recovering as faults
+   dictate). Afterwards every invariant must close: no in-flight
+   requests, every AS's admission state audit-clean (no reservation
+   leaks), and every tracked message accounted for —
+   sent = delivered + lost. *)
+let prop_chaos_soak =
+  QCheck2.Test.make ~name:"e2e: 10k-second chaos soak with renewal churn" ~count:3
+    QCheck2.Gen.(pair (1 -- 1000) (float_range 0. 0.08))
+    (fun (seed, loss) ->
+      let d, src, dst = build_world seed in
+      let faults = Net.Fault.create ~seed:(seed + 13) () in
+      Net.Fault.set_default faults (Net.Fault.plan ~loss ~jitter:0.002 ());
+      for k = 0 to 9 do
+        Net.Fault.crash_server faults ~asn:dst
+          ~at:((float_of_int k *. 997.) +. 100.)
+          ~duration:25.
+      done;
+      Deployment.attach_network ~faults ~retry_seed:(seed + 99) d;
+      match Deployment.lookup_eer_routes d ~src ~dst with
+      | [] -> QCheck2.assume_fail ()
+      | route :: _ -> (
+          match
+            Deployment.setup_eer_sync d ~route ~src_host:(Ids.host 1)
+              ~dst_host:(Ids.host 2) ~bw:(mbps 20.)
+          with
+          | Error _ -> QCheck2.assume_fail ()
+          | Ok eer ->
+              let m_eer =
+                Deployment.auto_renew_eer d ~key:eer.key ~route
+                  ~src_host:(Ids.host 1) ~dst_host:(Ids.host 2) ~bw:(mbps 20.)
+              in
+              let m_segr =
+                match route.segr_keys with
+                | k :: _ ->
+                    Result.to_option
+                      (Deployment.auto_renew_segr d ~key:k ~max_bw:(gbps 1.)
+                         ~min_bw:(mbps 1.))
+                | [] -> None
+              in
+              Deployment.advance d 10_000.;
+              (* Stop the machines, then drain in-flight requests and
+                 duplicates before checking the invariants. *)
+              Result.iter Deployment.stop_renewal m_eer;
+              Option.iter Deployment.stop_renewal m_segr;
+              Deployment.advance d 1_000.;
+              let cn = Deployment.control_net d in
+              Retry.pending (Deployment.retrier d) = 0
+              && (match Deployment.audit_all d with
+                 | [] -> true
+                 | errs ->
+                     List.iter (fun e -> Printf.eprintf "SOAK AUDIT: %s\n%!" e) errs;
+                     false)
+              && Control_net.sent_count cn
+                 = Control_net.delivered_count cn + Control_net.lost_count cn))
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_established_eers_deliver;
     QCheck_alcotest.to_alcotest prop_no_segr_oversubscription;
     QCheck_alcotest.to_alcotest prop_forged_packets_never_traverse;
+    QCheck_alcotest.to_alcotest prop_chaos_soak;
   ]

@@ -1,0 +1,229 @@
+(** Deterministic chaos: the fault injector reproduces identical event
+    traces from the same seed, link flaps and crash windows honor
+    their schedules, and the control net's delivery accounting closes
+    — sent = delivered + lost — under loss, broken routes, and full
+    fault schedules replayed twice to byte-identical Obs snapshots. *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+
+let gbps = Bandwidth.of_gbps
+let a1 = Ids.asn ~isd:1 ~num:1
+let a2 = Ids.asn ~isd:1 ~num:2
+let a3 = Ids.asn ~isd:1 ~num:3
+
+(* ---------------- Determinism ---------------- *)
+
+let same_seed_same_trace () =
+  let run () =
+    let f = Net.Fault.create ~seed:77 ~record_trace:true () in
+    Net.Fault.set_default f (Net.Fault.plan ~loss:0.3 ~jitter:0.01 ~reorder:0.2 ());
+    let verdicts = ref [] in
+    for i = 1 to 200 do
+      let now = float_of_int i *. 0.1 in
+      let v = Net.Fault.judge f ~src:a1 ~dst:a2 ~now in
+      verdicts := v :: !verdicts
+    done;
+    (!verdicts, Net.Fault.trace f)
+  in
+  let v1, t1 = run () and v2, t2 = run () in
+  Alcotest.(check bool) "same verdict stream" true (v1 = v2);
+  Alcotest.(check bool) "same trace" true (t1 = t2);
+  Alcotest.(check int) "trace covers every decision" 200 (List.length t1)
+
+let different_seed_different_trace () =
+  let run seed =
+    let f = Net.Fault.create ~seed () in
+    Net.Fault.set_default f (Net.Fault.plan ~loss:0.5 ());
+    List.init 64 (fun i ->
+        Net.Fault.judge f ~src:a1 ~dst:a2 ~now:(float_of_int i))
+  in
+  Alcotest.(check bool) "seeds disagree somewhere" false (run 1 = run 2)
+
+(* ---------------- Plans ---------------- *)
+
+let total_loss_drops_everything () =
+  let f = Net.Fault.create () in
+  Net.Fault.set_link f ~src:a1 ~dst:a2 (Net.Fault.plan ~loss:1.0 ());
+  for i = 0 to 49 do
+    match Net.Fault.judge f ~src:a1 ~dst:a2 ~now:(float_of_int i) with
+    | Net.Fault.Drop Net.Fault.Loss -> ()
+    | _ -> Alcotest.fail "loss=1 must drop"
+  done;
+  (* The override is per-directed-link: the reverse stays healthy. *)
+  match Net.Fault.judge f ~src:a2 ~dst:a1 ~now:0. with
+  | Net.Fault.Deliver { extra_delay } ->
+      Alcotest.(check (float 1e-9)) "healthy reverse, no jitter" 0. extra_delay
+  | Net.Fault.Drop _ -> Alcotest.fail "reverse direction must deliver"
+
+let flap_window_honored () =
+  let f = Net.Fault.create () in
+  Net.Fault.flap_link f ~src:a1 ~dst:a2 ~down_at:10. ~up_at:20.;
+  let judge now = Net.Fault.judge f ~src:a1 ~dst:a2 ~now in
+  (match judge 9.99 with
+  | Net.Fault.Deliver _ -> ()
+  | Net.Fault.Drop _ -> Alcotest.fail "before flap: deliver");
+  (match judge 10. with
+  | Net.Fault.Drop Net.Fault.Link_down -> ()
+  | _ -> Alcotest.fail "inside flap: link-down");
+  (match judge 19.99 with
+  | Net.Fault.Drop Net.Fault.Link_down -> ()
+  | _ -> Alcotest.fail "end of flap: still down");
+  match judge 20. with
+  | Net.Fault.Deliver _ -> ()
+  | Net.Fault.Drop _ -> Alcotest.fail "after flap: deliver"
+
+let crash_window_honored () =
+  let f = Net.Fault.create () in
+  Net.Fault.crash_server f ~asn:a2 ~at:5. ~duration:3.;
+  Net.Fault.crash_server f ~asn:a2 ~at:100. ~duration:1.;
+  let up now = Net.Fault.server_up f ~asn:a2 ~now in
+  Alcotest.(check bool) "before crash" true (up 4.9);
+  Alcotest.(check bool) "during crash" false (up 5.);
+  Alcotest.(check bool) "during crash (late)" false (up 7.9);
+  Alcotest.(check bool) "after restart" true (up 8.);
+  Alcotest.(check bool) "second window" false (up 100.5);
+  Alcotest.(check bool) "other AS unaffected" true (Net.Fault.server_up f ~asn:a1 ~now:6.);
+  Alcotest.(check int) "both windows recorded" 2
+    (List.length (Net.Fault.server_downtimes f a2))
+
+let plan_validation () =
+  let raises name f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected Invalid_argument")
+  in
+  raises "loss>1" (fun () -> Net.Fault.plan ~loss:1.5 ());
+  raises "loss<0" (fun () -> Net.Fault.plan ~loss:(-0.1) ());
+  raises "negative jitter" (fun () -> Net.Fault.plan ~jitter:(-1.) ());
+  raises "reorder>1" (fun () -> Net.Fault.plan ~reorder:2. ());
+  raises "flap inverted" (fun () ->
+      let f = Net.Fault.create () in
+      Net.Fault.flap_link f ~src:a1 ~dst:a2 ~down_at:5. ~up_at:5.);
+  raises "crash duration" (fun () ->
+      let f = Net.Fault.create () in
+      Net.Fault.crash_server f ~asn:a1 ~at:0. ~duration:0.)
+
+(* ---------------- Delivery accounting ---------------- *)
+
+let rig ?faults () =
+  let topo = Topology_gen.linear ~n:3 ~capacity:(gbps 1.) in
+  let engine = Net.Engine.create () in
+  let cn = Control_net.create ?faults ~engine topo in
+  (engine, cn)
+
+let counts_close cn =
+  Alcotest.(check int)
+    "sent = delivered + lost"
+    (Control_net.sent_count cn)
+    (Control_net.delivered_count cn + Control_net.lost_count cn)
+
+let broken_route_counts_lost () =
+  let engine, cn = rig () in
+  let delivered = ref 0 in
+  (* a1 → a3 is not a topology edge: the message dies on hop 1. *)
+  Control_net.send_along cn ~route:[ a1; a3 ]
+    ~cls:Net.Traffic_class.Colibri_control ~bytes:100
+    ~deliver:(fun () -> incr delivered);
+  Net.Engine.run engine ~until:1.;
+  Alcotest.(check int) "not delivered" 0 !delivered;
+  Alcotest.(check int) "one sent" 1 (Control_net.sent_count cn);
+  Alcotest.(check int) "one lost" 1 (Control_net.lost_count cn);
+  counts_close cn
+
+let fault_drops_count_lost () =
+  let faults = Net.Fault.create ~seed:3 () in
+  Net.Fault.set_default faults (Net.Fault.plan ~loss:0.4 ());
+  let engine, cn = rig ~faults () in
+  let delivered = ref 0 in
+  for _ = 1 to 200 do
+    Control_net.send_along cn ~route:[ a1; a2; a3 ]
+      ~cls:Net.Traffic_class.Colibri_control ~bytes:200
+      ~deliver:(fun () -> incr delivered)
+  done;
+  Net.Engine.run engine ~until:30.;
+  Alcotest.(check int) "deliver callback count matches metric" !delivered
+    (Control_net.delivered_count cn);
+  Alcotest.(check bool) "some losses at 40% per hop" true
+    (Control_net.lost_count cn > 0);
+  Alcotest.(check bool) "some deliveries" true (!delivered > 0);
+  counts_close cn
+
+let flapped_link_loses_all () =
+  let faults = Net.Fault.create () in
+  Net.Fault.flap_link faults ~src:a1 ~dst:a2 ~down_at:0. ~up_at:100.;
+  let engine, cn = rig ~faults () in
+  for _ = 1 to 10 do
+    Control_net.send_along cn ~route:[ a1; a2 ]
+      ~cls:Net.Traffic_class.Colibri_control ~bytes:100 ~deliver:ignore
+  done;
+  Net.Engine.run engine ~until:1.;
+  Alcotest.(check int) "all lost to the flap" 10 (Control_net.lost_count cn);
+  counts_close cn
+
+let jitter_delays_delivery () =
+  let faults = Net.Fault.create ~seed:11 () in
+  Net.Fault.set_default faults (Net.Fault.plan ~jitter:0.2 ());
+  let engine, cn = rig ~faults () in
+  let at = ref nan in
+  Control_net.send_along cn ~route:[ a1; a2 ]
+    ~cls:Net.Traffic_class.Colibri_control ~bytes:100
+    ~deliver:(fun () -> at := Net.Engine.now engine);
+  Net.Engine.run engine ~until:2.;
+  Alcotest.(check bool) "delivered" true (Float.is_finite !at);
+  (* Base path latency is ~5 ms propagation + serialization; jitter can
+     add up to 200 ms on top. Either way it must exceed the base. *)
+  Alcotest.(check bool) "latency includes propagation" true (!at >= 0.005);
+  counts_close cn
+
+(* ---------------- Replay: byte-identical snapshots ---------------- *)
+
+(* A full chaotic scenario — loss + flaps against retried setups —
+   replayed from scratch with the same seeds must produce a
+   byte-identical metrics snapshot: same losses, same retransmissions,
+   same outcomes. *)
+let chaos_replay_identical_snapshots () =
+  let run () =
+    let topo = Topology_gen.linear ~n:4 ~capacity:(gbps 10.) in
+    let d = Deployment.create topo in
+    let faults = Net.Fault.create ~seed:42 () in
+    Net.Fault.set_default faults (Net.Fault.plan ~loss:0.15 ~jitter:0.002 ());
+    Net.Fault.flap_link faults
+      ~src:(Ids.asn ~isd:1 ~num:2)
+      ~dst:(Ids.asn ~isd:1 ~num:3)
+      ~down_at:0.3 ~up_at:0.6;
+    Deployment.attach_network ~faults ~retry_seed:7 d;
+    let path = Topology_gen.linear_path ~n:4 in
+    let results = ref [] in
+    for _ = 1 to 8 do
+      match
+        Deployment.setup_segr_sync d ~path ~kind:Reservation.Core
+          ~max_bw:(gbps 0.1) ~min_bw:(Bandwidth.of_mbps 1.)
+      with
+      | Ok segr -> results := Fmt.str "ok:%d" segr.key.res_id :: !results
+      | Error e -> results := ("err:" ^ e) :: !results
+    done;
+    (!results, Obs.to_json (Obs.Registry.snapshot (Deployment.network_metrics d)))
+  in
+  let r1, s1 = run () and r2, s2 = run () in
+  Alcotest.(check (list string)) "same outcome sequence" r1 r2;
+  Alcotest.(check string) "byte-identical Obs snapshot" s1 s2
+
+let suite =
+  [
+    Alcotest.test_case "same seed, same trace" `Quick same_seed_same_trace;
+    Alcotest.test_case "different seed, different trace" `Quick
+      different_seed_different_trace;
+    Alcotest.test_case "loss=1 drops everything (directed)" `Quick
+      total_loss_drops_everything;
+    Alcotest.test_case "flap window honored" `Quick flap_window_honored;
+    Alcotest.test_case "crash window honored" `Quick crash_window_honored;
+    Alcotest.test_case "plan validation" `Quick plan_validation;
+    Alcotest.test_case "broken route counts as lost" `Quick broken_route_counts_lost;
+    Alcotest.test_case "fault drops count as lost" `Quick fault_drops_count_lost;
+    Alcotest.test_case "flapped link loses all" `Quick flapped_link_loses_all;
+    Alcotest.test_case "jitter delays delivery" `Quick jitter_delays_delivery;
+    Alcotest.test_case "chaos replay: byte-identical snapshots" `Quick
+      chaos_replay_identical_snapshots;
+  ]

@@ -23,6 +23,8 @@ let () =
       ("dataplane_unit", Test_dataplane_unit.suite);
       ("e2e_random", Test_e2e_random.suite);
       ("control_net", Test_control_net.suite);
+      ("fault", Test_fault.suite);
+      ("retry", Test_retry.suite);
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("deepscan", Test_deepscan.suite);

@@ -1,0 +1,196 @@
+(** The reliable-request layer: backoff is monotone and capped, the
+    completion protocol is exactly-once, and — the chaos invariant —
+    under any fault schedule with eventual delivery every networked
+    setup either succeeds or cleanly exhausts its budget with all
+    tentative admission state released (audits stay empty). *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+
+(* ---------------- Pure backoff properties ---------------- *)
+
+let policy_gen =
+  QCheck2.Gen.(
+    let* base = float_range 0.01 2. in
+    let* backoff = float_range 1. 4. in
+    let* cap_mult = float_range 1. 100. in
+    let* attempts = 1 -- 12 in
+    return (Retry.policy ~base_timeout:base ~backoff ~max_timeout:(base *. cap_mult)
+              ~max_attempts:attempts ~jitter:0.1 ()))
+
+let prop_backoff_monotone_and_capped =
+  QCheck2.Test.make ~name:"retry: backoff sequence monotone and capped" ~count:200
+    policy_gen (fun p ->
+      let seq = List.init 16 (fun i -> Retry.timeout_for p ~attempt:(i + 1)) in
+      let rec monotone = function
+        | a :: (b :: _ as rest) -> a <= b +. 1e-12 && monotone rest
+        | _ -> true
+      in
+      monotone seq
+      && List.for_all (fun x -> x <= p.Retry.max_timeout +. 1e-12) seq
+      && List.for_all (fun x -> x >= p.Retry.base_timeout -. 1e-12) seq)
+
+let prop_backoff_deterministic =
+  QCheck2.Test.make ~name:"retry: timeout_for is pure" ~count:50 policy_gen
+    (fun p ->
+      List.init 8 (fun i -> Retry.timeout_for p ~attempt:(i + 1))
+      = List.init 8 (fun i -> Retry.timeout_for p ~attempt:(i + 1)))
+
+(* ---------------- Completion protocol ---------------- *)
+
+let exactly_once_completion () =
+  let engine = Net.Engine.create () in
+  let r = Retry.create ~engine () in
+  let exhausted = ref 0 in
+  let h = Retry.run r ~send:(fun _ -> ()) ~on_exhausted:(fun () -> incr exhausted) () in
+  (* First attempt is scheduled, not synchronous. *)
+  Alcotest.(check int) "no attempt before stepping" 0 (Retry.attempts h);
+  ignore (Net.Engine.step engine);
+  Alcotest.(check int) "attempt 1 sent" 1 (Retry.attempts h);
+  Alcotest.(check bool) "first completion wins" true (Retry.complete r h);
+  Alcotest.(check bool) "duplicate completion loses" false (Retry.complete r h);
+  Net.Engine.run engine ~until:120.;
+  Alcotest.(check int) "no exhaustion after success" 0 !exhausted;
+  Alcotest.(check int) "nothing pending" 0 (Retry.pending r)
+
+let exhaustion_fires_once () =
+  let engine = Net.Engine.create () in
+  let p = Retry.policy ~base_timeout:0.1 ~max_timeout:0.4 ~max_attempts:4 () in
+  let r = Retry.create ~policy:p ~engine () in
+  let sends = ref [] in
+  let exhausted = ref 0 in
+  let h =
+    Retry.run r
+      ~send:(fun a -> sends := (a, Net.Engine.now engine) :: !sends)
+      ~on_exhausted:(fun () -> incr exhausted)
+      ()
+  in
+  Net.Engine.run engine ~until:60.;
+  Alcotest.(check int) "budget of 4 transmissions" 4 (List.length !sends);
+  Alcotest.(check int) "exhausted exactly once" 1 !exhausted;
+  (match Retry.state h with
+  | Retry.Exhausted -> ()
+  | _ -> Alcotest.fail "state must be Exhausted");
+  Alcotest.(check bool) "late reply loses" false (Retry.complete r h);
+  Alcotest.(check int) "nothing pending" 0 (Retry.pending r);
+  (* Transmission times respect the (jittered) monotone backoff. *)
+  let times = List.rev_map snd !sends in
+  let rec gaps = function
+    | a :: (b :: _ as rest) -> (b -. a) :: gaps rest
+    | _ -> []
+  in
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b *. 1.2 && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "inter-send gaps grow (mod jitter)" true (monotone (gaps times))
+
+let retransmits_until_delivered () =
+  let engine = Net.Engine.create () in
+  let p = Retry.policy ~base_timeout:0.1 ~max_timeout:1. ~max_attempts:8 () in
+  let r = Retry.create ~policy:p ~engine () in
+  let handle = ref None in
+  let h =
+    Retry.run r
+      ~send:(fun a ->
+        (* Attempts 1–2 vanish; attempt 3's reply arrives 10 ms later. *)
+        if a = 3 then
+          Net.Engine.schedule engine ~delay:0.01 (fun () ->
+              match !handle with
+              | Some h -> ignore (Retry.complete r h : bool)
+              | None -> ()))
+      ~on_exhausted:(fun () -> Alcotest.fail "must not exhaust")
+      ()
+  in
+  handle := Some h;
+  Net.Engine.run engine ~until:60.;
+  (match Retry.state h with
+  | Retry.Done -> ()
+  | _ -> Alcotest.fail "must complete");
+  Alcotest.(check int) "took exactly 3 attempts" 3 (Retry.attempts h)
+
+(* ---------------- Chaos invariant (audit harness) ---------------- *)
+
+(* Build a networked linear deployment under a random loss rate. *)
+let chaos_world ~loss ~seed ~n =
+  let topo = Topology_gen.linear ~n ~capacity:(gbps 10.) in
+  let d = Deployment.create topo in
+  let faults = Net.Fault.create ~seed () in
+  Net.Fault.set_default faults (Net.Fault.plan ~loss ~jitter:0.001 ());
+  Deployment.attach_network ~faults ~retry_seed:(seed + 1) d;
+  d
+
+let check_clean what = function
+  | [] -> true
+  | errs ->
+      List.iter (fun e -> Printf.eprintf "AUDIT[%s]: %s\n%!" (what : string) e) errs;
+      false
+
+let prop_setup_concludes_cleanly =
+  QCheck2.Test.make
+    ~name:"retry: every setup succeeds or exhausts with state released" ~count:25
+    QCheck2.Gen.(pair (1 -- 10_000) (float_range 0. 0.6))
+    (fun (seed, loss) ->
+      let d = chaos_world ~loss ~seed ~n:4 in
+      let path = Topology_gen.linear_path ~n:4 in
+      let outcomes =
+        List.init 6 (fun _ ->
+            Deployment.setup_segr_sync d ~path ~kind:Reservation.Core
+              ~max_bw:(gbps 0.2) ~min_bw:(mbps 1.))
+      in
+      (* Drain all in-flight duplicates and timers before auditing. *)
+      Deployment.advance d 600.;
+      let concluded =
+        List.for_all
+          (function Ok _ -> true | Error _ -> true)
+          outcomes
+      in
+      concluded
+      && Retry.pending (Deployment.retrier d) = 0
+      && check_clean "admission" (Deployment.audit_all d)
+      && Control_net.sent_count (Deployment.control_net d)
+         = Control_net.delivered_count (Deployment.control_net d)
+           + Control_net.lost_count (Deployment.control_net d))
+
+let prop_eer_concludes_cleanly =
+  QCheck2.Test.make
+    ~name:"retry: EER setups under loss conclude with audits clean" ~count:15
+    QCheck2.Gen.(pair (1 -- 10_000) (float_range 0. 0.4))
+    (fun (seed, loss) ->
+      let d = chaos_world ~loss ~seed ~n:4 in
+      let path = Topology_gen.linear_path ~n:4 in
+      (* A clean SegR first (no faults yet applied to it matter: retries
+         cover it), then EERs over it under loss. *)
+      match
+        Deployment.setup_segr_sync d ~path ~kind:Reservation.Core ~max_bw:(gbps 1.)
+          ~min_bw:(mbps 1.)
+      with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok segr ->
+          let route : Deployment.eer_route = { path; segr_keys = [ segr.key ] } in
+          let outcomes =
+            List.init 6 (fun i ->
+                Deployment.setup_eer_sync d ~route ~src_host:(Ids.host (i + 1))
+                  ~dst_host:(Ids.host 99) ~bw:(mbps 20.))
+          in
+          ignore (outcomes : (Reservation.eer, string) result list);
+          Deployment.advance d 600.;
+          Retry.pending (Deployment.retrier d) = 0
+          && check_clean "admission" (Deployment.audit_all d))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_backoff_monotone_and_capped;
+    QCheck_alcotest.to_alcotest prop_backoff_deterministic;
+    Alcotest.test_case "exactly-once completion" `Quick exactly_once_completion;
+    Alcotest.test_case "exhaustion fires once, budget respected" `Quick
+      exhaustion_fires_once;
+    Alcotest.test_case "retransmits until delivered" `Quick
+      retransmits_until_delivered;
+    QCheck_alcotest.to_alcotest prop_setup_concludes_cleanly;
+    QCheck_alcotest.to_alcotest prop_eer_concludes_cleanly;
+  ]
