@@ -323,6 +323,90 @@ let gc_mode () =
      gateway wire path allocates only its result cell.\n"
 
 (* ------------------------------------------------------------------ *)
+(* Par: the multicore substrate — SPSC ring transfer and the parallel  *)
+(* router at 1 vs 2 domains (ROADMAP multicore item; DESIGN.md §11).   *)
+(* ------------------------------------------------------------------ *)
+
+let par_mode () =
+  Measure.print_header
+    "Par: SPSC ring transfer and parallel-router throughput, 1 vs 2 domains";
+  let xfers = if quick then 200_000 else 1_000_000 in
+  (* 1 domain: the same domain alternates push and pop — the cost of
+     the ring machinery without inter-domain cache traffic. *)
+  let ring_1d () =
+    let r = Par.Spsc_ring.create ~check:false ~dummy:0 1024 in
+    let t0 = Measure.now_ns () in
+    for i = 0 to xfers - 1 do
+      Par.Spsc_ring.push_spin r i;
+      ignore (Par.Spsc_ring.pop_spin r)
+    done;
+    let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
+    float_of_int xfers /. dt
+  in
+  (* 2 domains: a spawned producer streams into the ring while the
+     orchestrator pops; the measured window includes the spawn, which
+     amortizes over the transfer count. *)
+  let ring_2d () =
+    let r = Par.Spsc_ring.create ~check:false ~dummy:0 1024 in
+    let t0 = Measure.now_ns () in
+    let producer =
+      Domain.spawn (fun () ->
+          for i = 0 to xfers - 1 do
+            Par.Spsc_ring.push_spin r i
+          done)
+    in
+    for _ = 0 to xfers - 1 do
+      ignore (Par.Spsc_ring.pop_spin r)
+    done;
+    let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
+    Domain.join producer;
+    float_of_int xfers /. dt
+  in
+  let r1 = ring_1d () and r2 = ring_2d () in
+  Printf.printf "%-34s %-14.2f\n" "ring transfer, 1 domain [Mxfer/s]" (r1 /. 1e6);
+  Printf.printf "%-34s %-14.2f\n" "ring transfer, 2 domains [Mxfer/s]" (r2 /. 1e6);
+  record_summary "par_ring_1d_mxfers" (r1 /. 1e6);
+  record_summary "par_ring_2d_mxfers" (r2 /. 1e6);
+  (* Parallel router: submit the valid-packet batch through the domain
+     pool and time until drained. 1 worker isolates the dispatch +
+     ring-hop overhead against the in-line router of fig6; 2 workers is
+     the smallest real scaling point. *)
+  let sends = if quick then 20_000 else 50_000 in
+  let router_rate workers =
+    let rig = Workloads.par_router_rig ~workers ~path_len:4 ~distinct_packets:4096 () in
+    let pr = rig.Workloads.par_router in
+    let t0 = Measure.now_ns () in
+    for i = 0 to sends - 1 do
+      let raw = rig.Workloads.batch.(i mod Array.length rig.Workloads.batch) in
+      while
+        not
+          (Colibri.Dataplane_shard.Parallel_router.submit pr ~raw
+             ~payload_len:rig.Workloads.payload_len)
+      do
+        Domain.cpu_relax ()
+      done
+    done;
+    Colibri.Dataplane_shard.Parallel_router.drain pr;
+    let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
+    Colibri.Dataplane_shard.Parallel_router.shutdown pr;
+    record_metrics
+      (Printf.sprintf "par/router_%dw" workers)
+      (Colibri.Dataplane_shard.Parallel_router.metrics pr);
+    float_of_int sends /. dt
+  in
+  let p1 = router_rate 1 and p2 = router_rate 2 in
+  Printf.printf "%-34s %-14.4f\n" "parallel router, 1 worker [Mpps]" (Measure.mpps p1);
+  Printf.printf "%-34s %-14.4f\n" "parallel router, 2 workers [Mpps]" (Measure.mpps p2);
+  Printf.printf "2-worker scaling: %.2fx\n" (p2 /. p1);
+  record_summary "par_router_1w_mpps" (Measure.mpps p1);
+  record_summary "par_router_2w_mpps" (Measure.mpps p2);
+  record_summary "par_router_scaling_x" (p2 /. p1);
+  Printf.printf
+    "\nShape caveat (DESIGN.md §3): on a single-core container the 2-domain\n\
+     numbers measure interleaving, not parallelism; the recorded keys track\n\
+     regressions of the substrate, not the paper's 16-core scaling claim.\n"
+
+(* ------------------------------------------------------------------ *)
 (* DoC protection (§5.3): control-message latency under link floods.   *)
 (* ------------------------------------------------------------------ *)
 
@@ -499,6 +583,7 @@ let all () =
   app_e ();
   ablation ();
   gc_mode ();
+  par_mode ();
   doc ();
   faults_mode ()
 
@@ -513,6 +598,7 @@ let () =
       ("appE", app_e);
       ("ablation", ablation);
       ("gc", gc_mode);
+      ("par", par_mode);
       ("doc", doc);
       ("faults", faults_mode);
       ("bechamel", bechamel_suite);

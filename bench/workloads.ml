@@ -218,19 +218,17 @@ type router_rig = {
   wire_bytes : int;
 }
 
-let router_rig ?(payload_len = 0) ?(monitoring = false) ~(path_len : int)
-    ~(distinct_packets : int) () : router_rig =
-  let clock () = 0. in
-  let secret = Hvf.as_secret_of_material (Bytes.make 16 'R') in
-  (* The router is AS 2 on the path (a transit hop). *)
-  let self = asn 2 in
-  let router =
-    if monitoring then
-      Router.create ~freshness_window:1e12 ~secret ~clock self
-    else
-      Router.create ~freshness_window:1e12 ~ofd:`None ~duplicates:`None ~secret
-        ~clock self
-  in
+(* The router benchmarks share one secret and one transit position (AS
+   2 on the path) so the pre-built packet batches verify on any router
+   front end built from them. *)
+let router_secret () = Hvf.as_secret_of_material (Bytes.make 16 'R')
+
+(** The batch of valid serialized EER packets {!router_rig} cycles
+    through, exposed separately so rigs with a different front end (the
+    parallel router submits copies across domains) can reuse it. *)
+let router_batch ?(payload_len = 0) ~(path_len : int) ~(distinct_packets : int)
+    () : bytes array =
+  let secret = router_secret () in
   let path = shared_path ~path_len in
   let res_info : Packet.res_info =
     { src_as = asn 1; res_id = 7; bw = gbps 100.; exp_time = 1e9; version = 1 }
@@ -239,25 +237,38 @@ let router_rig ?(payload_len = 0) ?(monitoring = false) ~(path_len : int)
   let hop = List.nth path 1 in
   let sigma = Hvf.sigma_of_bytes (Hvf.hop_auth secret ~res_info ~eer_info ~hop) in
   let wire_bytes = Packet.header_len ~hops:path_len + payload_len in
-  let batch =
-    Array.init distinct_packets (fun i ->
-        let ts = Timebase.Ts.of_int (1_000_000_000 - i) in
-        let hvfs =
-          Array.init path_len (fun j ->
-              if j = 1 then Hvf.eer_hvf sigma ~ts ~pkt_size:wire_bytes
-              else Bytes.make Packet.hvf_len 'x')
-        in
-        Packet.to_bytes
-          {
-            Packet.kind = Packet.Eer;
-            path;
-            res_info;
-            eer_info = Some eer_info;
-            ts;
-            hvfs;
-            payload_len;
-          })
+  Array.init distinct_packets (fun i ->
+      let ts = Timebase.Ts.of_int (1_000_000_000 - i) in
+      let hvfs =
+        Array.init path_len (fun j ->
+            if j = 1 then Hvf.eer_hvf sigma ~ts ~pkt_size:wire_bytes
+            else Bytes.make Packet.hvf_len 'x')
+      in
+      Packet.to_bytes
+        {
+          Packet.kind = Packet.Eer;
+          path;
+          res_info;
+          eer_info = Some eer_info;
+          ts;
+          hvfs;
+          payload_len;
+        })
+
+let router_rig ?(payload_len = 0) ?(monitoring = false) ~(path_len : int)
+    ~(distinct_packets : int) () : router_rig =
+  let clock () = 0. in
+  let secret = router_secret () in
+  let self = asn 2 in
+  let router =
+    if monitoring then
+      Router.create ~freshness_window:1e12 ~secret ~clock self
+    else
+      Router.create ~freshness_window:1e12 ~ofd:`None ~duplicates:`None ~secret
+        ~clock self
   in
+  let batch = router_batch ~payload_len ~path_len ~distinct_packets () in
+  let wire_bytes = Packet.header_len ~hops:path_len + payload_len in
   let process i =
     let raw = batch.(i mod distinct_packets) in
     match Router.process_bytes router ~raw ~payload_len with
@@ -265,3 +276,24 @@ let router_rig ?(payload_len = 0) ?(monitoring = false) ~(path_len : int)
     | Error e -> Fmt.failwith "router_rig: %a" Router.pp_drop_reason e
   in
   { router; process; wire_bytes }
+
+(** The multicore front end of the same workload: a
+    {!Dataplane_shard.Parallel_router} over [workers] domains plus the
+    valid-packet batch to submit. [check:false]: the dynamic ownership
+    checker stays on in tests; benchmarks measure the unguarded rings
+    (DESIGN.md §11). *)
+type par_router_rig = {
+  par_router : Dataplane_shard.Parallel_router.t;
+  batch : bytes array;
+  payload_len : int;
+}
+
+let par_router_rig ?(payload_len = 0) ~(workers : int) ~(path_len : int)
+    ~(distinct_packets : int) () : par_router_rig =
+  let par_router =
+    Dataplane_shard.Parallel_router.create ~freshness_window:1e12 ~check:false
+      ~secret:(router_secret ())
+      ~clock:(fun () -> 0.)
+      ~workers (asn 2)
+  in
+  { par_router; batch = router_batch ~payload_len ~path_len ~distinct_packets (); payload_len }

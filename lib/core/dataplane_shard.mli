@@ -56,6 +56,66 @@ module Sharded_gateway : sig
       so the merged snapshot reads like one big gateway. *)
 end
 
+(** True multicore router sharding (DESIGN.md §11): one OCaml 5 domain
+    per shard, fed through {!Par.Spsc_ring} job rings with
+    buffer-ownership transfer. Written to the domain-ownership
+    contract [colibri-domaincheck] verifies (d6–d9): all mutable state
+    sits in per-worker records reached by exactly one spawn closure,
+    cross-domain traffic moves only through ring endpoints with one
+    owning domain each, per-worker telemetry is a private
+    {!Par.Par_obs} slot merged at sample time, and the worker loop
+    spins instead of blocking. *)
+module Parallel_router : sig
+  type t
+
+  val create :
+    ?freshness_window:Timebase.t ->
+    ?monitoring:bool ->
+    ?ring_capacity:int ->
+    ?check:bool ->
+    secret:Hvf.as_secret ->
+    clock:Timebase.clock ->
+    workers:int ->
+    Ids.asn ->
+    t
+  (** Spawn [workers] router domains. [ring_capacity] (default 256)
+      bounds the jobs in flight per worker; [check] (default [true])
+      keeps the dynamic ring-endpoint ownership checker on. *)
+
+  val worker_count : t -> int
+
+  val submit : t -> raw:bytes -> payload_len:int -> bool
+  (** Copy the packet into an owned job buffer and enqueue it at its
+      content-hash worker. [false] on backpressure (all of that
+      worker's jobs in flight). Steady-state allocation-free for
+      constant packet sizes. *)
+
+  val submitted : t -> int
+  (** Packets accepted by {!submit} so far (orchestrator-side count). *)
+
+  val pending : t -> int
+  (** Jobs currently queued in submit rings (racy-but-bounded). *)
+
+  val processed : t -> int
+  (** Packets completed across workers (merged per-domain counters;
+      monotone, exact after {!shutdown}). *)
+
+  val drain : t -> unit
+  (** Spin until [processed t = submitted t]. *)
+
+  val shutdown : t -> unit
+  (** Stop every worker after it empties its queue, then join the
+      domains. Idempotent; after it, {!metrics} is exact. *)
+
+  val worker_metrics : t -> int -> Obs.snapshot
+  (** One worker's merged snapshot (its Obs slot + its router). *)
+
+  val metrics : t -> Obs.snapshot
+  (** Merge-at-sample across all worker domains: per-worker
+      [par_router_{processed,forwarded,dropped}_total] plus each shard
+      router's drop accounting. *)
+end
+
 module Sharded_router : sig
   type t
 

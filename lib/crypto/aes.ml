@@ -45,7 +45,13 @@ let xtime =
       let d = i lsl 1 in
       Char.chr (if d land 0x100 <> 0 then d lxor 0x11b land 0xff else d))
 
-let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+(* A constant lookup table: written by nobody after initialization,
+   so sharing it across router domains is benign. Reviewed
+   (DESIGN.md §11) — domaincheck cannot prove immutability of an
+   [int array], hence the allow. *)
+let rcon =
+  [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1b; 0x36 |]
+[@@colibri.allow "d6 d7"]
 
 let sub i = Char.code sbox.[i]
 

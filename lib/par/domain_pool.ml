@@ -1,0 +1,20 @@
+(** A minimal fixed-size domain pool: spawn [n] indexed workers, join
+    them all. The index is the worker's identity — per-worker state
+    (its shard, its rings, its {!Par_obs} slot) is selected by index
+    inside the spawned closure, so workers share nothing but the
+    explicitly-[Atomic] handshake structures (domaincheck d6). *)
+
+type 'a t = { workers : 'a Domain.t array }
+
+let spawn ~(n : int) (f : int -> 'a) : 'a t =
+  if n < 1 then invalid_arg "Domain_pool.spawn: n < 1";
+  { workers = Array.init n (fun i -> Domain.spawn (fun () -> f i)) }
+
+let size (t : _ t) : int = Array.length t.workers
+
+(* Joining blocks, deliberately: the pool is driven from the
+   orchestrating (main) domain, never from inside a hot spawn closure
+   (domaincheck d9 flags [Domain.join] there). *)
+let join (t : 'a t) : 'a array = Array.map Domain.join t.workers
+
+let recommended () : int = Domain.recommended_domain_count ()

@@ -1,0 +1,19 @@
+(** Fixed-size pool of OCaml 5 domains with indexed workers
+    (DESIGN.md §11). *)
+
+type 'a t
+
+val spawn : n:int -> (int -> 'a) -> 'a t
+(** [spawn ~n f] starts [n] domains; worker [i] runs [f i]. The index
+    selects all per-worker state inside the closure, keeping workers
+    shared-nothing. *)
+
+val size : _ t -> int
+
+val join : 'a t -> 'a array
+(** Wait for every worker and collect results in index order. Blocks;
+    call from the orchestrating domain only (never inside a hot spawn
+    closure — domaincheck d9). *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count ()]. *)

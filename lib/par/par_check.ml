@@ -1,0 +1,45 @@
+(** Dynamic ownership checker shared by the [Par] substrate.
+
+    The static analyzer ([colibri-domaincheck], DESIGN.md §11) proves
+    the domain-ownership discipline at compile time; this module is the
+    runtime backstop it pairs with: endpoints record the first domain
+    id that uses them and every later use from a different domain
+    raises {!Ownership_violation}. The check is one [Atomic.get] plus
+    an integer compare on the owning path, so rings can afford to keep
+    it on outside benchmarks. *)
+
+exception Ownership_violation of string
+
+let self_id () : int = (Domain.self () :> int)
+
+(* Unbound endpoints hold [unbound]; the first user claims the slot
+   with a CAS so two domains racing to be "first" cannot both win. *)
+let unbound = -1
+
+let violation ~role ~what ~bound ~self =
+  raise
+    (Ownership_violation
+       (Printf.sprintf
+          "%s: %s endpoint is owned by domain %d, used from domain %d" what
+          role bound self))
+
+let bind_or_check ~(slot : int Atomic.t) ~(role : string) ~(what : string) :
+    unit =
+  let self = self_id () in
+  let bound = Atomic.get slot in
+  if bound = self then ()
+  else if bound = unbound then begin
+    if not (Atomic.compare_and_set slot unbound self) then begin
+      let bound = Atomic.get slot in
+      if bound <> self then violation ~role ~what ~bound ~self
+    end
+  end
+  else violation ~role ~what ~bound ~self
+
+let fresh_slot () : int Atomic.t = Atomic.make unbound
+
+(* Test hook (the [corrupt_for_test] convention of DESIGN.md §6): bind
+   the slot to an id no live domain carries, so the next legitimate use
+   trips the checker deterministically. *)
+let corrupt_slot_for_test (slot : int Atomic.t) : unit =
+  Atomic.set slot (self_id () + 1_000_000)

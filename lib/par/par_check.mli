@@ -1,0 +1,24 @@
+(** Dynamic domain-ownership checker backing the [Par] substrate
+    (DESIGN.md §11). Endpoint slots record the first domain id that
+    uses them; any later use from a different domain raises
+    {!Ownership_violation}. *)
+
+exception Ownership_violation of string
+
+val self_id : unit -> int
+(** The calling domain's id as an integer. *)
+
+val unbound : int
+(** Sentinel held by a slot no domain has claimed yet. *)
+
+val fresh_slot : unit -> int Atomic.t
+(** A new, unclaimed endpoint slot. *)
+
+val bind_or_check : slot:int Atomic.t -> role:string -> what:string -> unit
+(** Claim [slot] for the calling domain (first use, CAS) or verify the
+    caller is the recorded owner; raises {!Ownership_violation}
+    otherwise. [role]/[what] name the endpoint in the error. *)
+
+val corrupt_slot_for_test : int Atomic.t -> unit
+(** Bind the slot to an id no live domain carries so the next
+    legitimate use trips the checker — regression-test hook only. *)

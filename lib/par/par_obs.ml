@@ -1,0 +1,45 @@
+(** Per-domain telemetry ownership with merge-at-sample.
+
+    Obs counters are plain mutable ints by design (allocation-free on
+    the per-packet path, DESIGN.md §7) — they cannot be shared across
+    domains. The rule (domaincheck d6 and DESIGN.md §11) is ownership:
+    each worker domain owns one private {!Obs.Registry.t} slot and is
+    the only domain that ever increments it; the orchestrating domain
+    merges the per-slot snapshots at sample time, exactly as the
+    shared-nothing shards of {!Colibri.Dataplane_shard} already merge.
+
+    [claim] is the checked entry point: called from inside the worker
+    domain it binds the slot to that domain id, and a second claim
+    from a different domain raises {!Par_check.Ownership_violation}. *)
+
+open Par_check
+
+type t = {
+  slots : Obs.Registry.t array;
+  owners : int Atomic.t array; (* domain id per claimed slot *)
+}
+
+let create ~(slots : int) : t =
+  if slots < 1 then invalid_arg "Par_obs.create: slots < 1";
+  {
+    slots = Array.init slots (fun _ -> Obs.Registry.create ());
+    owners = Array.init slots (fun _ -> fresh_slot ());
+  }
+
+let slots (t : t) : int = Array.length t.slots
+
+(* Unchecked access, for wiring state records together at construction
+   time (before the worker domains exist). *)
+let registry (t : t) (i : int) : Obs.Registry.t = t.slots.(i)
+
+let claim (t : t) (i : int) : Obs.Registry.t =
+  bind_or_check ~slot:t.owners.(i) ~role:"owner" ~what:"Par_obs.claim";
+  t.slots.(i)
+
+let owner (t : t) (i : int) : int = Atomic.get t.owners.(i)
+
+(* Merge-at-sample: reads of another domain's counters are racy but
+   monotone (single [int] fields, no tearing on 64-bit); sample after
+   [Domain_pool.join] for exact totals, or live for monitoring. *)
+let sample (t : t) : Obs.snapshot =
+  Obs.merge (Array.to_list (Array.map Obs.Registry.snapshot t.slots))

@@ -1,0 +1,25 @@
+(** Per-domain {!Obs} registry slots with merge-at-sample
+    (DESIGN.md §11): each worker domain owns one private registry and
+    is the only domain that increments it; the orchestrator merges
+    per-slot snapshots. *)
+
+type t
+
+val create : slots:int -> t
+val slots : t -> int
+
+val registry : t -> int -> Obs.Registry.t
+(** Unchecked slot access for construction-time wiring (before worker
+    domains exist). *)
+
+val claim : t -> int -> Obs.Registry.t
+(** Checked access from inside the owning domain: binds slot [i] to
+    the calling domain on first use; a claim from a different domain
+    raises {!Par_check.Ownership_violation}. *)
+
+val owner : t -> int -> int
+(** The recorded owner domain id of slot [i], or {!Par_check.unbound}. *)
+
+val sample : t -> Obs.snapshot
+(** Merge of all per-slot snapshots. Exact after
+    {!Domain_pool.join}; racy-but-monotone when sampled live. *)

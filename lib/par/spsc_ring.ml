@@ -1,0 +1,120 @@
+(** Bounded single-producer / single-consumer ring buffer.
+
+    The inter-domain transfer primitive of the multicore dataplane
+    (ROADMAP item 1): one domain pushes, one domain pops, and the only
+    shared words are the two [Atomic.t] indices — the classic SPSC
+    design the paper's shared-nothing sharding assumes (§7.2). Cells
+    are published by the producer's [Atomic.set] on [tail] (release)
+    and observed through the consumer's [Atomic.get] (acquire), so the
+    OCaml 5 memory model orders the cell write before the index
+    becomes visible; symmetrically for [head] on the pop side.
+
+    Ownership-transfer protocol (enforced statically by domaincheck d8
+    and dynamically by {!Par_check}): the push endpoint belongs to
+    exactly one domain, the pop endpoint to exactly one domain, and a
+    value — in particular a [bytes] buffer — must not be touched by
+    the producer after it has been pushed; ownership moves with the
+    value. The ring overwrites popped cells with [dummy] so it never
+    retains a transferred value behind the consumer's back. *)
+
+open Par_check
+
+type 'a t = {
+  buf : 'a array;
+  mask : int; (* capacity - 1; capacity is a power of two *)
+  dummy : 'a;
+  head : int Atomic.t; (* next index to pop; written by the consumer *)
+  tail : int Atomic.t; (* next index to push; written by the producer *)
+  check : bool;
+  producer : int Atomic.t; (* owning domain ids, Par_check.unbound until *)
+  consumer : int Atomic.t; (* the first push/pop binds them *)
+}
+
+let rec pow2 (n : int) (c : int) = if c >= n then c else pow2 n (c * 2)
+
+let create ?(check = true) ~(dummy : 'a) (capacity : int) : 'a t =
+  if capacity < 1 then invalid_arg "Spsc_ring.create: capacity < 1";
+  let cap = pow2 capacity 1 in
+  {
+    buf = Array.make cap dummy;
+    mask = cap - 1;
+    dummy;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    check;
+    producer = fresh_slot ();
+    consumer = fresh_slot ();
+  }
+
+let capacity (t : _ t) : int = t.mask + 1
+
+let length (t : _ t) : int =
+  let n = Atomic.get t.tail - Atomic.get t.head in
+  if n < 0 then 0 else if n > t.mask + 1 then t.mask + 1 else n
+
+let check_producer (t : _ t) : unit =
+  if t.check then
+    bind_or_check ~slot:t.producer ~role:"producer" ~what:"Spsc_ring.push"
+
+let check_consumer (t : _ t) : unit =
+  if t.check then
+    bind_or_check ~slot:t.consumer ~role:"consumer" ~what:"Spsc_ring.pop"
+
+let try_push (t : 'a t) (v : 'a) : bool =
+  check_producer t;
+  let tail = Atomic.get t.tail in
+  let head = Atomic.get t.head in
+  if tail - head > t.mask then false
+  else begin
+    t.buf.(tail land t.mask) <- v;
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop (t : 'a t) : 'a option =
+  check_consumer t;
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then None
+  else begin
+    let i = head land t.mask in
+    let v = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    Some v
+  end
+
+(* Spinning variants for the dataplane loops: no allocation, no
+   blocking primitive (domaincheck d9 keeps [Mutex]/[Condition] out of
+   hot spawn closures), just [Domain.cpu_relax] between attempts. *)
+
+let rec push_spin (t : 'a t) (v : 'a) : unit =
+  if not (try_push t v) then begin
+    Domain.cpu_relax ();
+    push_spin t v
+  end
+
+let rec pop_spin (t : 'a t) : 'a =
+  check_consumer t;
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  if tail - head <= 0 then begin
+    Domain.cpu_relax ();
+    pop_spin t
+  end
+  else begin
+    let i = head land t.mask in
+    let v = t.buf.(i) in
+    t.buf.(i) <- t.dummy;
+    Atomic.set t.head (head + 1);
+    v
+  end
+
+let endpoints (t : _ t) : int * int =
+  (Atomic.get t.producer, Atomic.get t.consumer)
+
+let corrupt_endpoint_for_test (t : _ t) (which : [ `Producer | `Consumer ]) :
+    unit =
+  match which with
+  | `Producer -> corrupt_slot_for_test t.producer
+  | `Consumer -> corrupt_slot_for_test t.consumer

@@ -1,0 +1,45 @@
+(** Bounded single-producer / single-consumer ring buffer — the
+    inter-domain transfer primitive of the multicore dataplane
+    (DESIGN.md §11, ROADMAP item 1).
+
+    Protocol: exactly one domain pushes, exactly one domain pops, and
+    a value must not be aliased by the producer after it is pushed
+    (ownership moves with the value). [colibri-domaincheck] rule d8
+    enforces this statically; at runtime each endpoint records the
+    first domain id that uses it and any use from another domain
+    raises {!Par_check.Ownership_violation} (disable per-ring with
+    [~check:false] for benchmarks). *)
+
+type 'a t
+
+val create : ?check:bool -> dummy:'a -> int -> 'a t
+(** [create ~dummy n] is an empty ring with capacity [n] rounded up to
+    a power of two. Popped cells are overwritten with [dummy] so the
+    ring never retains a transferred value. [check] (default [true])
+    keeps the dynamic endpoint-ownership checker on. *)
+
+val capacity : _ t -> int
+val length : _ t -> int
+(** Number of buffered values; racy-but-bounded when read from a third
+    domain (monitoring only). *)
+
+val try_push : 'a t -> 'a -> bool
+(** Producer endpoint. [false] when full. *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer endpoint. [None] when empty. *)
+
+val push_spin : 'a t -> 'a -> unit
+(** [try_push] retried with [Domain.cpu_relax] until space is free —
+    allocation-free, never blocks on a lock. *)
+
+val pop_spin : 'a t -> 'a
+(** Spin until a value is available; allocation-free (no [option]). *)
+
+val endpoints : _ t -> int * int
+(** The recorded (producer, consumer) domain ids;
+    {!Par_check.unbound} until the first push/pop. *)
+
+val corrupt_endpoint_for_test : _ t -> [ `Producer | `Consumer ] -> unit
+(** Force the recorded owner to a bogus domain id so the next
+    legitimate operation trips the checker — regression tests only. *)

@@ -1,0 +1,10 @@
+(* D6 suppressed twin: same sharing as [D6_fire.hits], silenced by a
+   def-site [@@colibri.allow]. The finding is still exported in
+   [--json] with [suppressed = true] for the suppression review. *)
+let hits = ref 0 [@@colibri.allow "d6"]
+
+let go () =
+  let a = Domain.spawn (fun () -> incr hits) in
+  let b = Domain.spawn (fun () -> incr hits) in
+  Domain.join a;
+  Domain.join b

@@ -1,0 +1,9 @@
+(* Cross-module D6: [D6_state.hits] (an Obs counter, mutable state
+   typed from lib/obs) is incremented both inside a spawn closure and
+   on the spawning side. The D6 finding lands at the definition in
+   d6_state.ml; both access sites here get D7 (deepscan's D4 cannot
+   see an Obs counter, so no dedup applies). *)
+let go () =
+  let d = Domain.spawn (fun () -> Obs.Counter.incr D6_state.hits) in
+  Obs.Counter.incr D6_state.hits;
+  Domain.join d

@@ -1,0 +1,20 @@
+(* D6 fire: [hits] is module-level mutable state incremented from two
+   spawned domains; the definition gets the finding. The access sites
+   belong to deepscan's D4 (spawn-closure shard roots), so
+   domaincheck's D7 must NOT double-report them. *)
+let hits = ref 0
+
+let go () =
+  let a = Domain.spawn (fun () -> incr hits) in
+  let b = Domain.spawn (fun () -> incr hits) in
+  Domain.join a;
+  Domain.join b
+
+(* D6 fire (captured): a local buffer captured by a spawn closure
+   while the spawning side keeps using it. *)
+let spawn_captured () =
+  let buf = Buffer.create 16 in
+  let d = Domain.spawn (fun () -> Buffer.add_char buf 'x') in
+  Buffer.add_char buf 'y';
+  Domain.join d;
+  Buffer.length buf

@@ -1,0 +1,5 @@
+(* Cross-module D6 state: mutable instruments typed from lib/obs.
+   [hits] is shared by [D6_cross]; [reg] stays module-local (only the
+   orchestrating side touches it), so only [hits] gets the finding. *)
+let reg = Obs.Registry.create ()
+let hits = Obs.Registry.counter reg "fixture_hits"

@@ -1,0 +1,11 @@
+(* D7 suppressed twin: the def-site [@@colibri.allow "d6 d7"] covers
+   every access site — the owner reviewed the sharing once, at the
+   value. *)
+let total = ref 0 [@@colibri.allow "d6 d7"]
+
+let worker () = incr total
+
+let go () =
+  let d = Domain.spawn worker in
+  total := !total + 1;
+  Domain.join d

@@ -1,0 +1,14 @@
+(* D7 fire, and the D4/D7 dedup boundary: [total]'s D6 is reviewed
+   (suppressed at the definition), but its access sites remain racy.
+   The worker-side increment is already reported by deepscan's D4
+   (named spawn target), so domaincheck must drop its D7 there; the
+   orchestrator-side read-modify-write below is invisible to D4 and
+   must carry the D7. *)
+let total = ref 0 [@@colibri.allow "d6"]
+
+let worker () = incr total
+
+let go () =
+  let d = Domain.spawn worker in
+  total := !total + 1;
+  Domain.join d

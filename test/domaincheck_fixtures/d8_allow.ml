@@ -1,0 +1,16 @@
+(* D8 suppressed twins: the same two-producer and alias-after-push
+   shapes as [D8_fire], silenced site by site. *)
+let ring : int Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:0 8
+
+let go () =
+  let a = Domain.spawn (fun () -> (Par.Spsc_ring.push_spin ring 1 [@colibri.allow "d8"])) in
+  let b = Domain.spawn (fun () -> (Par.Spsc_ring.push_spin ring 2 [@colibri.allow "d8"])) in
+  Domain.join a;
+  Domain.join b
+
+let bufring : bytes Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:Bytes.empty 8
+
+let alias_after_push () =
+  let b = Bytes.create 4 in
+  Par.Spsc_ring.push_spin bufring b;
+  (Bytes.set b 0 'x' [@colibri.allow "d8"])

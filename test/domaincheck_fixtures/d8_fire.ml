@@ -1,0 +1,18 @@
+(* D8 fire (endpoints): [ring] is pushed from two spawned domains —
+   an SPSC ring owns exactly one producer endpoint. *)
+let ring : int Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:0 8
+
+let go () =
+  let a = Domain.spawn (fun () -> Par.Spsc_ring.push_spin ring 1) in
+  let b = Domain.spawn (fun () -> Par.Spsc_ring.push_spin ring 2) in
+  Domain.join a;
+  Domain.join b
+
+(* D8 fire (alias after push): once pushed, the buffer belongs to the
+   consumer; the producer touching it afterwards is a violation. *)
+let bufring : bytes Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:Bytes.empty 8
+
+let alias_after_push () =
+  let b = Bytes.create 4 in
+  Par.Spsc_ring.push_spin bufring b;
+  Bytes.set b 0 'x'

@@ -1,0 +1,12 @@
+(* D9 suppressed twin: a reviewed block inside a hot closure. *)
+let m = Mutex.create ()
+
+let go () =
+  let d =
+    Domain.spawn
+      ((fun () ->
+         (Mutex.lock m [@colibri.allow "d9"]);
+         Mutex.unlock m)
+      [@colibri.hot])
+  in
+  Domain.join d

@@ -1,0 +1,17 @@
+(* D9 fire: blocking primitives inside [@colibri.hot] spawn closures.
+   The first closure blocks directly; the second reaches the mutex
+   through a helper — only the interprocedural closure connects
+   them. *)
+let m = Mutex.create ()
+
+let go () =
+  let d = Domain.spawn ((fun () -> Mutex.lock m; Mutex.unlock m) [@colibri.hot]) in
+  Domain.join d
+
+let pause () =
+  Mutex.lock m;
+  Mutex.unlock m
+
+let go_via_helper () =
+  let d = Domain.spawn ((fun () -> pause ()) [@colibri.hot]) in
+  Domain.join d

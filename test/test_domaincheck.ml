@@ -1,0 +1,169 @@
+(** Domaincheck fixture suite.
+
+    [domaincheck_fixtures/] holds one deliberately-violating module per
+    domain-ownership rule D6..D9, each paired with a
+    [[@colibri.allow]]-suppressed twin. The suite proves that every
+    rule fires at its known location, that every suppression flags
+    exactly its twin (suppressed findings are carried, not dropped),
+    that the cross-module D6 case (mutable Obs state defined in
+    [D6_state], shared by a spawn closure and the orchestrator in
+    [D6_cross]) is pinned interprocedurally, and that the D4/D6-D7
+    dedup drops exactly the sites deepscan already reports. Tests run
+    from [_build/default/test], where dune has built the fixture
+    library's [.cmt] files next to its copied sources. *)
+
+let result = lazy (Domaincheck.scan [ "domaincheck_fixtures" ])
+let findings () = fst (Lazy.force result)
+
+(* The same fixtures without the D4 dedup, and deepscan's own view of
+   them — both only for the dedup tests. *)
+let raw = lazy (Domaincheck.scan_ex ~drop_d4:[] [ "domaincheck_fixtures" ])
+let deep = lazy (Deepscan.scan [ "domaincheck_fixtures" ])
+let base (f : Lint.finding) = Filename.basename f.file
+
+let find_at ?(among = findings) ~rule ~file ~line () =
+  List.filter
+    (fun (f : Lint.finding) -> f.rule = rule && base f = file && f.line = line)
+    (among ())
+
+let check_state ~suppressed ?(among = findings) ?contains ~rule ~file ~line () =
+  let hits = find_at ~among ~rule ~file ~line () in
+  Alcotest.(check bool)
+    (Printf.sprintf "[%s] fires at %s:%d" rule file line)
+    true (hits <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "[%s] at %s:%d suppressed=%b" rule file line suppressed)
+    true
+    (List.for_all (fun (f : Lint.finding) -> f.suppressed = suppressed) hits);
+  match contains with
+  | None -> ()
+  | Some affix ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding at %s:%d mentions %S" file line affix)
+        true
+        (List.exists
+           (fun (f : Lint.finding) -> Astring.String.is_infix ~affix f.message)
+           hits)
+
+let check_fires = check_state ~suppressed:false
+let check_flagged = check_state ~suppressed:true
+
+let check_silent ?(among = findings) ~rule ~file ~line () =
+  Alcotest.(check int)
+    (Printf.sprintf "[%s] stays silent at %s:%d" rule file line)
+    0
+    (List.length (find_at ~among ~rule ~file ~line ()))
+
+(* ------------------------------- d6 -------------------------------- *)
+
+let test_d6_module_global () =
+  (* [hits : int ref] is written from two inline spawn closures. *)
+  check_fires ~rule:"d6" ~file:"d6_fire.ml" ~line:5 ~contains:"D6_fire.hits" ()
+
+let test_d6_captured () =
+  (* A [Buffer.t] local captured by a spawn closure and still used by
+     the spawning function afterwards. *)
+  check_fires ~rule:"d6" ~file:"d6_fire.ml" ~line:17 ()
+
+let test_d6_cross_module () =
+  (* The counter lives in [D6_state]; only [D6_cross] shares it between
+     a spawn root and the orchestrator. The finding lands at the
+     definition, naming the roots from the other module. *)
+  check_fires ~rule:"d6" ~file:"d6_state.ml" ~line:5 ~contains:"D6_cross" ()
+
+let test_d6_suppressed () = check_flagged ~rule:"d6" ~file:"d6_allow.ml" ~line:4 ()
+
+(* ------------------------------- d7 -------------------------------- *)
+
+let test_d7_access_sites () =
+  (* Both Counter.incr sites of the cross-module shared counter: one in
+     the spawn closure, one on the orchestrator side. *)
+  List.iter
+    (fun line -> check_fires ~rule:"d7" ~file:"d6_cross.ml" ~line ())
+    [ 7; 8 ];
+  (* The orchestrator-side write of the d6-allowed [total] ref still
+     races: allowing d6 does not allow d7. *)
+  check_fires ~rule:"d7" ~file:"d7_fire.ml" ~line:13 ()
+
+let test_d7_def_site_allow () =
+  (* [[@@colibri.allow "d6 d7"]] on the defining binding flags every
+     access site, not just the definition. *)
+  check_flagged ~rule:"d6" ~file:"d7_allow.ml" ~line:4 ();
+  check_flagged ~rule:"d7" ~file:"d7_allow.ml" ~line:10 ()
+
+(* ------------------------------- d8 -------------------------------- *)
+
+let test_d8_two_producers () =
+  List.iter
+    (fun line ->
+      check_fires ~rule:"d8" ~file:"d8_fire.ml" ~line ~contains:"producer" ())
+    [ 6; 7 ]
+
+let test_d8_alias_after_push () =
+  check_fires ~rule:"d8" ~file:"d8_fire.ml" ~line:18
+    ~contains:"used after being pushed" ()
+
+let test_d8_suppressed () =
+  List.iter
+    (fun line -> check_flagged ~rule:"d8" ~file:"d8_allow.ml" ~line ())
+    [ 6; 7; 16 ]
+
+(* ------------------------------- d9 -------------------------------- *)
+
+let test_d9_direct () =
+  check_fires ~rule:"d9" ~file:"d9_fire.ml" ~line:8 ~contains:"Mutex.lock" ()
+
+let test_d9_via_helper () =
+  (* The blocking call is in a plain helper; only the interprocedural
+     closure connects it to the hot spawn root. *)
+  check_fires ~rule:"d9" ~file:"d9_fire.ml" ~line:12
+    ~contains:"via D9_fire.go_via_helper.<spawn@16> -> D9_fire.pause" ()
+
+let test_d9_suppressed () = check_flagged ~rule:"d9" ~file:"d9_allow.ml" ~line:8 ()
+
+(* ---------------------------- d4 dedup ----------------------------- *)
+
+let test_d4_dedup () =
+  (* Deepscan's spawn-root extension claims the worker's increment of
+     [total] at d7_fire.ml:9 as a d4 site... *)
+  check_fires
+    ~among:(fun () -> fst (Lazy.force deep))
+    ~rule:"d4" ~file:"d7_fire.ml" ~line:9 ();
+  (* ...the undeduped domaincheck view sees the same site as d7... *)
+  check_fires
+    ~among:(fun () -> (Lazy.force raw).Domaincheck.sr_findings)
+    ~rule:"d7" ~file:"d7_fire.ml" ~line:9 ();
+  (* ...and the default scan reports it exactly once, as d4's. *)
+  check_silent ~rule:"d7" ~file:"d7_fire.ml" ~line:9 ()
+
+(* ------------------------------ counts ----------------------------- *)
+
+let test_exact_counts () =
+  let per pred = List.length (List.filter pred (findings ())) in
+  let active rule (f : Lint.finding) = f.rule = rule && not f.suppressed in
+  List.iter
+    (fun (rule, n) ->
+      Alcotest.(check int) ("active findings for " ^ rule) n (per (active rule)))
+    [ ("d6", 3); ("d7", 3); ("d8", 3); ("d9", 2) ];
+  Alcotest.(check int) "suppressed findings" 8
+    (per (fun f -> f.suppressed));
+  Alcotest.(check int) "total findings" 19 (List.length (findings ()));
+  Alcotest.(check bool) "all fixture modules scanned" true (snd (Lazy.force result) >= 10)
+
+let suite =
+  [
+    Alcotest.test_case "d6 fires on a module-level ref" `Quick test_d6_module_global;
+    Alcotest.test_case "d6 fires on a captured buffer" `Quick test_d6_captured;
+    Alcotest.test_case "d6 fires across modules" `Quick test_d6_cross_module;
+    Alcotest.test_case "d6 suppression" `Quick test_d6_suppressed;
+    Alcotest.test_case "d7 fires at each racy access site" `Quick test_d7_access_sites;
+    Alcotest.test_case "d7 def-site allow covers access sites" `Quick test_d7_def_site_allow;
+    Alcotest.test_case "d8 fires on two producers" `Quick test_d8_two_producers;
+    Alcotest.test_case "d8 fires on alias after push" `Quick test_d8_alias_after_push;
+    Alcotest.test_case "d8 suppression" `Quick test_d8_suppressed;
+    Alcotest.test_case "d9 fires on direct blocking" `Quick test_d9_direct;
+    Alcotest.test_case "d9 fires through a helper" `Quick test_d9_via_helper;
+    Alcotest.test_case "d9 suppression" `Quick test_d9_suppressed;
+    Alcotest.test_case "d4/d6-d7 never double-report" `Quick test_d4_dedup;
+    Alcotest.test_case "exact finding counts" `Quick test_exact_counts;
+  ]

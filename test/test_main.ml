@@ -28,5 +28,7 @@ let () =
       ("obs", Test_obs.suite);
       ("lint", Test_lint.suite);
       ("deepscan", Test_deepscan.suite);
+      ("domaincheck", Test_domaincheck.suite);
+      ("par", Test_par.suite);
       ("audit", Test_audit.suite);
     ]

@@ -93,6 +93,14 @@ let named_hot_roots =
       "Blocklist.is_blocked";
     ]
 
+(* D4 (spawn extension): calls whose final argument runs on another
+   domain. A function handed to one of these is a shard root exactly
+   like a [*shard*]-module worker: its call closure must not touch
+   module-level mutable state. [Domain_pool.spawn] is listed because
+   the pool forwards its argument to [Domain.spawn] through a closure
+   the analysis cannot see through. *)
+let spawn_calls = SS.of_list [ "Domain.spawn"; "Domain_pool.spawn" ]
+
 (* ------------------------- canonical names ------------------------- *)
 
 (* "Colibri__Router" -> "Router": module aliasing mangles wrapped
@@ -235,6 +243,8 @@ type node = {
   mutable n_d1 : (int * string) list; (* line, what *)
   mutable n_d2 : (int * string) list;
   mutable n_mut_refs : (int * string) list; (* line, global name *)
+  mutable n_spawn_targets : SS.t; (* named functions handed to Domain.spawn *)
+  mutable n_spawn_inline : bool; (* binding spawns an inline closure *)
 }
 
 type modul = {
@@ -361,6 +371,8 @@ let collect_nodes (ctx : ctx) ~(m_name : string) (str : structure) :
                         n_d1 = [];
                         n_d2 = [];
                         n_mut_refs = [];
+                        n_spawn_targets = SS.empty;
+                        n_spawn_inline = false;
                       }
                       :: !nodes
                 | _ -> ())
@@ -445,6 +457,27 @@ let analyze_node (ctx : ctx) (m : modul) (node : node) ~(emit : Finding.t -> uni
         if SS.mem name compare_at_any_type || SS.mem name compare_at_composite then d3 e name;
         match Hashtbl.find_opt ctx.mutables resolved with
         | Some _ when ok "d4" -> node.n_mut_refs <- (loc_line e, resolved) :: node.n_mut_refs
+        | _ -> ())
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args)
+      when mem_qualified spawn_calls (canon ~wrappers:ctx.wrappers p) -> (
+        (* The spawned computation is the final argument; record named
+           targets so they become shard roots, and mark the binding
+           itself when the closure is inline (the closure's call edges
+           land on this node anyway). *)
+        match List.rev args with
+        | (_, Some a) :: _ -> (
+            match a.exp_desc with
+            | Texp_ident (ap, _, _) ->
+                let aname = canon ~wrappers:ctx.wrappers ap in
+                let resolved =
+                  match ap with
+                  | Path.Pident id ->
+                      Option.value ~default:aname
+                        (Hashtbl.find_opt m.m_idents (Ident.unique_name id))
+                  | _ -> aname
+                in
+                node.n_spawn_targets <- SS.add resolved node.n_spawn_targets
+            | _ -> node.n_spawn_inline <- true)
         | _ -> ())
     | Texp_construct (_, cd, args) ->
         if cd.Types.cstr_name = "::" && args <> [] then d1 e "list cons allocates"
@@ -621,12 +654,19 @@ let chain_str (chain : string list) : string = String.concat " -> " chain
 
 (* ------------------------------ driver ----------------------------- *)
 
-let scan (dirs : string list) : Finding.t list * int =
+(* The load step is shared with [colibri-domaincheck], which runs its
+   own rules over the same typedtrees with the same canonical names. *)
+type loaded = {
+  ld_units : (string * structure) list; (* raw cmt_modname, structure *)
+  ld_sources : string list; (* .ml files under the scanned roots *)
+  ld_wrappers : SS.t; (* wrapper-alias module names, e.g. "Colibri" *)
+}
+
+let load (dirs : string list) : loaded =
   let files = List.fold_left walk_files [] dirs in
   let cmts = List.filter (fun f -> Filename.check_suffix f ".cmt") files in
-  let sources = List.filter (fun f -> Filename.check_suffix f ".ml") files in
-  let markers = marker_index sources in
-  let loaded =
+  let ld_sources = List.filter (fun f -> Filename.check_suffix f ".ml") files in
+  let ld_units =
     List.filter_map
       (fun f ->
         match Cmt_format.read_cmt f with
@@ -639,14 +679,28 @@ let scan (dirs : string list) : Finding.t list * int =
   in
   (* Wrapper aliases: any prefix P observed as "P__M" is a library
      wrapper whose leading component should be dropped from paths. *)
-  let wrappers =
+  let ld_wrappers =
     List.fold_left
       (fun acc (name, _) ->
         let demangled = after_dunder name in
         if demangled = name then acc
         else SS.add (String.sub name 0 (String.length name - String.length demangled - 2)) acc)
-      SS.empty loaded
+      SS.empty ld_units
   in
+  { ld_units; ld_sources; ld_wrappers }
+
+type scan_result = {
+  sr_findings : Finding.t list;
+  sr_scanned : int; (* modules analyzed *)
+  sr_d4_keys : (string * int * string) list;
+      (* (file, line, global) of every D4 finding, suppressed or not —
+         [colibri-domaincheck] drops its D6/D7 findings at these keys
+         so the two analyzers never double-report one access. *)
+}
+
+let scan_ex (dirs : string list) : scan_result =
+  let { ld_units = loaded; ld_sources = sources; ld_wrappers = wrappers } = load dirs in
+  let markers = marker_index sources in
   let ctx = { wrappers; decls = Hashtbl.create 128; mutables = Hashtbl.create 16 } in
   (* Pass 1: nodes, type declarations, mutable globals. *)
   let mods =
@@ -705,12 +759,29 @@ let scan (dirs : string list) : Finding.t list * int =
   let resolver = build_resolver mods in
   let all_nodes = List.concat_map (fun m -> m.m_nodes) mods in
   let hot_roots = List.filter (fun n -> n.n_hot) all_nodes in
+  (* Shard roots: the original heuristic (a [*shard*] module path
+     component) plus every function handed to [Domain.spawn] — found
+     by name through the resolver — and every binding that spawns an
+     inline closure. *)
+  let spawn_targets =
+    List.fold_left (fun acc n -> SS.union acc n.n_spawn_targets) SS.empty all_nodes
+  in
+  let spawned (n : node) : bool =
+    SS.mem n.n_name spawn_targets
+    || SS.exists
+         (fun t ->
+           match Hashtbl.find_opt resolver t with
+           | Some (Some target) -> target == n
+           | _ -> false)
+         spawn_targets
+  in
   let shard_roots =
     List.filter
       (fun n ->
-        match List.rev (String.split_on_char '.' n.n_name) with
+        (match List.rev (String.split_on_char '.' n.n_name) with
         | _fn :: mods -> List.exists (fun m -> contains_sub (String.lowercase_ascii m) "shard") mods
         | [] -> false)
+        || n.n_spawn_inline || spawned n)
       all_nodes
   in
   let findings = ref [] in
@@ -741,10 +812,12 @@ let scan (dirs : string list) : Finding.t list * int =
                ~message:(Printf.sprintf "exception can escape the hot path: %s%s" what via)))
         node.n_d2)
     (closure resolver hot_roots);
+  let d4_keys = ref [] in
   List.iter
     (fun (node, chain) ->
       List.iter
         (fun (line, global) ->
+          d4_keys := (node.n_file, line, global) :: !d4_keys;
           add
             (Finding.v ~file:node.n_file ~line ~rule:"d4"
                ~message:
@@ -756,13 +829,25 @@ let scan (dirs : string list) : Finding.t list * int =
                      else Printf.sprintf " (via %s)" (chain_str chain)))))
         node.n_mut_refs)
     (closure resolver shard_roots);
-  (List.sort Finding.order !findings, List.length loaded)
+  {
+    sr_findings = List.sort Finding.order !findings;
+    sr_scanned = List.length loaded;
+    sr_d4_keys = List.rev !d4_keys;
+  }
+
+let scan (dirs : string list) : Finding.t list * int =
+  let r = scan_ex dirs in
+  (r.sr_findings, r.sr_scanned)
 
 let run_cli (args : string list) : int =
-  match args with
-  | [] ->
-      prerr_endline "usage: colibri_deepscan <dir> [<dir> ...]";
+  match Lint.Baseline.parse_args args with
+  | Error msg ->
+      prerr_endline ("colibri_deepscan: " ^ msg);
       2
-  | dirs ->
+  | Ok (_, _, []) ->
+      prerr_endline "usage: colibri_deepscan [--json] [--baseline FILE] <dir> [<dir> ...]";
+      2
+  | Ok (json, baseline, dirs) ->
       let findings, scanned = scan dirs in
-      Finding.report ~tool:"colibri-deepscan" ~scanned ~unit_name:"module" findings
+      Lint.Baseline.run_report ~tool:"colibri-deepscan" ~scanned ~unit_name:"module" ~json
+        ~baseline findings

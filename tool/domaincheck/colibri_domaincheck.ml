@@ -1,0 +1,1 @@
+let () = exit (Domaincheck.run_cli (List.tl (Array.to_list Sys.argv)))

@@ -1,0 +1,815 @@
+(** [colibri-domaincheck]: interprocedural domain-ownership and race
+    analysis (DESIGN.md §11).
+
+    Runs over the same [.cmt] corpus as [colibri-deepscan], reusing
+    its loading and name-canonicalization layer ({!Deepscan.load},
+    {!Deepscan.canon}), and verifies the domain-ownership discipline
+    of [lib/par]: rules D6..D9, documented in the interface. *)
+
+open Typedtree
+module D = Deepscan
+module SS = D.SS
+module Finding = Lint.Finding
+
+let rule_names = [ "d6"; "d7"; "d8"; "d9" ]
+
+(* --------------------------- rule tables --------------------------- *)
+
+let spawn_calls = SS.of_list [ "Domain.spawn"; "Domain_pool.spawn" ]
+
+(* A pool spawn runs its closure on [n] domains: one site already
+   means multi-domain sharing of anything it captures. *)
+let pool_spawn_calls = SS.of_list [ "Domain_pool.spawn" ]
+
+let push_ops = SS.of_list [ "Spsc_ring.try_push"; "Spsc_ring.push_spin" ]
+let pop_ops = SS.of_list [ "Spsc_ring.try_pop"; "Spsc_ring.pop_spin" ]
+
+(* D9: primitives that park the calling domain. Spin-wait helpers
+   ([Spsc_ring.push_spin], [Domain.cpu_relax]) are deliberately
+   absent: spinning is the sanctioned wait on the hot path. *)
+let blocking_calls =
+  SS.of_list
+    [
+      "Mutex.lock"; "Condition.wait"; "Domain.join"; "Domain_pool.join";
+      "Thread.delay"; "Thread.join"; "Unix.sleep"; "Unix.sleepf"; "Unix.select";
+      "Semaphore.Counting.acquire"; "Semaphore.Binary.acquire"; "Event.sync";
+      "input_line"; "read_line";
+    ]
+
+(* Type heads sanctioned for cross-domain sharing: the sync
+   primitives plus the [lib/par] transfer mechanisms themselves. *)
+let sync_heads =
+  SS.of_list
+    [
+      "Atomic.t"; "Mutex.t"; "Condition.t"; "Semaphore.Counting.t";
+      "Semaphore.Binary.t"; "Domain.t"; "Spsc_ring.t"; "Domain_pool.t";
+      "Par_obs.t";
+    ]
+
+(* Type heads that ARE mutable state: refs, arrays, the mutable
+   stdlib containers, and the Obs instruments (counters mutate on
+   [incr]; a registry is a name table). Mutable records are detected
+   structurally from their declaration. *)
+let mutable_heads =
+  SS.of_list
+    [
+      "ref"; "array"; "bytes"; "Hashtbl.t"; "Buffer.t"; "Queue.t"; "Stack.t";
+      "Counter.t"; "Gauge.t"; "Histogram.t"; "Registry.t";
+    ]
+
+let has_attr (name : string) (attrs : Parsetree.attributes) : bool =
+  List.exists (fun (a : Parsetree.attribute) -> a.attr_name.txt = name) attrs
+
+(* ------------------------ type classification ---------------------- *)
+
+type mut_class = Sanctioned | Mut of string (* type head *) | Immut
+
+type ctx = {
+  c_wrappers : SS.t;
+  c_decls : (string, Types.type_declaration) Hashtbl.t;
+  c_globals : (string, global) Hashtbl.t; (* canonical global -> def *)
+  mutable c_virtuals : dnode list; (* inline spawn-closure nodes *)
+}
+
+and global = {
+  g_file : string;
+  g_line : int;
+  g_head : string;
+  g_allowed : SS.t; (* from [@@colibri.allow] on the defining binding *)
+}
+
+and dnode = {
+  dn_name : string;
+  dn_file : string;
+  dn_line : int;
+  dn_allowed : SS.t;
+  dn_is_fun : bool;
+  dn_hot : bool; (* [@@colibri.hot] on the binding *)
+  dn_virtual : bool;
+  dn_uses : (string, (int * SS.t) list ref) Hashtbl.t;
+      (* Ident.unique_name -> use sites in THIS node's own body
+         (inline spawn closures are analyzed as separate nodes, so a
+         parent's table never contains its closures' uses) *)
+  mutable dn_calls : SS.t;
+  mutable dn_mut_refs : (int * string * SS.t) list; (* line, global, allowed *)
+  mutable dn_ring_ops : ring_op list;
+  mutable dn_blocking : (int * string * SS.t) list; (* line, what, allowed *)
+  mutable dn_spawns : spawn list;
+  mutable dn_alias : (int * string * SS.t) list;
+      (* use line, var, allowed: payload touched after its push *)
+}
+
+and ring_op = {
+  ro_key : string; (* ring identity: global name, field key, or local *)
+  ro_push : bool;
+  ro_line : int;
+  ro_allowed : SS.t;
+}
+
+and spawn = {
+  sp_line : int;
+  sp_mult : int; (* domains started: 2 for a pool spawn, else 1 *)
+  sp_hot : bool;
+  sp_target : [ `Named of string | `Inline of dnode ];
+  sp_captured : (string * string * int * string * SS.t) list;
+      (* unique, name, use line, type head — mutable captures only *)
+}
+
+let rec classify_ty (ctx : ctx) ~(self_mod : string) (depth : int)
+    (ty : Types.type_expr) : mut_class =
+  if depth > 6 then Immut
+  else
+    match Types.get_desc ty with
+    | Tpoly (t, _) -> classify_ty ctx ~self_mod (depth + 1) t
+    | Tconstr (p, _, _) -> (
+        let name =
+          String.concat "."
+            (D.canon_components ~wrappers:ctx.c_wrappers (D.path_components p))
+        in
+        if D.mem_qualified sync_heads name then Sanctioned
+        else if D.mem_qualified mutable_heads name then Mut name
+        else
+          let decl =
+            match Hashtbl.find_opt ctx.c_decls name with
+            | Some _ as d -> d
+            | None -> Hashtbl.find_opt ctx.c_decls (self_mod ^ "." ^ name)
+          in
+          match decl with
+          | None -> Immut
+          | Some d -> (
+              match d.Types.type_kind with
+              | Type_record (lbls, _) ->
+                  if
+                    List.exists
+                      (fun (l : Types.label_declaration) ->
+                        l.ld_mutable = Asttypes.Mutable)
+                      lbls
+                  then Mut name
+                  else Immut
+              | Type_abstract -> (
+                  match d.Types.type_manifest with
+                  | Some m -> classify_ty ctx ~self_mod (depth + 1) m
+                  | None -> Immut)
+              | _ -> Immut))
+    | _ -> Immut
+
+(* ------------------------------ collect ---------------------------- *)
+
+type dmodule = {
+  dm_name : string;
+  mutable dm_nodes : dnode list;
+  dm_idents : (string, string) Hashtbl.t; (* unique_name -> node name *)
+  dm_vbs : (string, value_binding) Hashtbl.t; (* node name -> binding *)
+}
+
+let mk_node ~name ~file ~line ~allowed ~is_fun ~hot ~virt : dnode =
+  {
+    dn_name = name;
+    dn_file = file;
+    dn_line = line;
+    dn_allowed = allowed;
+    dn_is_fun = is_fun;
+    dn_hot = hot;
+    dn_virtual = virt;
+    dn_uses = Hashtbl.create 16;
+    dn_calls = SS.empty;
+    dn_mut_refs = [];
+    dn_ring_ops = [];
+    dn_blocking = [];
+    dn_spawns = [];
+    dn_alias = [];
+  }
+
+let collect (ctx : ctx) ~(dm_name : string) (str : structure) : dmodule =
+  let m =
+    { dm_name; dm_nodes = []; dm_idents = Hashtbl.create 32; dm_vbs = Hashtbl.create 32 }
+  in
+  let register_types prefix (tds : type_declaration list) =
+    List.iter
+      (fun (td : type_declaration) ->
+        Hashtbl.replace ctx.c_decls (prefix ^ "." ^ td.typ_name.txt) td.typ_type)
+      tds
+  in
+  let rec items prefix (its : structure_item list) =
+    List.iter
+      (fun (it : structure_item) ->
+        match it.str_desc with
+        | Tstr_type (_, tds) -> register_types prefix tds
+        | Tstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : value_binding) ->
+                match vb.vb_pat.pat_desc with
+                | Tpat_var (id, name) | Tpat_alias (_, id, name) ->
+                    let n_name = prefix ^ "." ^ name.txt in
+                    let loc = vb.vb_loc.loc_start in
+                    let allowed = D.attrs_allowed vb.vb_attributes in
+                    Hashtbl.replace m.dm_idents (Ident.unique_name id) n_name;
+                    Hashtbl.replace m.dm_vbs n_name vb;
+                    (match classify_ty ctx ~self_mod:dm_name 0 vb.vb_expr.exp_type with
+                    | Mut head ->
+                        Hashtbl.replace ctx.c_globals n_name
+                          {
+                            g_file = loc.pos_fname;
+                            g_line = loc.pos_lnum;
+                            g_head = head;
+                            g_allowed = allowed;
+                          }
+                    | Sanctioned | Immut -> ());
+                    m.dm_nodes <-
+                      mk_node ~name:n_name ~file:loc.pos_fname ~line:loc.pos_lnum
+                        ~allowed ~is_fun:(D.spine_of vb.vb_expr <> [])
+                        ~hot:(has_attr "colibri.hot" vb.vb_attributes)
+                        ~virt:false
+                      :: m.dm_nodes
+                | _ -> ())
+              vbs
+        | Tstr_module mb -> module_binding prefix mb
+        | Tstr_recmodule mbs -> List.iter (module_binding prefix) mbs
+        | _ -> ())
+      its
+  and module_binding prefix (mb : module_binding) =
+    let sub = match mb.mb_id with Some id -> Ident.name id | None -> "_" in
+    let rec go (me : module_expr) =
+      match me.mod_desc with
+      | Tmod_structure s -> items (prefix ^ "." ^ sub) s.str_items
+      | Tmod_constraint (me, _, _, _) -> go me
+      | _ -> ()
+    in
+    go mb.mb_expr
+  in
+  items dm_name str.str_items;
+  m.dm_nodes <- List.rev m.dm_nodes;
+  m
+
+(* ------------------------------ analyze ---------------------------- *)
+
+(* Ring identity: a module-level ring keys by its canonical global
+   name; [st.submit] keys by the record type's head plus the field
+   name (every worker's [submit] ring is one logical endpoint pair —
+   the analysis is per-role, not per-instance); a binding-local ring
+   keys by its unique ident, shared verbatim between the binding and
+   any closure that captures it. *)
+let ring_key (ctx : ctx) (m : dmodule) (e : expression) : string =
+  match e.exp_desc with
+  | Texp_ident (p, _, _) -> (
+      let name = D.canon ~wrappers:ctx.c_wrappers p in
+      match p with
+      | Path.Pident id -> (
+          let u = Ident.unique_name id in
+          match Hashtbl.find_opt m.dm_idents u with
+          | Some g -> g
+          | None -> m.dm_name ^ "." ^ name ^ "/" ^ u)
+      | _ -> name)
+  | Texp_field (base, _, lbl) ->
+      let head =
+        match Types.get_desc base.exp_type with
+        | Tconstr (p, _, _) ->
+            String.concat "."
+              (D.canon_components ~wrappers:ctx.c_wrappers (D.path_components p))
+        | _ -> "?"
+      in
+      head ^ "." ^ lbl.Types.lbl_name
+  | _ -> "<anonymous-ring>"
+
+type locals = (string, Types.type_expr) Hashtbl.t
+
+(* One traversal per node (top-level binding or inline spawn closure):
+   call edges, mutable-global references, ring operations with their
+   payload idents, blocking calls, spawn sites — and, when [outer]
+   scopes exist, mutable captures reported through [capture_sink]. *)
+let rec traverse (ctx : ctx) (m : dmodule) (node : dnode) ~(own : locals)
+    ~(outer : locals list)
+    ~(capture_sink : string -> string -> int -> string -> SS.t -> unit)
+    (seed_allowed : SS.t) (target : [ `Vb of value_binding | `Expr of expression ])
+    : unit =
+  let allowed = ref seed_allowed in
+  let pushes : (string * string * int) list ref = ref [] in
+  let super = Tast_iterator.default_iterator in
+  let record_local id (ty : Types.type_expr) = Hashtbl.replace own (Ident.unique_name id) ty in
+  let pat : type k. Tast_iterator.iterator -> k general_pattern -> unit =
+   fun sub p ->
+    (match p.pat_desc with
+    | Tpat_var (id, _) -> record_local id p.pat_type
+    | Tpat_alias (_, id, _) -> record_local id p.pat_type
+    | _ -> ());
+    super.pat sub p
+  in
+  let value_binding sub (vb : value_binding) =
+    let saved = !allowed in
+    allowed := SS.union saved (D.attrs_allowed vb.vb_attributes);
+    super.value_binding sub vb;
+    allowed := saved
+  in
+  let expr sub (e : expression) =
+    let saved = !allowed in
+    allowed := SS.union saved (D.attrs_allowed e.exp_attributes);
+    let line = e.exp_loc.loc_start.pos_lnum in
+    let descend = ref true in
+    (match e.exp_desc with
+    | Texp_ident (p, _, _) -> (
+        let name = D.canon ~wrappers:ctx.c_wrappers p in
+        let resolved =
+          match p with
+          | Path.Pident id ->
+              let u = Ident.unique_name id in
+              (match Hashtbl.find_opt node.dn_uses u with
+              | Some l -> l := (line, !allowed) :: !l
+              | None -> Hashtbl.add node.dn_uses u (ref [ (line, !allowed) ]));
+              if not (Hashtbl.mem own u) then
+                (match List.find_map (fun t -> Hashtbl.find_opt t u) outer with
+                | Some ty -> (
+                    match classify_ty ctx ~self_mod:m.dm_name 0 ty with
+                    | Mut head -> capture_sink u (Ident.name id) line head !allowed
+                    | Sanctioned | Immut -> ())
+                | None -> ());
+              Option.value ~default:name (Hashtbl.find_opt m.dm_idents u)
+          | _ -> name
+        in
+        node.dn_calls <- SS.add resolved node.dn_calls;
+        if D.mem_qualified blocking_calls name then
+          node.dn_blocking <- (line, name, !allowed) :: node.dn_blocking;
+        match Hashtbl.find_opt ctx.c_globals resolved with
+        | Some _ -> node.dn_mut_refs <- (line, resolved, !allowed) :: node.dn_mut_refs
+        | None -> ())
+    | Texp_apply ({ exp_desc = Texp_ident (p, _, _); _ }, args) -> (
+        let fname = D.canon ~wrappers:ctx.c_wrappers p in
+        let is_push = D.mem_qualified push_ops fname in
+        let is_pop = D.mem_qualified pop_ops fname in
+        if is_push || is_pop then begin
+          let positional =
+            List.filter_map
+              (fun ((l : Asttypes.arg_label), a) ->
+                match (l, a) with Asttypes.Nolabel, Some a -> Some a | _ -> None)
+              args
+          in
+          match positional with
+          | ring :: rest ->
+              node.dn_ring_ops <-
+                {
+                  ro_key = ring_key ctx m ring;
+                  ro_push = is_push;
+                  ro_line = line;
+                  ro_allowed = !allowed;
+                }
+                :: node.dn_ring_ops;
+              if is_push then (
+                match rest with
+                | { exp_desc = Texp_ident (Path.Pident id, _, _); _ } :: _ ->
+                    pushes := (Ident.unique_name id, Ident.name id, line) :: !pushes
+                | _ -> ())
+          | [] -> ()
+        end
+        else if D.mem_qualified spawn_calls fname then
+          let mult = if D.mem_qualified pool_spawn_calls fname then 2 else 1 in
+          match List.rev args with
+          | (_, Some a) :: before -> (
+              let hot = has_attr "colibri.hot" a.exp_attributes in
+              let arg_allowed = SS.union !allowed (D.attrs_allowed a.exp_attributes) in
+              match a.exp_desc with
+              | Texp_ident (ap, _, _) ->
+                  let aname = D.canon ~wrappers:ctx.c_wrappers ap in
+                  let resolved =
+                    match ap with
+                    | Path.Pident id ->
+                        Option.value ~default:aname
+                          (Hashtbl.find_opt m.dm_idents (Ident.unique_name id))
+                    | _ -> aname
+                  in
+                  node.dn_calls <- SS.add resolved node.dn_calls;
+                  node.dn_spawns <-
+                    {
+                      sp_line = line;
+                      sp_mult = mult;
+                      sp_hot = hot;
+                      sp_target = `Named resolved;
+                      sp_captured = [];
+                    }
+                    :: node.dn_spawns
+              | Texp_function _ ->
+                  (* The closure becomes its own (virtual) node: its
+                     facts must not be attributed to the spawning
+                     side, so the parent does not descend into it. *)
+                  let child =
+                    mk_node
+                      ~name:
+                        (Printf.sprintf "%s.<spawn@%d>" node.dn_name line)
+                      ~file:node.dn_file ~line ~allowed:arg_allowed
+                      ~is_fun:true ~hot ~virt:true
+                  in
+                  ctx.c_virtuals <- child :: ctx.c_virtuals;
+                  let captured = ref [] in
+                  traverse ctx m child ~own:(Hashtbl.create 16)
+                    ~outer:(own :: outer)
+                    ~capture_sink:(fun u nm l head al ->
+                      captured := (u, nm, l, head, al) :: !captured)
+                    arg_allowed (`Expr a);
+                  node.dn_spawns <-
+                    {
+                      sp_line = line;
+                      sp_mult = mult;
+                      sp_hot = hot;
+                      sp_target = `Inline child;
+                      sp_captured = List.rev !captured;
+                    }
+                    :: node.dn_spawns;
+                  List.iter
+                    (fun (_, ao) -> Option.iter (sub.Tast_iterator.expr sub) ao)
+                    (List.rev before);
+                  descend := false
+              | _ -> ())
+          | (_, None) :: _ | [] -> ())
+    | _ -> ());
+    if !descend then super.expr sub e;
+    allowed := saved
+  in
+  let it = { super with expr; pat; value_binding } in
+  (match target with
+  | `Vb vb -> it.value_binding it vb
+  | `Expr e -> it.expr it e);
+  (* D8 alias-after-push: any use of a pushed payload ident on a later
+     line means the sender touched a buffer it no longer owns. *)
+  List.iter
+    (fun (u, nm, pline) ->
+      match Hashtbl.find_opt node.dn_uses u with
+      | None -> ()
+      | Some l ->
+          List.iter
+            (fun (uline, ual) ->
+              if uline > pline then node.dn_alias <- (uline, nm, ual) :: node.dn_alias)
+            !l)
+    !pushes
+
+(* ------------------------- closure machinery ----------------------- *)
+
+let build_resolver (mods : dmodule list) : (string, dnode option) Hashtbl.t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun node ->
+          let comps = String.split_on_char '.' node.dn_name in
+          let rec suffixes = function
+            | [] | [ _ ] -> []
+            | _ :: rest as l -> String.concat "." l :: suffixes rest
+          in
+          List.iter
+            (fun key ->
+              match Hashtbl.find_opt tbl key with
+              | None -> Hashtbl.replace tbl key (Some node)
+              | Some (Some other) when other != node -> Hashtbl.replace tbl key None
+              | Some _ -> ())
+            (suffixes comps))
+        m.dm_nodes)
+    mods;
+  tbl
+
+let closure (resolver : (string, dnode option) Hashtbl.t) (root : dnode) :
+    (dnode * string list) list =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let out = ref [] in
+  let q = Queue.create () in
+  Hashtbl.replace seen root.dn_name ();
+  Queue.add (root, [ root.dn_name ]) q;
+  while not (Queue.is_empty q) do
+    let node, chain = Queue.pop q in
+    out := (node, chain) :: !out;
+    SS.iter
+      (fun callee ->
+        match Hashtbl.find_opt resolver callee with
+        | Some (Some n) when n.dn_is_fun && not (Hashtbl.mem seen n.dn_name) ->
+            Hashtbl.replace seen n.dn_name ();
+            Queue.add (n, chain @ [ n.dn_name ]) q
+        | _ -> ())
+      node.dn_calls
+  done;
+  List.rev !out
+
+(* ------------------------------ driver ----------------------------- *)
+
+type root = {
+  r_id : string; (* the root node's name *)
+  r_node : dnode;
+  mutable r_mult : int; (* total domains running this closure *)
+  mutable r_hot : bool;
+  mutable r_members : (dnode * string list) list;
+}
+
+type scan_result = { sr_findings : Finding.t list; sr_scanned : int }
+
+let scan_ex ?(drop_d4 : (string * int * string) list = []) (dirs : string list) :
+    scan_result =
+  let { D.ld_units; ld_wrappers; _ } = D.load dirs in
+  let ctx =
+    {
+      c_wrappers = ld_wrappers;
+      c_decls = Hashtbl.create 128;
+      c_globals = Hashtbl.create 32;
+      c_virtuals = [];
+    }
+  in
+  (* Pass 1: nodes, type declarations, mutable globals. *)
+  let mods =
+    List.map
+      (fun (name, str) -> collect ctx ~dm_name:(D.after_dunder name) str)
+      ld_units
+  in
+  (* Pass 2: per-node facts; inline closures spin off virtual nodes. *)
+  List.iter
+    (fun m ->
+      List.iter
+        (fun node ->
+          match Hashtbl.find_opt m.dm_vbs node.dn_name with
+          | Some vb ->
+              traverse ctx m node ~own:(Hashtbl.create 16) ~outer:[]
+                ~capture_sink:(fun _ _ _ _ _ -> ())
+                node.dn_allowed (`Vb vb)
+          | None -> ())
+        m.dm_nodes)
+    mods;
+  (* Pass 3: spawn roots and their call closures. *)
+  let resolver = build_resolver mods in
+  let all_real = List.concat_map (fun m -> m.dm_nodes) mods in
+  let roots : (string, root) Hashtbl.t = Hashtbl.create 16 in
+  let add_root (n : dnode) (mult : int) (hot : bool) =
+    match Hashtbl.find_opt roots n.dn_name with
+    | Some r ->
+        r.r_mult <- r.r_mult + mult;
+        r.r_hot <- r.r_hot || hot
+    | None ->
+        Hashtbl.replace roots n.dn_name
+          { r_id = n.dn_name; r_node = n; r_mult = mult; r_hot = hot; r_members = [] }
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun sp ->
+          match sp.sp_target with
+          | `Inline child -> add_root child sp.sp_mult sp.sp_hot
+          | `Named target -> (
+              match Hashtbl.find_opt resolver target with
+              | Some (Some t) -> add_root t sp.sp_mult (sp.sp_hot || t.dn_hot)
+              | _ -> ()))
+        n.dn_spawns)
+    (all_real @ ctx.c_virtuals);
+  let root_list =
+    List.sort
+      (fun a b -> String.compare a.r_id b.r_id)
+      (Hashtbl.fold (fun _ r acc -> r :: acc) roots [])
+  in
+  List.iter (fun r -> r.r_members <- closure resolver r.r_node) root_list;
+  (* Owner map: node name -> root ids whose closure contains it; a
+     real node in no closure belongs to the orchestrating "<main>". *)
+  let owners : (string, SS.t) Hashtbl.t = Hashtbl.create 128 in
+  List.iter
+    (fun r ->
+      List.iter
+        (fun (n, _) ->
+          let prev = Option.value ~default:SS.empty (Hashtbl.find_opt owners n.dn_name) in
+          Hashtbl.replace owners n.dn_name (SS.add r.r_id prev))
+        r.r_members)
+    root_list;
+  let owners_of (n : dnode) : SS.t =
+    match Hashtbl.find_opt owners n.dn_name with
+    | Some s -> s
+    | None -> SS.singleton "<main>"
+  in
+  (* ------------------------------ findings ------------------------- *)
+  let findings = ref [] in
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  let dropped : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (file, line, var) ->
+      Hashtbl.replace dropped (Printf.sprintf "%s|%d|%s" file line var) ())
+    drop_d4;
+  let add ?(suppressed = false) ~file ~line ~rule ~message () =
+    let key = Printf.sprintf "%s|%s|%d|%s" rule file line message in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.replace seen key ();
+      let f = Finding.v ~file ~line ~rule ~message in
+      findings := (if suppressed then Finding.suppress f else f) :: !findings
+    end
+  in
+  let d4_covers ~file ~line ~var =
+    Hashtbl.mem dropped (Printf.sprintf "%s|%d|%s" file line var)
+  in
+  (* D6 (module-level) + D7: a global is shared when the spawn roots
+     reaching it account for two domains, or when one root and the
+     orchestrator both reach it. *)
+  let shared_globals = ref [] in
+  Hashtbl.iter
+    (fun gname (g : global) ->
+      let touching = Hashtbl.create 4 in
+      let main_touches = ref false in
+      List.iter
+        (fun r ->
+          if
+            List.exists
+              (fun (n, _) -> List.exists (fun (_, g', _) -> g' = gname) n.dn_mut_refs)
+              r.r_members
+          then Hashtbl.replace touching r.r_id r.r_mult)
+        root_list;
+      List.iter
+        (fun n ->
+          if
+            SS.mem "<main>" (owners_of n)
+            && List.exists (fun (_, g', _) -> g' = gname) n.dn_mut_refs
+          then main_touches := true)
+        all_real;
+      let root_ids = List.sort String.compare (Hashtbl.fold (fun k _ a -> k :: a) touching []) in
+      let mult = Hashtbl.fold (fun _ m a -> m + a) touching 0 in
+      let shared = mult >= 2 || (root_ids <> [] && !main_touches) in
+      if shared then begin
+        shared_globals := gname :: !shared_globals;
+        let sides =
+          root_ids @ (if !main_touches then [ "<main>" ] else [])
+        in
+        if not (d4_covers ~file:g.g_file ~line:g.g_line ~var:gname) then
+          add
+            ~suppressed:(SS.mem "d6" g.g_allowed)
+            ~file:g.g_file ~line:g.g_line ~rule:"d6"
+            ~message:
+              (Printf.sprintf
+                 "module-level mutable state [%s] (%s) is reachable from more than one \
+                  domain (%s) without an Atomic.t/Mutex.t wrapper"
+                 gname g.g_head (String.concat ", " sides))
+            ()
+      end)
+    ctx.c_globals;
+  (* D7: every access site of a shared global is a data race. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (line, gname, al) ->
+          if List.mem gname !shared_globals then
+            if not (d4_covers ~file:n.dn_file ~line ~var:gname) then
+              (* A def-site [@@colibri.allow "d7"] covers every access:
+                 the owner reviewed the sharing once, at the value. *)
+              let def_allowed =
+                match Hashtbl.find_opt ctx.c_globals gname with
+                | Some g -> g.g_allowed
+                | None -> SS.empty
+              in
+              add
+                ~suppressed:(SS.mem "d7" al || SS.mem "d7" def_allowed)
+                ~file:n.dn_file ~line ~rule:"d7"
+                ~message:
+                  (Printf.sprintf
+                     "non-atomic access to domain-shared mutable [%s]; wrap it in Atomic.t \
+                      or hand it over through an Spsc_ring"
+                     gname)
+                ())
+        n.dn_mut_refs)
+    (all_real @ ctx.c_virtuals);
+  (* D6 (captured): a mutable local captured by a multi-domain pool
+     closure, by two spawn closures, or by a closure AND still used by
+     the spawning side, is shared. *)
+  List.iter
+    (fun n ->
+      (* total capture multiplicity per ident across this node's spawns *)
+      let cap_mult : (string, int) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun sp ->
+          List.sort_uniq compare (List.map (fun (u, _, _, _, _) -> u) sp.sp_captured)
+          |> List.iter (fun u ->
+                 let prev = Option.value ~default:0 (Hashtbl.find_opt cap_mult u) in
+                 Hashtbl.replace cap_mult u (prev + sp.sp_mult)))
+        n.dn_spawns;
+      List.iter
+        (fun sp ->
+          List.iter
+            (fun (u, nm, line, head, al) ->
+              let total = Option.value ~default:0 (Hashtbl.find_opt cap_mult u) in
+              let parent_uses =
+                match Hashtbl.find_opt n.dn_uses u with
+                | Some l -> List.exists (fun (ul, _) -> ul <> sp.sp_line) !l
+                | None -> false
+              in
+              if total >= 2 || parent_uses then
+                add
+                  ~suppressed:(SS.mem "d6" al)
+                  ~file:n.dn_file ~line ~rule:"d6"
+                  ~message:
+                    (Printf.sprintf
+                       "spawn closure captures mutable [%s] (%s) also owned outside the \
+                        closure; transfer it through an Spsc_ring or wrap it in Atomic.t"
+                       nm head)
+                  ())
+            sp.sp_captured)
+        n.dn_spawns)
+    (all_real @ ctx.c_virtuals);
+  (* D8: endpoint roles. Group every ring op by the owning side. *)
+  let ring_ops : (string, (string * dnode * ring_op) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  List.iter
+    (fun n ->
+      let os = owners_of n in
+      List.iter
+        (fun ro ->
+          SS.iter
+            (fun owner ->
+              let cell =
+                match Hashtbl.find_opt ring_ops ro.ro_key with
+                | Some c -> c
+                | None ->
+                    let c = ref [] in
+                    Hashtbl.add ring_ops ro.ro_key c;
+                    c
+              in
+              cell := (owner, n, ro) :: !cell)
+            os)
+        n.dn_ring_ops)
+    (all_real @ ctx.c_virtuals);
+  Hashtbl.iter
+    (fun key ops ->
+      let role push =
+        List.filter (fun (_, _, ro) -> ro.ro_push = push) !ops
+      in
+      let sides push =
+        List.sort_uniq String.compare (List.map (fun (o, _, _) -> o) (role push))
+      in
+      let flag push what =
+        let s = sides push in
+        if List.length s >= 2 then
+          List.iter
+            (fun (_, n, ro) ->
+              add
+                ~suppressed:(SS.mem "d8" ro.ro_allowed)
+                ~file:n.dn_file ~line:ro.ro_line ~rule:"d8"
+                ~message:
+                  (Printf.sprintf
+                     "ring [%s] has %s on more than one domain (%s); an SPSC ring owns \
+                      exactly one endpoint per side"
+                     key what (String.concat ", " s))
+                ())
+            (role push)
+      in
+      flag true "producers";
+      flag false "consumers")
+    ring_ops;
+  (* D8: alias after push. *)
+  List.iter
+    (fun n ->
+      List.iter
+        (fun (line, nm, al) ->
+          add
+            ~suppressed:(SS.mem "d8" al)
+            ~file:n.dn_file ~line ~rule:"d8"
+            ~message:
+              (Printf.sprintf
+                 "buffer [%s] is used after being pushed; ownership transferred with the \
+                  push — the producer must not alias it"
+                 nm)
+            ())
+        n.dn_alias)
+    (all_real @ ctx.c_virtuals);
+  (* D9: blocking primitives under a hot spawn root. *)
+  List.iter
+    (fun r ->
+      if r.r_hot then
+        List.iter
+          (fun (n, chain) ->
+            List.iter
+              (fun (line, what, al) ->
+                let via =
+                  if List.length chain <= 1 then ""
+                  else Printf.sprintf " (via %s)" (String.concat " -> " chain)
+                in
+                add
+                  ~suppressed:(SS.mem "d9" al)
+                  ~file:n.dn_file ~line ~rule:"d9"
+                  ~message:
+                    (Printf.sprintf
+                       "blocking [%s] inside a [@colibri.hot] spawn closure%s; hot \
+                        domains spin, never park"
+                       what via)
+                  ())
+              n.dn_blocking)
+          r.r_members)
+    root_list;
+  {
+    sr_findings = List.sort Finding.order !findings;
+    sr_scanned = List.length ld_units;
+  }
+
+(** [scan dirs] runs deepscan's D4 over the same roots first and drops
+    D6/D7 findings it already reports, so one access never shows up
+    under two analyzers. *)
+let scan (dirs : string list) : Finding.t list * int =
+  let d4 = (D.scan_ex dirs).D.sr_d4_keys in
+  let r = scan_ex ~drop_d4:d4 dirs in
+  (r.sr_findings, r.sr_scanned)
+
+let run_cli (args : string list) : int =
+  match Lint.Baseline.parse_args args with
+  | Error msg ->
+      prerr_endline ("colibri_domaincheck: " ^ msg);
+      2
+  | Ok (_, _, []) ->
+      prerr_endline
+        "usage: colibri_domaincheck [--json] [--baseline FILE] <dir> [<dir> ...]";
+      2
+  | Ok (json, baseline, dirs) ->
+      let findings, scanned = scan dirs in
+      Lint.Baseline.run_report ~tool:"colibri-domaincheck" ~scanned
+        ~unit_name:"module" ~json ~baseline findings

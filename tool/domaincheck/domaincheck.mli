@@ -1,0 +1,57 @@
+(** [colibri-domaincheck]: interprocedural domain-ownership and race
+    analysis over the [.cmt] files dune produces (DESIGN.md §11).
+
+    The analyzer reuses [colibri-deepscan]'s loading and
+    name-canonicalization layer, builds its own call graph, resolves
+    every [Domain.spawn]/[Domain_pool.spawn] site to a spawn-root
+    closure (a named function or an inline closure, analyzed as its
+    own node), and verifies four rules, each suppressible with
+    [[@colibri.allow "<rule>"]] on the offending expression or
+    [[@@colibri.allow "<rule>"]] on the binding (suppressed findings
+    still appear in [--json] output, flagged, for suppression review):
+
+    - [d6] — shared mutable state: module-level or closure-captured
+      mutable state (a [ref], [array], [Hashtbl.t], [Buffer.t],
+      mutable record, Obs counter/registry, ...) reachable from more
+      than one domain — two spawn roots, a multi-domain pool closure,
+      or one root plus the orchestrator — without an [Atomic.t] /
+      [Mutex.t] / [Spsc_ring.t] wrapper.
+    - [d7] — racy access: each non-atomic read/write site of a
+      [d6]-proved-shared global.
+    - [d8] — SPSC ownership transfer: a ring key (module-level ring,
+      record field, or captured local) pushed from more than one
+      domain, popped from more than one domain, or a pushed payload
+      aliased by the producer after the push.
+    - [d9] — blocking inside a hot domain: a [Mutex.lock],
+      [Condition.wait], [Domain.join], ... reachable from a spawn
+      closure marked [[@colibri.hot]] (hot domains spin, never park).
+
+    D4/D6-D7 interplay: deepscan's [d4] already reports module-level
+    mutable state touched by spawn closures; {!scan} obtains its
+    [(file, line, var)] keys and drops matching [d6]/[d7] findings so
+    the two analyzers never double-report one access. *)
+
+val rule_names : string list
+(** The four rule slugs, ["d6"] .. ["d9"]. *)
+
+type scan_result = {
+  sr_findings : Lint.Finding.t list;
+  sr_scanned : int;  (** modules analyzed *)
+}
+
+val scan_ex :
+  ?drop_d4:(string * int * string) list -> string list -> scan_result
+(** [scan_ex ?drop_d4 dirs] analyzes every [.cmt] implementation under
+    [dirs] and returns the sorted findings (suppressed ones included,
+    flagged). D6/D7 findings whose [(file, line, var)] appears in
+    [drop_d4] are dropped entirely. *)
+
+val scan : string list -> Lint.Finding.t list * int
+(** [scan dirs] = {!scan_ex} with [drop_d4] taken from
+    [Deepscan.scan_ex dirs] over the same roots. *)
+
+val run_cli : string list -> int
+(** [run_cli args] parses [[--json] [--baseline FILE] <dir>...],
+    scans, prints a report (text or JSON; gated against the baseline
+    ledger when given), and returns the exit code: 0 when clean, 1 on
+    findings, 2 on usage errors. *)

@@ -1,0 +1,316 @@
+(** The findings ratchet shared by [colibri-deepscan] and
+    [colibri-domaincheck] (DESIGN.md §11).
+
+    [tool/baseline.json] is the checked-in debt ledger: a JSON object
+    mapping tool name to an array of finding objects in the stable
+    [--json] schema (rule, file, line, message, suppressed). The CI
+    aliases run each analyzer with [--baseline tool/baseline.json] and
+    the gate fails in both directions:
+
+    - a finding {e not} in the baseline is new debt — fix or suppress
+      it with a reviewed [[@colibri.allow]];
+    - a baseline entry that no longer fires is {e stale} — delete it,
+      so the ledger only ever shrinks.
+
+    The parser below is a minimal recursive-descent JSON reader (the
+    container has no JSON library); it accepts exactly the subset the
+    schema uses: objects, arrays, strings with escapes, integers and
+    booleans. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+(* ------------------------------ parser ------------------------------ *)
+
+type cursor = { src : string; mutable pos : int }
+
+let error (c : cursor) (what : string) =
+  raise (Parse_error (Printf.sprintf "baseline: %s at byte %d" what c.pos))
+
+let peek (c : cursor) : char option =
+  if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance (c : cursor) = c.pos <- c.pos + 1
+
+let rec skip_ws (c : cursor) =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_ws c
+  | _ -> ()
+
+let expect (c : cursor) (ch : char) =
+  skip_ws c;
+  match peek c with
+  | Some x when x = ch -> advance c
+  | _ -> error c (Printf.sprintf "expected %c" ch)
+
+let parse_string (c : cursor) : string =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> error c "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+        advance c;
+        match peek c with
+        | Some 'n' ->
+            Buffer.add_char b '\n';
+            advance c;
+            go ()
+        | Some 't' ->
+            Buffer.add_char b '\t';
+            advance c;
+            go ()
+        | Some 'u' ->
+            (* \uXXXX: the schema only emits control characters this
+               way; decode the low byte, good enough for a ledger. *)
+            advance c;
+            if c.pos + 4 > String.length c.src then error c "bad \\u escape";
+            let hex = String.sub c.src c.pos 4 in
+            c.pos <- c.pos + 4;
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some n when n < 256 -> Buffer.add_char b (Char.chr n)
+            | Some _ -> Buffer.add_char b '?'
+            | None -> error c "bad \\u escape");
+            go ()
+        | Some ch ->
+            Buffer.add_char b ch;
+            advance c;
+            go ()
+        | None -> error c "unterminated escape")
+    | Some ch ->
+        Buffer.add_char b ch;
+        advance c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let rec parse_value (c : cursor) : json =
+  skip_ws c;
+  match peek c with
+  | Some '"' -> Str (parse_string c)
+  | Some '{' -> parse_obj c
+  | Some '[' -> parse_arr c
+  | Some 't' ->
+      if c.pos + 4 <= String.length c.src && String.sub c.src c.pos 4 = "true"
+      then begin
+        c.pos <- c.pos + 4;
+        Bool true
+      end
+      else error c "bad literal"
+  | Some 'f' ->
+      if c.pos + 5 <= String.length c.src && String.sub c.src c.pos 5 = "false"
+      then begin
+        c.pos <- c.pos + 5;
+        Bool false
+      end
+      else error c "bad literal"
+  | Some 'n' ->
+      if c.pos + 4 <= String.length c.src && String.sub c.src c.pos 4 = "null"
+      then begin
+        c.pos <- c.pos + 4;
+        Null
+      end
+      else error c "bad literal"
+  | Some ('-' | '0' .. '9') ->
+      let start = c.pos in
+      if peek c = Some '-' then advance c;
+      let rec digits () =
+        match peek c with
+        | Some '0' .. '9' ->
+            advance c;
+            digits ()
+        | _ -> ()
+      in
+      digits ();
+      (match int_of_string_opt (String.sub c.src start (c.pos - start)) with
+      | Some n -> Int n
+      | None -> error c "bad number")
+  | _ -> error c "unexpected character"
+
+and parse_obj (c : cursor) : json =
+  expect c '{';
+  skip_ws c;
+  if peek c = Some '}' then begin
+    advance c;
+    Obj []
+  end
+  else begin
+    let rec members acc =
+      skip_ws c;
+      let key = parse_string c in
+      expect c ':';
+      let v = parse_value c in
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+          advance c;
+          members ((key, v) :: acc)
+      | Some '}' ->
+          advance c;
+          Obj (List.rev ((key, v) :: acc))
+      | _ -> error c "expected , or }"
+    in
+    members []
+  end
+
+and parse_arr (c : cursor) : json =
+  expect c '[';
+  skip_ws c;
+  if peek c = Some ']' then begin
+    advance c;
+    Arr []
+  end
+  else begin
+    let rec elems acc =
+      let v = parse_value c in
+      skip_ws c;
+      match peek c with
+      | Some ',' ->
+          advance c;
+          elems (v :: acc)
+      | Some ']' ->
+          advance c;
+          Arr (List.rev (v :: acc))
+      | _ -> error c "expected , or ]"
+    in
+    elems []
+  end
+
+let parse (src : string) : json =
+  let c = { src; pos = 0 } in
+  let v = parse_value c in
+  skip_ws c;
+  if c.pos <> String.length src then error c "trailing garbage";
+  v
+
+(* ------------------------------ ledger ------------------------------ *)
+
+let finding_of_json (j : json) : Finding.t =
+  match j with
+  | Obj fields ->
+      let str k =
+        match List.assoc_opt k fields with
+        | Some (Str s) -> s
+        | _ -> raise (Parse_error ("baseline: entry missing string " ^ k))
+      in
+      let int k =
+        match List.assoc_opt k fields with
+        | Some (Int n) -> n
+        | _ -> raise (Parse_error ("baseline: entry missing int " ^ k))
+      in
+      Finding.v ~file:(str "file") ~line:(int "line") ~rule:(str "rule")
+        ~message:(str "message")
+  | _ -> raise (Parse_error "baseline: entry is not an object")
+
+(** Load the per-tool ledgers from [path]. A missing file is an empty
+    ledger (the ratchet starts clean). *)
+let load (path : string) : (string * Finding.t list) list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    let src =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match parse src with
+    | Obj tools ->
+        List.map
+          (fun (tool, v) ->
+            match v with
+            | Arr entries -> (tool, List.map finding_of_json entries)
+            | _ -> raise (Parse_error ("baseline: " ^ tool ^ " is not an array")))
+          tools
+    | _ -> raise (Parse_error "baseline: top level is not an object")
+  end
+
+(* Entries match on the full identity (rule, file, line, message):
+   exact by design — a drifted line means the ledger must be
+   re-recorded, which the gate forces by reporting it stale. *)
+let key (f : Finding.t) : string =
+  Printf.sprintf "%s|%s|%d|%s" f.rule f.file f.line f.message
+
+(** Gate [findings] (active only) against the [tool] ledger in [path]:
+    returns [(fresh, stale)] — findings not covered by the ledger, and
+    ledger entries that no longer fire (which must be deleted; the
+    ratchet only shrinks). *)
+let gate ~(tool : string) ~(path : string) (findings : Finding.t list) :
+    Finding.t list * Finding.t list =
+  let ledger =
+    match List.assoc_opt tool (load path) with Some l -> l | None -> []
+  in
+  let active = Finding.active findings in
+  let have = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace have (key f) ()) active;
+  let known = Hashtbl.create 32 in
+  List.iter (fun f -> Hashtbl.replace known (key f) ()) ledger;
+  let fresh = List.filter (fun f -> not (Hashtbl.mem known (key f))) active in
+  let stale = List.filter (fun f -> not (Hashtbl.mem have (key f))) ledger in
+  (fresh, stale)
+
+(** Gate driver shared by the analyzers: prints fresh findings and
+    stale entries on [ppf], returns the exit code. *)
+let report_gate ?(ppf = Format.std_formatter) ~(tool : string)
+    ~(path : string) (findings : Finding.t list) : int =
+  let fresh, stale = gate ~tool ~path findings in
+  List.iter
+    (fun f -> Format.fprintf ppf "%a@." Finding.pp f)
+    (List.sort Finding.order fresh);
+  List.iter
+    (fun (f : Finding.t) ->
+      Format.fprintf ppf
+        "%s:%d: [%s] stale baseline entry (no longer fires) — delete it from \
+         %s; the ratchet only shrinks@."
+        f.file f.line f.rule path)
+    (List.sort Finding.order stale);
+  Format.fprintf ppf
+    "%s: %d new finding%s, %d stale baseline entr%s (ledger %s)@." tool
+    (List.length fresh)
+    (if List.length fresh = 1 then "" else "s")
+    (List.length stale)
+    (if List.length stale = 1 then "y" else "ies")
+    path;
+  if fresh = [] && stale = [] then 0 else 1
+
+(* --------------------------- CLI plumbing --------------------------- *)
+
+(** Parse the analyzer CLI surface shared by [colibri-deepscan] and
+    [colibri-domaincheck]: [[--json] [--baseline FILE] <dir>...]. *)
+let parse_args (args : string list) :
+    (bool * string option * string list, string) result =
+  let rec go json baseline dirs = function
+    | [] -> Ok (json, baseline, List.rev dirs)
+    | "--json" :: rest -> go true baseline dirs rest
+    | "--baseline" :: path :: rest -> go json (Some path) dirs rest
+    | [ "--baseline" ] -> Error "--baseline needs a file argument"
+    | arg :: _ when String.length arg > 2 && String.sub arg 0 2 = "--" ->
+        Error ("unknown flag " ^ arg)
+    | dir :: rest -> go json baseline (dir :: dirs) rest
+  in
+  go false None [] args
+
+(** Uniform report step: text or [--json] output, with the ratchet
+    gate deciding the exit code whenever a ledger is given (its
+    diagnostics move to stderr in JSON mode so stdout stays one JSON
+    array). *)
+let run_report ~(tool : string) ~(scanned : int) ~(unit_name : string)
+    ~(json : bool) ~(baseline : string option) (findings : Finding.t list) :
+    int =
+  match (json, baseline) with
+  | false, None -> Finding.report ~tool ~scanned ~unit_name findings
+  | false, Some path -> report_gate ~tool ~path findings
+  | true, None -> Finding.report_json findings
+  | true, Some path ->
+      ignore (Finding.report_json findings);
+      report_gate ~ppf:Format.err_formatter ~tool ~path findings

@@ -1,13 +1,28 @@
 (** The finding record shared by the project's static analyzers:
-    [colibri-lint] (token level, {!Lint}) and [colibri-deepscan]
-    (typedtree level, [tool/deepscan]). Both print the same
+    [colibri-lint] (token level, {!Lint}), [colibri-deepscan]
+    (typedtree level, [tool/deepscan]) and [colibri-domaincheck]
+    (domain-ownership level, [tool/domaincheck]). All print the same
     [file:line: [rule] message] diagnostics and use the same exit-code
     convention, so CI output stays uniform regardless of which layer
-    caught the problem. *)
+    caught the problem.
 
-type t = { file : string; line : int; rule : string; message : string }
+    [suppressed] marks a finding silenced by a [[@colibri.allow]]
+    attribute (or lint pragma): it never affects the exit code or the
+    text report, but the [--json] mode exports it so suppression
+    reviews (DESIGN.md §11) can audit what the escape hatch hides. *)
 
-let v ~file ~line ~rule ~message = { file; line; rule; message }
+type t = {
+  file : string;
+  line : int;
+  rule : string;
+  message : string;
+  suppressed : bool;
+}
+
+let v ~file ~line ~rule ~message =
+  { file; line; rule; message; suppressed = false }
+
+let suppress (f : t) : t = { f with suppressed = true }
 
 let pp ppf (f : t) =
   Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
@@ -16,19 +31,69 @@ let pp ppf (f : t) =
    collect findings out of traversal order still print deterministically. *)
 let order (a : t) (b : t) =
   match String.compare a.file b.file with
-  | 0 -> ( match Int.compare a.line b.line with
-           | 0 -> String.compare a.rule b.rule
-           | c -> c)
+  | 0 -> (
+      match Int.compare a.line b.line with
+      | 0 -> String.compare a.rule b.rule
+      | c -> c)
   | c -> c
 
-(** Print findings plus a one-line summary; the result is the process
-    exit code (0 clean, 1 on findings) shared by both analyzers. *)
+let active (findings : t list) : t list =
+  List.filter (fun f -> not f.suppressed) findings
+
+(* ------------------------------ JSON ------------------------------ *)
+
+let json_escape (s : string) : string =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+(* One finding as one JSON object — the stable schema of the [--json]
+   CLI mode and of [tool/baseline.json]: rule, file, line, message,
+   suppressed. *)
+let to_json_object (f : t) : string =
+  Printf.sprintf
+    "{\"rule\":\"%s\",\"file\":\"%s\",\"line\":%d,\"message\":\"%s\",\"suppressed\":%b}"
+    (json_escape f.rule) (json_escape f.file) f.line (json_escape f.message)
+    f.suppressed
+
+let to_json (findings : t list) : string =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string b ",";
+      Buffer.add_string b "\n  ";
+      Buffer.add_string b (to_json_object f))
+    findings;
+  Buffer.add_string b (if findings = [] then "]" else "\n]");
+  Buffer.contents b
+
+(** Print active findings plus a one-line summary; the result is the
+    process exit code (0 clean, 1 on findings) shared by the
+    analyzers. Suppressed findings are export-only. *)
 let report ~(tool : string) ~(scanned : int) ~(unit_name : string)
     (findings : t list) : int =
-  List.iter (fun f -> Format.printf "%a@." pp f) findings;
-  let n = List.length findings in
+  let act = active findings in
+  List.iter (fun f -> Format.printf "%a@." pp f) act;
+  let n = List.length act in
   Format.printf "%s: %d %s%s scanned, %d finding%s@." tool scanned unit_name
     (if scanned = 1 then "" else "s")
     n
     (if n = 1 then "" else "s");
   if n = 0 then 0 else 1
+
+(** JSON report: the full finding list (suppressed included) as one
+    array on stdout; exit code still counts only active findings. *)
+let report_json (findings : t list) : int =
+  print_string (to_json findings);
+  print_newline ();
+  if active findings = [] then 0 else 1

@@ -46,15 +46,18 @@ type finding = Finding.t = {
   line : int;
   rule : string;
   message : string;
+  suppressed : bool;
 }
 (* Re-exported from {!Finding} (shared with colibri-deepscan) so that
    [f.Lint.rule] record access keeps working for existing callers. *)
 
 let pp_finding = Finding.pp
 
-(* Surface the shared module to other tools (deepscan) that link
-   against this library; [Finding] alone would stay library-private. *)
+(* Surface the shared modules to other tools (deepscan, domaincheck)
+   that link against this library; [Finding]/[Baseline] alone would
+   stay library-private. *)
 module Finding = Finding
+module Baseline = Baseline
 
 (* ------------------------------ paths ------------------------------ *)
 
@@ -336,7 +339,10 @@ let lint_source ~(path : string) ~(in_lib : bool) (content : string) : finding l
             && List.exists (token_occurs masked) p.tokens
             && (p.co_words = [] || List.exists (token_occurs masked) p.co_words)
             && not (pragma_allows raw_lines line p.rule)
-          then findings := { file = path; line; rule = p.rule; message = p.message } :: !findings)
+          then
+            findings :=
+              Finding.v ~file:path ~line ~rule:p.rule ~message:p.message
+              :: !findings)
         patterns;
       if
         hot.(i)
@@ -344,7 +350,8 @@ let lint_source ~(path : string) ~(in_lib : bool) (content : string) : finding l
         && not (pragma_allows raw_lines line "hot-path-alloc")
       then
         findings :=
-          { file = path; line; rule = "hot-path-alloc"; message = hot_alloc_message }
+          Finding.v ~file:path ~line ~rule:"hot-path-alloc"
+            ~message:hot_alloc_message
           :: !findings)
     masked_lines;
   List.rev !findings
@@ -382,14 +389,10 @@ let lint_root (root : string) : finding list =
              && not (Sys.file_exists (path ^ "i"))
            then
              [
-               {
-                 file = path;
-                 line = 1;
-                 rule = "missing-mli";
-                 message =
+               Finding.v ~file:path ~line:1 ~rule:"missing-mli"
+                 ~message:
                    "every module under lib/ needs an interface file so \
                     hot-path representations stay abstract";
-               };
              ]
            else []
          in

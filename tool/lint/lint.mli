@@ -33,13 +33,21 @@ type finding = Finding.t = {
   line : int;
   rule : string;
   message : string;
+  suppressed : bool;
 }
-(** Shared with [colibri-deepscan]; see {!Finding}. *)
+(** Shared with [colibri-deepscan]/[colibri-domaincheck]; see
+    {!Finding}. [suppressed] marks pragma/attribute-silenced findings
+    kept only for the [--json] export. *)
 
 val pp_finding : Format.formatter -> finding -> unit
 
 module Finding : module type of Finding
 (** The shared finding/report module, re-exported for sibling tools. *)
+
+module Baseline : module type of Baseline
+(** The findings ratchet ([tool/baseline.json]) plus the shared
+    analyzer CLI plumbing ([--json] / [--baseline]), re-exported for
+    [colibri-deepscan] and [colibri-domaincheck]. *)
 
 val rule_names : string list
 (** The seven pragma names, in R1..R7 order. *)
