@@ -329,8 +329,18 @@ let gc_mode () =
 
 let par_mode () =
   Measure.print_header
-    "Par: SPSC ring transfer and parallel-router throughput, 1 vs 2 domains";
+    "Par: SPSC ring transfer and the parallel-router 1/2/4-worker scaling curve";
   let xfers = if quick then 200_000 else 1_000_000 in
+  (* On a stalled ring (full for the producer, empty for the consumer)
+     the bench loops yield the core with a short [Unix.sleepf] instead
+     of burning the rest of the OS quantum in [cpu_relax]: on the
+     single-core CI container the opposite side can only make progress
+     once the scheduler runs it, and a stall means at least a
+     ring-capacity-worth of work is waiting on the other side. The lib
+     spin paths keep their pure [cpu_relax] (domaincheck d9 — no
+     blocking calls in hot spawn closures); the backoff policy belongs
+     to the driver. *)
+  let stall_backoff () = Unix.sleepf 1e-6 in
   (* 1 domain: the same domain alternates push and pop — the cost of
      the ring machinery without inter-domain cache traffic. *)
   let ring_1d () =
@@ -343,68 +353,179 @@ let par_mode () =
     let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
     float_of_int xfers /. dt
   in
-  (* 2 domains: a spawned producer streams into the ring while the
-     orchestrator pops; the measured window includes the spawn, which
-     amortizes over the transfer count. *)
+  (* 2 domains, element-at-a-time: a spawned producer streams into the
+     ring while the orchestrator pops; the measured window includes the
+     spawn, which amortizes over the transfer count. *)
   let ring_2d () =
     let r = Par.Spsc_ring.create ~check:false ~dummy:0 1024 in
     let t0 = Measure.now_ns () in
     let producer =
       Domain.spawn (fun () ->
           for i = 0 to xfers - 1 do
-            Par.Spsc_ring.push_spin r i
+            while not (Par.Spsc_ring.try_push r i) do
+              stall_backoff ()
+            done
           done)
     in
     for _ = 0 to xfers - 1 do
-      ignore (Par.Spsc_ring.pop_spin r)
+      while Par.Spsc_ring.try_pop r = None do
+        stall_backoff ()
+      done
     done;
     let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
     Domain.join producer;
     float_of_int xfers /. dt
   in
-  let r1 = ring_1d () and r2 = ring_2d () in
-  Printf.printf "%-34s %-14.2f\n" "ring transfer, 1 domain [Mxfer/s]" (r1 /. 1e6);
-  Printf.printf "%-34s %-14.2f\n" "ring transfer, 2 domains [Mxfer/s]" (r2 /. 1e6);
+  (* 2 domains, batched: [push_n]/[pop_into] move 256-element bursts,
+     so one acquire/release pair and one cached-index refresh cover
+     the burst. *)
+  let ring_2d_batched () =
+    let burst = 256 in
+    let r = Par.Spsc_ring.create ~check:false ~dummy:0 1024 in
+    let t0 = Measure.now_ns () in
+    let producer =
+      Domain.spawn (fun () ->
+          let src = Array.init burst (fun i -> i) in
+          let sent = ref 0 in
+          while !sent < xfers do
+            let want = min burst (xfers - !sent) in
+            let n = Par.Spsc_ring.push_n r src ~pos:0 ~len:want in
+            if n = 0 then stall_backoff () else sent := !sent + n
+          done)
+    in
+    let dst = Array.make burst 0 in
+    let got = ref 0 in
+    while !got < xfers do
+      let want = min burst (xfers - !got) in
+      let n = Par.Spsc_ring.pop_into r dst ~pos:0 ~len:want in
+      if n = 0 then stall_backoff () else got := !got + n
+    done;
+    let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
+    Domain.join producer;
+    float_of_int xfers /. dt
+  in
+  let r1 = ring_1d () in
+  let r2 = ring_2d () in
+  let r2b = ring_2d_batched () in
+  Printf.printf "%-38s %-14.2f\n" "ring transfer, 1 domain [Mxfer/s]" (r1 /. 1e6);
+  Printf.printf "%-38s %-14.2f\n" "ring transfer, 2 domains [Mxfer/s]" (r2 /. 1e6);
+  Printf.printf "%-38s %-14.2f\n" "ring transfer, 2 dom batched [Mxfer/s]"
+    (r2b /. 1e6);
+  Printf.printf "batched vs unbatched: %.2fx\n" (r2b /. r2);
   record_summary "par_ring_1d_mxfers" (r1 /. 1e6);
   record_summary "par_ring_2d_mxfers" (r2 /. 1e6);
-  (* Parallel router: submit the valid-packet batch through the domain
-     pool and time until drained. 1 worker isolates the dispatch +
-     ring-hop overhead against the in-line router of fig6; 2 workers is
-     the smallest real scaling point. *)
+  record_summary "par_ring_2d_batched_mxfers" (r2b /. 1e6);
+  record_summary "par_ring_batch_x" (r2b /. r2);
+  (* Parallel router scaling curve. Two families of keys:
+
+     - [par_router_{k}w_wall_mpps]: wall-clock submit-to-drained rate.
+       Faithful parallelism only when the host actually has k+1 cores;
+       on the single-core CI container it measures interleaving.
+     - [par_router_{k}w_mpps] (headline): on a multicore host, the
+       wall-clock rate; on a single-core host, the shared-nothing
+       projection of DESIGN.md §3 — the same substitution fig6 makes —
+       computed from measured per-packet component costs:
+       [min(1/submit_ns, k/busy_ns)] where [submit_ns] is the
+       orchestrator's cost to dispatch+copy+hand over one packet
+       (measured with no worker running) and [busy_ns] is the worker's
+       per-packet processing time measured in the 1-worker run. The
+       1-worker busy figure prices the projection for every k: worker
+       state is disjoint by construction, and busy time measured while
+       k competing domains time-share one core would double-count the
+       preemption the projection exists to remove.
+
+     [par_router_scaling_x] is headline_2w / headline_1w, so on real
+     multicore it reverts to the honest wall-clock ratio. *)
   let sends = if quick then 20_000 else 50_000 in
-  let router_rate workers =
-    let rig = Workloads.par_router_rig ~workers ~path_len:4 ~distinct_packets:4096 () in
+  let module PR = Colibri.Dataplane_shard.Parallel_router in
+  (* Orchestrator-only component: submit into a router whose worker
+     pool has already been joined — packets queue in the rings, nobody
+     pops, so the loop prices dispatch + blit + ring handover alone.
+     Stops at ring capacity, well before backpressure could block. *)
+  let submit_ns_per_pkt =
+    let rig =
+      Workloads.par_router_rig ~workers:1 ~ring_capacity:128
+        ~path_len:4 ~distinct_packets:4096 ()
+    in
     let pr = rig.Workloads.par_router in
+    PR.shutdown pr;
+    let n = 4096 in
+    let t0 = Measure.now_ns () in
+    let accepted =
+      PR.submit_batch pr ~raws:rig.Workloads.batch
+        ~payload_lens:rig.Workloads.plens ~pos:0 ~len:n
+    in
+    let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) in
+    dt /. float_of_int (max 1 accepted)
+  in
+  let router_rate workers =
+    let rig =
+      Workloads.par_router_rig ~workers ~path_len:4 ~distinct_packets:4096 ()
+    in
+    let pr = rig.Workloads.par_router in
+    let batch = rig.Workloads.batch in
     let t0 = Measure.now_ns () in
     for i = 0 to sends - 1 do
-      let raw = rig.Workloads.batch.(i mod Array.length rig.Workloads.batch) in
-      while
-        not
-          (Colibri.Dataplane_shard.Parallel_router.submit pr ~raw
-             ~payload_len:rig.Workloads.payload_len)
-      do
-        Domain.cpu_relax ()
+      let raw = batch.(i mod Array.length batch) in
+      while not (PR.submit pr ~raw ~payload_len:rig.Workloads.payload_len) do
+        stall_backoff ()
       done
     done;
-    Colibri.Dataplane_shard.Parallel_router.drain pr;
+    PR.drain pr;
     let dt = Int64.to_float (Int64.sub (Measure.now_ns ()) t0) /. 1e9 in
-    Colibri.Dataplane_shard.Parallel_router.shutdown pr;
+    PR.shutdown pr;
     record_metrics
       (Printf.sprintf "par/router_%dw" workers)
-      (Colibri.Dataplane_shard.Parallel_router.metrics pr);
-    float_of_int sends /. dt
+      (PR.metrics pr);
+    let busy = ref 0 in
+    for i = 0 to workers - 1 do
+      busy := !busy + PR.worker_busy_ns pr i
+    done;
+    let busy_ns_per_pkt = float_of_int !busy /. float_of_int sends in
+    let wall = float_of_int sends /. dt in
+    (wall, busy_ns_per_pkt)
   in
-  let p1 = router_rate 1 and p2 = router_rate 2 in
-  Printf.printf "%-34s %-14.4f\n" "parallel router, 1 worker [Mpps]" (Measure.mpps p1);
-  Printf.printf "%-34s %-14.4f\n" "parallel router, 2 workers [Mpps]" (Measure.mpps p2);
-  Printf.printf "2-worker scaling: %.2fx\n" (p2 /. p1);
-  record_summary "par_router_1w_mpps" (Measure.mpps p1);
-  record_summary "par_router_2w_mpps" (Measure.mpps p2);
-  record_summary "par_router_scaling_x" (p2 /. p1);
+  let multicore k = Domain.recommended_domain_count () > k in
+  let curve = List.map (fun k -> (k, router_rate k)) [ 1; 2; 4 ] in
+  let busy1 = snd (List.assoc 1 curve) in
+  (* Shared-nothing projection (packets/s): the orchestrator feeds at
+     1/submit_ns; k workers drain at k/busy1; the pipeline runs at the
+     slower stage. *)
+  let projected k =
+    1e9 /. Float.max submit_ns_per_pkt (busy1 /. float_of_int k)
+  in
+  Printf.printf "%-10s %-16s %-16s %-16s %s\n" "workers" "wall [Mpps]"
+    "projected [Mpps]" "busy [ns/pkt]" "headline";
+  let headline =
+    List.map
+      (fun (k, (wall, busy)) ->
+        let h = if multicore k then wall else projected k in
+        Printf.printf "%-10d %-16.4f %-16.4f %-16.0f %.4f\n" k
+          (Measure.mpps wall)
+          (Measure.mpps (projected k))
+          busy (Measure.mpps h);
+        record_summary (Printf.sprintf "par_router_%dw_wall_mpps" k)
+          (Measure.mpps wall);
+        record_summary (Printf.sprintf "par_router_%dw_mpps" k)
+          (Measure.mpps h);
+        (k, h))
+      curve
+  in
+  let h1 = List.assoc 1 headline and h2 = List.assoc 2 headline in
   Printf.printf
-    "\nShape caveat (DESIGN.md §3): on a single-core container the 2-domain\n\
-     numbers measure interleaving, not parallelism; the recorded keys track\n\
-     regressions of the substrate, not the paper's 16-core scaling claim.\n"
+    "submit cost: %.0f ns/pkt; worker cost: %.0f ns/pkt; 2-worker scaling: %.2fx\n"
+    submit_ns_per_pkt busy1 (h2 /. h1);
+  record_summary "par_router_submit_ns" submit_ns_per_pkt;
+  record_summary "par_router_busy_ns" busy1;
+  record_summary "par_router_scaling_x" (h2 /. h1);
+  if not (multicore 1) then
+    Printf.printf
+      "\nShape caveat (DESIGN.md §3): this host exposes %d core(s), so the\n\
+       headline par_router_*_mpps keys are the shared-nothing projection from\n\
+       measured per-stage costs (the substitution fig6 already makes); the\n\
+       par_router_*w_wall_mpps keys record the honest single-core wall clock.\n\
+       On a >=2-core host the headline keys switch to wall clock automatically.\n"
+      (Domain.recommended_domain_count ())
 
 (* ------------------------------------------------------------------ *)
 (* DoC protection (§5.3): control-message latency under link floods.   *)

@@ -281,19 +281,30 @@ let router_rig ?(payload_len = 0) ?(monitoring = false) ~(path_len : int)
     {!Dataplane_shard.Parallel_router} over [workers] domains plus the
     valid-packet batch to submit. [check:false]: the dynamic ownership
     checker stays on in tests; benchmarks measure the unguarded rings
-    (DESIGN.md §11). *)
+    (DESIGN.md §11). The router is wired to the monotonic clock so the
+    per-worker busy time ({!Dataplane_shard.Parallel_router.worker_busy_ns})
+    feeds the shared-nothing scaling model of DESIGN.md §3. *)
 type par_router_rig = {
   par_router : Dataplane_shard.Parallel_router.t;
   batch : bytes array;
+  plens : int array; (* payload_lens companion of [batch] for submit_batch *)
   payload_len : int;
 }
 
-let par_router_rig ?(payload_len = 0) ~(workers : int) ~(path_len : int)
-    ~(distinct_packets : int) () : par_router_rig =
+let mono_ns () : int = Int64.to_int (Monotonic_clock.now ())
+
+let par_router_rig ?(payload_len = 0) ?batch ?ring_capacity ~(workers : int)
+    ~(path_len : int) ~(distinct_packets : int) () : par_router_rig =
   let par_router =
-    Dataplane_shard.Parallel_router.create ~freshness_window:1e12 ~check:false
+    Dataplane_shard.Parallel_router.create ~freshness_window:1e12 ?batch
+      ?ring_capacity ~check:false ~mono:mono_ns
       ~secret:(router_secret ())
       ~clock:(fun () -> 0.)
       ~workers (asn 2)
   in
-  { par_router; batch = router_batch ~payload_len ~path_len ~distinct_packets (); payload_len }
+  {
+    par_router;
+    batch = router_batch ~payload_len ~path_len ~distinct_packets ();
+    plens = Array.make distinct_packets payload_len;
+    payload_len;
+  }

@@ -72,40 +72,68 @@ module Parallel_router : sig
     ?freshness_window:Timebase.t ->
     ?monitoring:bool ->
     ?ring_capacity:int ->
+    ?batch:int ->
     ?check:bool ->
+    ?mono:(unit -> int) ->
     secret:Hvf.as_secret ->
     clock:Timebase.clock ->
     workers:int ->
     Ids.asn ->
     t
-  (** Spawn [workers] router domains. [ring_capacity] (default 256)
-      bounds the jobs in flight per worker; [check] (default [true])
-      keeps the dynamic ring-endpoint ownership checker on. *)
+  (** Spawn [workers] router domains. Jobs are packet batches of up to
+      [batch] buffers (default 64, ROADMAP item 1's 32–64 band), so
+      one ring crossing and one acquire/release pair amortize over a
+      burst. [ring_capacity] (default 64) bounds the {e jobs} in
+      flight per worker (so [ring_capacity * batch] packets);
+      [check] (default [true]) keeps the dynamic ring-endpoint
+      ownership checker on; [mono] (default [fun () -> 0]) is a
+      monotonic-ns clock sampled around each batch to accumulate
+      {!worker_busy_ns}. *)
 
   val worker_count : t -> int
 
+  val batch_size : t -> int
+  (** Packets per job as configured at {!create}. *)
+
   val submit : t -> raw:bytes -> payload_len:int -> bool
-  (** Copy the packet into an owned job buffer and enqueue it at its
-      content-hash worker. [false] on backpressure (all of that
+  (** Copy the packet into the owning worker's open batch (dispatched
+      by content mix), handing the batch to the worker once it holds
+      [batch_size] packets. [false] on backpressure (all of that
       worker's jobs in flight). Steady-state allocation-free for
       constant packet sizes. *)
+
+  val submit_batch :
+    t -> raws:bytes array -> payload_lens:int array -> pos:int -> len:int -> int
+  (** Submit [len] packets from [raws.(pos..)] in one call; returns
+      how many were accepted before backpressure stopped the burst. *)
+
+  val flush : t -> unit
+  (** Push every part-filled batch to its worker. Call after a burst
+      of {!submit}s; {!drain} and {!shutdown} flush implicitly. *)
 
   val submitted : t -> int
   (** Packets accepted by {!submit} so far (orchestrator-side count). *)
 
   val pending : t -> int
-  (** Jobs currently queued in submit rings (racy-but-bounded). *)
+  (** Packets submitted but not yet processed, including any still in
+      open batches (racy-but-monotone). *)
 
   val processed : t -> int
-  (** Packets completed across workers (merged per-domain counters;
-      monotone, exact after {!shutdown}). *)
+  (** Packets completed across workers — direct per-worker counter
+      reads, allocation-free (monotone, exact after {!shutdown}). *)
 
   val drain : t -> unit
-  (** Spin until [processed t = submitted t]. *)
+  (** {!flush}, then spin until [processed t = submitted t]. The wait
+      reads plain per-worker counters — no snapshot allocation per
+      iteration. *)
+
+  val worker_busy_ns : t -> int -> int
+  (** Worker [i]'s accumulated batch-processing time in the units of
+      [mono] (0 under the default clock). Exact after {!shutdown}. *)
 
   val shutdown : t -> unit
-  (** Stop every worker after it empties its queue, then join the
-      domains. Idempotent; after it, {!metrics} is exact. *)
+  (** {!flush}, stop every worker after it empties its queue, then
+      join the domains. Idempotent; after it, {!metrics} is exact. *)
 
   val worker_metrics : t -> int -> Obs.snapshot
   (** One worker's merged snapshot (its Obs slot + its router). *)

@@ -1,0 +1,43 @@
+(** Cache-line isolation for contended atomics (DESIGN.md §11).
+
+    [Atomic.make] allocates a bare one-word block, so two atomics
+    created back to back — the classic head/tail pair of an SPSC ring —
+    land on the same cache line and every producer-side store
+    invalidates the consumer's cached copy of its *own* index (false
+    sharing). The PR-6 ring paid exactly that: a coherence round-trip
+    per transfer, collapsing the 2-domain rate 340× below the 1-domain
+    rate.
+
+    [atomic v] returns a regular [int Atomic.t] whose heap block is
+    over-allocated to {!words} machine words (128 bytes on 64-bit):
+    the atomic word is field 0 and the remaining fields are dead
+    padding, so the *next* heap block — in particular the opposite
+    ring index — starts at least a full cache line away (64-byte
+    lines, and the 128-byte spatial-prefetch pairs of recent x86/ARM
+    cores). This is the standard OCaml multicore idiom (cf.
+    [multicore-magic]'s [copy_as_padded], used by [saturn]'s queues):
+    the runtime's atomic primitives operate on field 0 of the block
+    and are indifferent to its size, and the padding fields hold
+    immediates ([Val_unit] from [Obj.new_block], then never touched),
+    so the GC scans them in a single sweep without following anything.
+
+    The padding survives moves: minor-heap promotion and major-heap
+    compaction copy the whole block, padding included, so the isolation
+    holds for the object's entire lifetime — unlike spacer objects
+    allocated *between* two atomics, which the GC is free to collect
+    or compact away. *)
+
+(* 16 words × 8 bytes = 128 bytes ≥ one line on every 64-byte-line
+   core and one prefetch pair on 128-byte-pair cores. *)
+let words = 16
+
+let atomic (v : int) : int Atomic.t =
+  (* Tag-0 blocks from [Obj.new_block] come initialized (every field
+     is [Val_unit]), so the block is well-formed before the cast; the
+     store below then publishes the real initial value through
+     field 0, the only field [Atomic.get]/[set]/[compare_and_set]
+     ever touch. *)
+  let b = Obj.new_block 0 words in
+  let a : int Atomic.t = Obj.magic b in
+  Atomic.set a v;
+  a

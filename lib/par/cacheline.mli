@@ -1,0 +1,14 @@
+(** Cache-line isolation for contended atomics (DESIGN.md §11): the
+    head/tail indices of an SPSC ring must not share a line, or every
+    push invalidates the popper's cached copy of its own index. *)
+
+val words : int
+(** Machine words per padded block (16 → 128 bytes on 64-bit: one
+    64-byte line with margin, one 128-byte spatial-prefetch pair). *)
+
+val atomic : int -> int Atomic.t
+(** [atomic v] is a regular [int Atomic.t] (field 0 of its block is
+    the atomic word) whose block is padded to {!words} words, so no
+    later-allocated heap object can share its cache line. Padding is
+    part of the block itself and therefore survives minor-heap
+    promotion and major-heap compaction. *)

@@ -2,30 +2,80 @@
 
     The inter-domain transfer primitive of the multicore dataplane
     (ROADMAP item 1): one domain pushes, one domain pops, and the only
-    shared words are the two [Atomic.t] indices — the classic SPSC
-    design the paper's shared-nothing sharding assumes (§7.2). Cells
-    are published by the producer's [Atomic.set] on [tail] (release)
-    and observed through the consumer's [Atomic.get] (acquire), so the
+    shared words are the two index atomics — the classic SPSC design
+    the paper's shared-nothing sharding assumes (§7.2). Cells are
+    published by the producer's [Atomic.set] on [tail] (release) and
+    observed through the consumer's [Atomic.get] (acquire), so the
     OCaml 5 memory model orders the cell write before the index
     becomes visible; symmetrically for [head] on the pop side.
+
+    Cache-layout contract (DESIGN.md §11). The PR-6 ring scaled
+    *backwards* (BENCH_colibri.json: 43.8 → 0.13 Mxfers/s going from 1
+    to 2 domains) for two reasons this layout removes:
+
+    - {b False sharing}: [head] and [tail] were two bare [Atomic.t]
+      allocated back to back — same cache line, so every push
+      invalidated the consumer's cached copy of its own index and vice
+      versa. Both indices now live in {!Cacheline.atomic} blocks
+      padded to a full line, and each side's private state sits in its
+      own line-padded {!side} record, allocated so producer-written
+      and consumer-written lines never interleave.
+    - {b Remote polling}: [try_push]/[try_pop] read the *remote* index
+      on every call — a guaranteed coherence miss per transfer. Each
+      side now keeps a cached copy of the last-seen remote index
+      ([side.seen]) and a private mirror of its own ([side.ix]), and
+      refreshes the cache only on apparent-full/apparent-empty: in
+      steady state a transfer touches the remote line once per
+      capacity-worth (or batch-worth) of operations.
+
+    Batched transfer ({!push_n}/{!pop_into}) amortizes further: one
+    ownership check, one cached-index refresh, and one release store
+    cover a whole burst.
 
     Ownership-transfer protocol (enforced statically by domaincheck d8
     and dynamically by {!Par_check}): the push endpoint belongs to
     exactly one domain, the pop endpoint to exactly one domain, and a
     value — in particular a [bytes] buffer — must not be touched by
     the producer after it has been pushed; ownership moves with the
-    value. The ring overwrites popped cells with [dummy] so it never
-    retains a transferred value behind the consumer's back. *)
+    value. For {!push_n} the transfer applies to the pushed {e
+    elements}; the source array itself stays with the producer (its
+    cells are copied out). The ring overwrites popped cells with
+    [dummy] so it never retains a transferred value behind the
+    consumer's back. *)
 
 open Par_check
+
+(* Per-side private state: the side's own index mirror and its cached
+   copy of the remote index. Only the owning domain ever touches a
+   [side]; the padding fields stretch the record past 128 bytes so the
+   two sides (and the index atomics next to them) cannot share a cache
+   line even when allocated back to back. The pads are never read —
+   they exist purely for their footprint. *)
+type side = {
+  mutable ix : int; (* private mirror of this side's atomic index *)
+  mutable seen : int; (* cached last-seen value of the remote index *)
+  p02 : int; p03 : int; p04 : int; p05 : int; p06 : int;
+  p07 : int; p08 : int; p09 : int; p10 : int; p11 : int;
+  p12 : int; p13 : int; p14 : int; p15 : int; p16 : int;
+}
+
+let fresh_side () : side =
+  {
+    ix = 0; seen = 0;
+    p02 = 0; p03 = 0; p04 = 0; p05 = 0; p06 = 0;
+    p07 = 0; p08 = 0; p09 = 0; p10 = 0; p11 = 0;
+    p12 = 0; p13 = 0; p14 = 0; p15 = 0; p16 = 0;
+  }
 
 type 'a t = {
   buf : 'a array;
   mask : int; (* capacity - 1; capacity is a power of two *)
   dummy : 'a;
-  head : int Atomic.t; (* next index to pop; written by the consumer *)
-  tail : int Atomic.t; (* next index to push; written by the producer *)
   check : bool;
+  tail : int Atomic.t; (* next index to push; line-padded, producer-written *)
+  prod : side; (* producer-private: ix mirrors tail, seen caches head *)
+  head : int Atomic.t; (* next index to pop; line-padded, consumer-written *)
+  cons : side; (* consumer-private: ix mirrors head, seen caches tail *)
   producer : int Atomic.t; (* owning domain ids, Par_check.unbound until *)
   consumer : int Atomic.t; (* the first push/pop binds them *)
 }
@@ -35,16 +85,18 @@ let rec pow2 (n : int) (c : int) = if c >= n then c else pow2 n (c * 2)
 let create ?(check = true) ~(dummy : 'a) (capacity : int) : 'a t =
   if capacity < 1 then invalid_arg "Spsc_ring.create: capacity < 1";
   let cap = pow2 capacity 1 in
-  {
-    buf = Array.make cap dummy;
-    mask = cap - 1;
-    dummy;
-    head = Atomic.make 0;
-    tail = Atomic.make 0;
-    check;
-    producer = fresh_slot ();
-    consumer = fresh_slot ();
-  }
+  (* Allocation order groups each side's blocks together (the minor
+     heap hands out consecutive addresses): [tail|prod] are
+     producer-written, [head|cons] consumer-written, and every block
+     is ≥ 128 bytes, so the boundary between the groups is all
+     padding — no line holds words written by both domains. *)
+  let buf = Array.make cap dummy in
+  let tail = Cacheline.atomic 0 in
+  let prod = fresh_side () in
+  let head = Cacheline.atomic 0 in
+  let cons = fresh_side () in
+  { buf; mask = cap - 1; dummy; check; tail; prod; head; cons;
+    producer = fresh_slot (); consumer = fresh_slot () }
 
 let capacity (t : _ t) : int = t.mask + 1
 
@@ -60,55 +112,133 @@ let check_consumer (t : _ t) : unit =
   if t.check then
     bind_or_check ~slot:t.consumer ~role:"consumer" ~what:"Spsc_ring.pop"
 
+(* Producer-side space probe: true iff a push at [tail] fits, refreshing
+   the cached head only when the cache says full. *)
+let[@inline] prod_has_room (t : _ t) (tail : int) : bool =
+  tail - t.prod.seen <= t.mask
+  || begin
+       t.prod.seen <- Atomic.get t.head;
+       tail - t.prod.seen <= t.mask
+     end
+
+(* Consumer-side data probe: true iff a pop at [head] has a value,
+   refreshing the cached tail only when the cache says empty. *)
+let[@inline] cons_has_data (t : _ t) (head : int) : bool =
+  t.cons.seen - head > 0
+  || begin
+       t.cons.seen <- Atomic.get t.tail;
+       t.cons.seen - head > 0
+     end
+
 let try_push (t : 'a t) (v : 'a) : bool =
   check_producer t;
-  let tail = Atomic.get t.tail in
-  let head = Atomic.get t.head in
-  if tail - head > t.mask then false
+  let tail = t.prod.ix in
+  if not (prod_has_room t tail) then false
   else begin
     t.buf.(tail land t.mask) <- v;
     Atomic.set t.tail (tail + 1);
+    t.prod.ix <- tail + 1;
     true
   end
 
 let try_pop (t : 'a t) : 'a option =
   check_consumer t;
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if tail - head <= 0 then None
+  let head = t.cons.ix in
+  if not (cons_has_data t head) then None
   else begin
     let i = head land t.mask in
     let v = t.buf.(i) in
     t.buf.(i) <- t.dummy;
     Atomic.set t.head (head + 1);
+    t.cons.ix <- head + 1;
     Some v
   end
 
-(* Spinning variants for the dataplane loops: no allocation, no
-   blocking primitive (domaincheck d9 keeps [Mutex]/[Condition] out of
-   hot spawn closures), just [Domain.cpu_relax] between attempts. *)
+(* ----------------------------- batching ---------------------------- *)
 
-let rec push_spin (t : 'a t) (v : 'a) : unit =
-  if not (try_push t v) then begin
-    Domain.cpu_relax ();
-    push_spin t v
-  end
+(* One ownership check, at most one cached-index refresh, and a single
+   release store per burst: the acquire/release pair amortizes across
+   [n] transfers instead of being paid per element. *)
 
-let rec pop_spin (t : 'a t) : 'a =
-  check_consumer t;
-  let head = Atomic.get t.head in
-  let tail = Atomic.get t.tail in
-  if tail - head <= 0 then begin
-    Domain.cpu_relax ();
-    pop_spin t
-  end
+let push_n (t : 'a t) (src : 'a array) ~(pos : int) ~(len : int) : int =
+  check_producer t;
+  let tail = t.prod.ix in
+  let room = t.mask + 1 - (tail - t.prod.seen) in
+  let room =
+    if room >= len then room
+    else begin
+      t.prod.seen <- Atomic.get t.head;
+      t.mask + 1 - (tail - t.prod.seen)
+    end
+  in
+  let n = if room < len then room else len in
+  if n <= 0 then 0
   else begin
-    let i = head land t.mask in
-    let v = t.buf.(i) in
-    t.buf.(i) <- t.dummy;
-    Atomic.set t.head (head + 1);
-    v
+    for k = 0 to n - 1 do
+      t.buf.((tail + k) land t.mask) <- src.(pos + k)
+    done;
+    Atomic.set t.tail (tail + n);
+    t.prod.ix <- tail + n;
+    n
   end
+
+let pop_into (t : 'a t) (dst : 'a array) ~(pos : int) ~(len : int) : int =
+  check_consumer t;
+  let head = t.cons.ix in
+  let avail = t.cons.seen - head in
+  let avail =
+    if avail >= len then avail
+    else begin
+      t.cons.seen <- Atomic.get t.tail;
+      t.cons.seen - head
+    end
+  in
+  let n = if avail < len then avail else len in
+  if n <= 0 then 0
+  else begin
+    for k = 0 to n - 1 do
+      let i = (head + k) land t.mask in
+      dst.(pos + k) <- t.buf.(i);
+      t.buf.(i) <- t.dummy
+    done;
+    Atomic.set t.head (head + n);
+    t.cons.ix <- head + n;
+    n
+  end
+
+(* ------------------------- spinning variants ------------------------ *)
+
+(* For the dataplane loops: no allocation, no blocking primitive
+   (domaincheck d9 keeps [Mutex]/[Condition] out of hot spawn
+   closures), just [Domain.cpu_relax] between attempts. The ownership
+   check runs once per call; the relax loop then spins on the
+   index-only fast path — re-running [bind_or_check] per iteration
+   (as the PR-6 [push_spin]/[pop_spin] did via [try_push]) put an
+   extra atomic load and branch inside the tightest wait loop in the
+   tree. *)
+
+let push_spin (t : 'a t) (v : 'a) : unit =
+  check_producer t;
+  let tail = t.prod.ix in
+  while not (prod_has_room t tail) do
+    Domain.cpu_relax ()
+  done;
+  t.buf.(tail land t.mask) <- v;
+  Atomic.set t.tail (tail + 1);
+  t.prod.ix <- tail + 1
+
+let pop_spin (t : 'a t) : 'a =
+  check_consumer t;
+  let head = t.cons.ix in
+  while not (cons_has_data t head) do
+    Domain.cpu_relax ()
+  done;
+  let i = head land t.mask in
+  let v = t.buf.(i) in
+  t.buf.(i) <- t.dummy;
+  Atomic.set t.head (head + 1);
+  t.cons.ix <- head + 1;
+  v
 
 let endpoints (t : _ t) : int * int =
   (Atomic.get t.producer, Atomic.get t.consumer)

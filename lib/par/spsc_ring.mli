@@ -29,6 +29,20 @@ val try_push : 'a t -> 'a -> bool
 val try_pop : 'a t -> 'a option
 (** Consumer endpoint. [None] when empty. *)
 
+val push_n : 'a t -> 'a array -> pos:int -> len:int -> int
+(** [push_n t src ~pos ~len] pushes up to [len] values from
+    [src.(pos..)] and returns how many were transferred (0 when full;
+    never partial-then-raise). One ownership check and one release
+    store cover the whole burst. Ownership of the pushed {e elements}
+    moves to the consumer; [src] itself stays with the producer (its
+    cells are copied out, not aliased by the ring beyond the pop). *)
+
+val pop_into : 'a t -> 'a array -> pos:int -> len:int -> int
+(** [pop_into t dst ~pos ~len] pops up to [len] values into
+    [dst.(pos..)] and returns how many arrived (0 when empty).
+    Allocation-free; popped ring cells are overwritten with the
+    [dummy]. One ownership check and one release store per burst. *)
+
 val push_spin : 'a t -> 'a -> unit
 (** [try_push] retried with [Domain.cpu_relax] until space is free —
     allocation-free, never blocks on a lock. *)

@@ -10,3 +10,10 @@ let order (x : pair) (y : pair) : int = compare x y
 let same_int (x : int) (y : int) : bool = x = y
 
 let same_quiet (x : pair) (y : pair) : bool = ((x = y) [@colibri.allow "d3"])
+
+(* The dispatch hash the router used to compute per packet:
+   [Hashtbl.hash] over a freshly-built tuple — polymorphic hashing at a
+   composite type, plus a tuple allocation on every call. The router
+   now uses the keyed integer mix ([Dataplane_shard.dispatch_mix]). *)
+let dispatch_old (raw : bytes) (b : int) : int =
+  Hashtbl.hash (Bytes.length raw, b)

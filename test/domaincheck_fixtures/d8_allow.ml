@@ -14,3 +14,11 @@ let alias_after_push () =
   let b = Bytes.create 4 in
   Par.Spsc_ring.push_spin bufring b;
   (Bytes.set b 0 'x' [@colibri.allow "d8"])
+
+let batchring : int Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:0 8
+
+let two_batch_consumers () =
+  let a = Domain.spawn (fun () -> ignore (Par.Spsc_ring.pop_into batchring (Array.make 4 0) ~pos:0 ~len:4 [@colibri.allow "d8"])) in
+  let b = Domain.spawn (fun () -> ignore (Par.Spsc_ring.pop_into batchring (Array.make 4 0) ~pos:0 ~len:4 [@colibri.allow "d8"])) in
+  Domain.join a;
+  Domain.join b

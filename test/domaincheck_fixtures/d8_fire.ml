@@ -16,3 +16,25 @@ let alias_after_push () =
   let b = Bytes.create 4 in
   Par.Spsc_ring.push_spin bufring b;
   Bytes.set b 0 'x'
+
+(* D8 fire (batched endpoints): the batch transfer ops bind ring
+   endpoints exactly like their element-wise counterparts — two
+   domains popping [batchring] via [pop_into] is a violation. *)
+let batchring : int Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:0 8
+
+let two_batch_consumers () =
+  let a = Domain.spawn (fun () -> ignore (Par.Spsc_ring.pop_into batchring (Array.make 4 0) ~pos:0 ~len:4)) in
+  let b = Domain.spawn (fun () -> ignore (Par.Spsc_ring.pop_into batchring (Array.make 4 0) ~pos:0 ~len:4)) in
+  Domain.join a;
+  Domain.join b
+
+(* NOT a violation: [push_n] copies the elements out, so the source
+   array stays with the producer and refilling it between pushes is
+   the intended batched idiom — alias-after-push must stay silent. *)
+let srcring : int Par.Spsc_ring.t = Par.Spsc_ring.create ~dummy:0 8
+
+let refill_between_pushes () =
+  let src = Array.make 4 1 in
+  ignore (Par.Spsc_ring.push_n srcring src ~pos:0 ~len:4);
+  src.(0) <- 2;
+  ignore (Par.Spsc_ring.push_n srcring src ~pos:0 ~len:4)

@@ -79,6 +79,13 @@ let test_d2_suppressed () = check_silent ~rule:"d2" ~file:"d2_exn.ml" ~line:15 (
 let test_d3_equal () = check_fires ~rule:"d3" ~file:"d3_poly.ml" ~line:6 ~contains:"[=]" ()
 let test_d3_compare () = check_fires ~rule:"d3" ~file:"d3_poly.ml" ~line:8 ~contains:"[compare]" ()
 
+let test_d3_hash_tuple () =
+  (* The router's old dispatch form: [Hashtbl.hash (len, b)] hashes a
+     freshly-built tuple polymorphically. The live dispatch path uses
+     [Dataplane_shard.dispatch_mix]; this pins that the old form would
+     still be caught if it came back. *)
+  check_fires ~rule:"d3" ~file:"d3_poly.ml" ~line:19 ~contains:"[Hashtbl.hash]" ()
+
 let test_d3_immediate_clean () = check_silent ~rule:"d3" ~file:"d3_poly.ml" ~line:10 ()
 let test_d3_suppressed () = check_silent ~rule:"d3" ~file:"d3_poly.ml" ~line:12 ()
 
@@ -101,8 +108,8 @@ let test_exact_counts () =
   in
   List.iter
     (fun (rule, n) -> Alcotest.(check int) ("findings for " ^ rule) n (per rule))
-    [ ("d1", 1); ("d2", 2); ("d3", 2); ("d4", 1); ("d5", 1) ];
-  Alcotest.(check int) "total findings" 7 (List.length (findings ()));
+    [ ("d1", 1); ("d2", 2); ("d3", 3); ("d4", 1); ("d5", 1) ];
+  Alcotest.(check int) "total findings" 8 (List.length (findings ()));
   Alcotest.(check bool) "all fixture modules scanned" true (snd (Lazy.force result) >= 6)
 
 let suite =
@@ -115,6 +122,7 @@ let suite =
     Alcotest.test_case "d2 suppression" `Quick test_d2_suppressed;
     Alcotest.test_case "d3 fires on [=] at a record" `Quick test_d3_equal;
     Alcotest.test_case "d3 fires on [compare]" `Quick test_d3_compare;
+    Alcotest.test_case "d3 fires on the old tuple dispatch hash" `Quick test_d3_hash_tuple;
     Alcotest.test_case "d3 ignores immediate types" `Quick test_d3_immediate_clean;
     Alcotest.test_case "d3 suppression" `Quick test_d3_suppressed;
     Alcotest.test_case "d4 fires on a shared shard global" `Quick test_d4_global;

@@ -103,10 +103,23 @@ let test_d8_alias_after_push () =
   check_fires ~rule:"d8" ~file:"d8_fire.ml" ~line:18
     ~contains:"used after being pushed" ()
 
+let test_d8_batch_two_consumers () =
+  (* [pop_into] binds the consumer endpoint exactly like [try_pop]:
+     two spawned domains batch-popping the same ring both get flagged. *)
+  List.iter
+    (fun line ->
+      check_fires ~rule:"d8" ~file:"d8_fire.ml" ~line ~contains:"consumer" ())
+    [ 26; 27 ]
+
+let test_d8_push_n_source_reuse_silent () =
+  (* [push_n] copies elements out; the producer refilling its source
+     array between bursts is the intended idiom, not an alias leak. *)
+  check_silent ~rule:"d8" ~file:"d8_fire.ml" ~line:39 ()
+
 let test_d8_suppressed () =
   List.iter
     (fun line -> check_flagged ~rule:"d8" ~file:"d8_allow.ml" ~line ())
-    [ 6; 7; 16 ]
+    [ 6; 7; 16; 21; 22 ]
 
 (* ------------------------------- d9 -------------------------------- *)
 
@@ -144,10 +157,10 @@ let test_exact_counts () =
   List.iter
     (fun (rule, n) ->
       Alcotest.(check int) ("active findings for " ^ rule) n (per (active rule)))
-    [ ("d6", 3); ("d7", 3); ("d8", 3); ("d9", 2) ];
-  Alcotest.(check int) "suppressed findings" 8
+    [ ("d6", 3); ("d7", 3); ("d8", 5); ("d9", 2) ];
+  Alcotest.(check int) "suppressed findings" 10
     (per (fun f -> f.suppressed));
-  Alcotest.(check int) "total findings" 19 (List.length (findings ()));
+  Alcotest.(check int) "total findings" 23 (List.length (findings ()));
   Alcotest.(check bool) "all fixture modules scanned" true (snd (Lazy.force result) >= 10)
 
 let suite =
@@ -160,6 +173,8 @@ let suite =
     Alcotest.test_case "d7 def-site allow covers access sites" `Quick test_d7_def_site_allow;
     Alcotest.test_case "d8 fires on two producers" `Quick test_d8_two_producers;
     Alcotest.test_case "d8 fires on alias after push" `Quick test_d8_alias_after_push;
+    Alcotest.test_case "d8 fires on two batch consumers" `Quick test_d8_batch_two_consumers;
+    Alcotest.test_case "d8 stays silent on push_n source reuse" `Quick test_d8_push_n_source_reuse_silent;
     Alcotest.test_case "d8 suppression" `Quick test_d8_suppressed;
     Alcotest.test_case "d9 fires on direct blocking" `Quick test_d9_direct;
     Alcotest.test_case "d9 fires through a helper" `Quick test_d9_via_helper;

@@ -1,0 +1,113 @@
+(** [colibri-benchgate]: the performance ratchet for [@ci].
+
+    PR 7 fixed the parallel router's negative scaling (0.59x with two
+    workers before the de-false-sharing of the SPSC rings and the
+    batched job transfer). This gate keeps it fixed: it reads the
+    checked-in [BENCH_colibri.json] and fails the build if the headline
+    scaling factor ever drops below break-even again, or if the
+    1/2/4-worker curve stops being recorded. The numbers themselves are
+    refreshed by running the bench ([dune exec bench/main.exe]); the
+    gate only polices the ledger a PR ships.
+
+    The summary file is a flat one-key-per-line JSON object written by
+    [bench/main.ml:write_summary]; the hand-rolled reader below parses
+    exactly that shape so the tool needs no JSON dependency. Exit code
+    0 when the gate holds, 1 on a regression or missing key, 2 on
+    usage errors — same contract as colibri-lint. *)
+
+(* Every key the scaling story depends on. The wall-clock keys are
+   honest same-core measurements; the headline keys substitute the
+   shared-nothing projection when the host cannot truly run the
+   workers in parallel (DESIGN.md S11). The gate requires both
+   families so neither silently disappears from the ledger. *)
+let curve_keys =
+  [
+    "par_router_1w_mpps";
+    "par_router_2w_mpps";
+    "par_router_4w_mpps";
+    "par_router_1w_wall_mpps";
+    "par_router_2w_wall_mpps";
+    "par_router_4w_wall_mpps";
+    "par_router_submit_ns";
+    "par_router_busy_ns";
+    "par_ring_2d_mxfers";
+    "par_ring_2d_batched_mxfers";
+  ]
+
+(* The ratchet itself: 2-worker headline throughput over 1-worker.
+   Below 1.0 means adding a worker makes the router slower — the exact
+   bug this gate exists to keep dead. *)
+let scaling_key = "par_router_scaling_x"
+let scaling_floor = 1.0
+
+let read_file (path : string) : string =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* Parse the flat [write_summary] shape: each line is at most one
+   ["key": 1.2345] pair (trailing comma optional). Anything that does
+   not look like that — nested objects, arrays — is not a summary this
+   tool understands, and unknown lines are skipped rather than
+   rejected so the bench can grow keys freely. *)
+let parse_summary (src : string) : (string * float) list =
+  let pairs = ref [] in
+  let lines = String.split_on_char '\n' src in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      match String.index_opt line '"' with
+      | None -> ()
+      | Some q0 -> (
+          match String.index_from_opt line (q0 + 1) '"' with
+          | None -> ()
+          | Some q1 -> (
+              let key = String.sub line (q0 + 1) (q1 - q0 - 1) in
+              match String.index_from_opt line q1 ':' with
+              | None -> ()
+              | Some c ->
+                  let v = String.sub line (c + 1) (String.length line - c - 1) in
+                  let v = String.trim v in
+                  let v =
+                    if String.length v > 0 && v.[String.length v - 1] = ',' then
+                      String.sub v 0 (String.length v - 1)
+                    else v
+                  in
+                  (match float_of_string_opt v with
+                  | Some f -> pairs := (key, f) :: !pairs
+                  | None -> ()))))
+    lines;
+  List.rev !pairs
+
+let () =
+  let path =
+    match Sys.argv with
+    | [| _; p |] -> p
+    | [| _ |] -> "BENCH_colibri.json"
+    | _ ->
+        prerr_endline "usage: colibri_benchgate [BENCH_colibri.json]";
+        exit 2
+  in
+  if not (Sys.file_exists path) then (
+    Printf.eprintf "benchgate: %s not found\n" path;
+    exit 2);
+  let summary = parse_summary (read_file path) in
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  List.iter
+    (fun key ->
+      if not (List.mem_assoc key summary) then
+        fail "missing key [%s]: the 1/2/4-worker scaling curve must stay in the ledger" key)
+    curve_keys;
+  (match List.assoc_opt scaling_key summary with
+  | None -> fail "missing key [%s]" scaling_key
+  | Some x when x < scaling_floor ->
+      fail "%s = %.4f < %.1f: adding a worker makes the router slower again" scaling_key x
+        scaling_floor
+  | Some x -> Printf.printf "benchgate: %s = %.4f (floor %.1f), curve complete\n" scaling_key x scaling_floor);
+  match !failures with
+  | [] -> ()
+  | fs ->
+      List.iter (fun m -> Printf.eprintf "benchgate: %s\n" m) (List.rev fs);
+      exit 1

@@ -21,8 +21,18 @@ let spawn_calls = SS.of_list [ "Domain.spawn"; "Domain_pool.spawn" ]
    means multi-domain sharing of anything it captures. *)
 let pool_spawn_calls = SS.of_list [ "Domain_pool.spawn" ]
 
-let push_ops = SS.of_list [ "Spsc_ring.try_push"; "Spsc_ring.push_spin" ]
-let pop_ops = SS.of_list [ "Spsc_ring.try_pop"; "Spsc_ring.pop_spin" ]
+let push_ops =
+  SS.of_list [ "Spsc_ring.try_push"; "Spsc_ring.push_spin"; "Spsc_ring.push_n" ]
+
+let pop_ops =
+  SS.of_list [ "Spsc_ring.try_pop"; "Spsc_ring.pop_spin"; "Spsc_ring.pop_into" ]
+
+(* D8 alias-after-push applies to the single-value pushes only: their
+   payload argument changes owner with the call. [push_n]'s source
+   array deliberately stays with the producer — the ring copies the
+   {e elements} out — so tracking it would flag the standard
+   refill-and-push_n-again loop as a violation. *)
+let alias_push_ops = SS.of_list [ "Spsc_ring.try_push"; "Spsc_ring.push_spin" ]
 
 (* D9: primitives that park the calling domain. Spin-wait helpers
    ([Spsc_ring.push_spin], [Domain.cpu_relax]) are deliberately
@@ -352,7 +362,7 @@ let rec traverse (ctx : ctx) (m : dmodule) (node : dnode) ~(own : locals)
                   ro_allowed = !allowed;
                 }
                 :: node.dn_ring_ops;
-              if is_push then (
+              if D.mem_qualified alias_push_ops fname then (
                 match rest with
                 | { exp_desc = Texp_ident (Path.Pident id, _, _); _ } :: _ ->
                     pushes := (Ident.unique_name id, Ident.name id, line) :: !pushes
