@@ -53,11 +53,57 @@ let write_metrics () =
 let summary : (string * float) list ref = ref []
 let record_summary (key : string) (v : float) = summary := (key, v) :: !summary
 
+(* Selective runs ([main.exe par], [main.exe backends]) must not drop
+   the other modes' keys from the committed ledger: carry over every
+   existing key this run did not re-record. The file is the flat shape
+   written below, so a line-wise parse suffices. *)
+let existing_summary (path : string) : (string * float) list =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let pairs = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         match String.index_opt line '"' with
+         | None -> ()
+         | Some q0 -> (
+             match String.index_from_opt line (q0 + 1) '"' with
+             | None -> ()
+             | Some q1 -> (
+                 let key = String.sub line (q0 + 1) (q1 - q0 - 1) in
+                 match String.index_from_opt line q1 ':' with
+                 | None -> ()
+                 | Some c ->
+                     let v =
+                       String.trim
+                         (String.sub line (c + 1) (String.length line - c - 1))
+                     in
+                     let v =
+                       if String.length v > 0 && v.[String.length v - 1] = ',' then
+                         String.sub v 0 (String.length v - 1)
+                       else v
+                     in
+                     (match float_of_string_opt v with
+                     | Some f -> pairs := (key, f) :: !pairs
+                     | None -> ())))
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !pairs
+  end
+
 let write_summary () =
   match List.rev !summary with
   | [] -> ()
   | kvs ->
       let path = "BENCH_colibri.json" in
+      let carried =
+        List.filter
+          (fun (k, _) -> not (List.mem_assoc k kvs))
+          (existing_summary path)
+      in
+      let kvs = carried @ kvs in
       let oc = open_out path in
       output_string oc "{";
       List.iteri
@@ -642,6 +688,165 @@ let faults_mode () =
      by timeout, engine-driven).\n"
 
 (* ------------------------------------------------------------------ *)
+(* Backend comparison: the same SegR/EER workload through every         *)
+(* admission discipline of the registry (DESIGN.md §12).                *)
+(* ------------------------------------------------------------------ *)
+
+let backends_mode () =
+  let open Colibri_types in
+  let module Backend = Backends.Backend_intf in
+  Measure.print_header
+    "Backend comparison: identical SegR/EER workload per admission discipline";
+  let gbps = Bandwidth.of_gbps and mbps = Bandwidth.of_mbps in
+  let asn n = Ids.asn ~isd:1 ~num:n in
+  let key src id : Ids.res_key = { src_as = asn src; res_id = id } in
+  (* A 4-AS linear path; every hop admits on ingress 1 → egress 2 of
+     its own instance, so chained disciplines pay 2 messages per hop
+     per admission while flyovers purchase per (source, hop, slice). *)
+  let hop_count = 4 in
+  let link = gbps 40. in
+  let share = 0.80 in
+  let sources = 32 in
+  let seg_setups = if quick then 64 else 256 in
+  let eer_setups = if quick then 512 else 4096 in
+  let rows = ref [] in
+  List.iter
+    (fun (f : Backend.factory) ->
+      let insts =
+        List.init hop_count (fun _ -> f.Backend.make ~capacity:(fun _ -> link) ())
+      in
+      let setups = ref 0 and admitted = ref 0 in
+      (* Walk the path: forward admission at every hop; on a denial,
+         release the partial prefix; chained disciplines then commit
+         the path-wide minimum on the way back. *)
+      let walk_seg ~key ~version ~src ~demand ~exp_time ~now =
+        incr setups;
+        let req : Backend.seg_request =
+          { key; version; src; ingress = 1; egress = 2; demand;
+            min_bw = Bandwidth.of_kbps 1.; exp_time }
+        in
+        let rec forward acc = function
+          | [] -> Some (List.rev acc)
+          | inst :: rest -> (
+              match Backend.admit_seg inst ~req ~now with
+              | Backend.Granted g -> forward ((inst, g) :: acc) rest
+              | Backend.Denied _ ->
+                  List.iter
+                    (fun (i, _) -> Backend.remove_seg i ~key ~version ~now)
+                    acc;
+                  None)
+        in
+        match forward [] insts with
+        | None -> ()
+        | Some grants ->
+            if Backend.commit_required (List.hd insts) then begin
+              let gmin =
+                List.fold_left (fun m (_, g) -> Bandwidth.min m g) demand grants
+              in
+              List.iter
+                (fun (i, _) ->
+                  match Backend.commit_seg i ~key ~version ~granted:gmin with
+                  | Ok () -> ()
+                  | Error e -> failwith e)
+                grants
+            end;
+            incr admitted
+      in
+      let walk_eer ~key ~version ~segr ~demand ~exp_time ~now =
+        incr setups;
+        let req : Backend.eer_request =
+          { key; version; segrs = [ (segr, mbps 400.) ]; via_up = None;
+            ingress = 1; egress = 2; demand; renewal = false; exp_time }
+        in
+        let rec forward acc = function
+          | [] -> incr admitted; true
+          | inst :: rest -> (
+              match Backend.admit_eer inst ~req ~now with
+              | Backend.Granted _ -> forward (inst :: acc) rest
+              | Backend.Denied _ ->
+                  List.iter
+                    (fun i -> Backend.remove_eer i ~key ~version ~now)
+                    acc;
+                  false)
+        in
+        forward [] insts
+      in
+      (* Stable population: one long-lived SegR per source, then a
+         contention round that loads the link share to ~88% — enough
+         room that the short-flow churn below is where the disciplines
+         actually differ. *)
+      for s = 1 to sources do
+        walk_seg ~key:(key s 1) ~version:1 ~src:(asn s) ~demand:(mbps 400.)
+          ~exp_time:240. ~now:0.
+      done;
+      for i = 1 to seg_setups do
+        let src = 1 + (i mod sources) in
+        walk_seg ~key:(key src (10_000 + i)) ~version:1 ~src:(asn src)
+          ~demand:(mbps 60.) ~exp_time:240. ~now:0.
+      done;
+      (* EER churn: the high-volume phase the per-setup latency is
+         measured on. Short-lived flows arrive every 10 simulated ms
+         (steady state ≈ 1600 live flows, 8 Gbps — more than the
+         remaining headroom, so hard-denial disciplines shed flows
+         that proportional sharing and flyover re-booking carry); one
+         in eight is torn down immediately (retry/failure paths). *)
+      let t0 = Unix.gettimeofday () in
+      for i = 1 to eer_setups do
+        let src = 1 + (i mod sources) in
+        let now = 0.01 *. float_of_int i in
+        let k = key src (100_000 + i) in
+        let ok =
+          walk_eer ~key:k ~version:1 ~segr:(key src 1) ~demand:(mbps 5.)
+            ~exp_time:(now +. 16.) ~now
+        in
+        if ok && i mod 8 = 0 then
+          List.iter (fun inst -> Backend.remove_eer inst ~key:k ~version:1 ~now) insts
+      done;
+      let eer_wall = Unix.gettimeofday () -. t0 in
+      let setup_latency_us = 1e6 *. eer_wall /. float_of_int eer_setups in
+      (* End-of-run bandwidth promised on the first hop's link, over
+         the Colibri share: per-hop disciplines count live EERs here
+         (DiffServ's blind grants push it past 1.0), while the
+         reference backend books EERs inside the SegR grants it
+         already accounts. *)
+      let utilization =
+        Bandwidth.to_bps (Backend.seg_allocated_on (List.hd insts) ~egress:2)
+        /. (share *. Bandwidth.to_bps link)
+      in
+      let msgs =
+        List.fold_left (fun acc i -> acc + Backend.control_messages i) 0 insts
+      in
+      let msgs_per_setup = float_of_int msgs /. float_of_int !setups in
+      let admit_rate = float_of_int !admitted /. float_of_int !setups in
+      (match List.concat_map Backend.audit insts with
+      | [] -> ()
+      | errs -> failwith (String.concat "; " errs));
+      record_metrics
+        ("backends/" ^ f.Backend.label)
+        (Obs.merge (List.map Backend.obs_snapshot insts));
+      let p fmt = Printf.sprintf fmt in
+      record_summary (p "backend_%s_setup_latency" f.Backend.label) setup_latency_us;
+      record_summary (p "backend_%s_msgs_per_setup" f.Backend.label) msgs_per_setup;
+      record_summary (p "backend_%s_utilization" f.Backend.label) utilization;
+      record_summary (p "backend_%s_admit_rate" f.Backend.label) admit_rate;
+      rows :=
+        (f.Backend.label, admit_rate, msgs_per_setup, utilization, setup_latency_us)
+        :: !rows)
+    Backends.All.all;
+  Printf.printf "%-10s %12s %12s %12s %14s\n" "backend" "admit_rate" "msgs/setup"
+    "utilization" "us/eer-setup";
+  List.iter
+    (fun (label, ar, ms, ut, lat) ->
+      Printf.printf "%-10s %12.3f %12.2f %12.3f %14.2f\n" label ar ms ut lat)
+    (List.rev !rows);
+  Printf.printf
+    "\nChained disciplines (ntube, intserv) pay 2 control messages per hop\n\
+     per admission; flyovers only purchase quanta ahead of time and book\n\
+     inside their holdings for free; DiffServ signals nothing but\n\
+     oversubscribes (utilization > 1 = promised bandwidth beyond the link\n\
+     share — the failure admission control exists to prevent).\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table/figure.           *)
 (* ------------------------------------------------------------------ *)
 
@@ -706,7 +911,8 @@ let all () =
   gc_mode ();
   par_mode ();
   doc ();
-  faults_mode ()
+  faults_mode ();
+  backends_mode ()
 
 let () =
   let cmds =
@@ -722,6 +928,7 @@ let () =
       ("par", par_mode);
       ("doc", doc);
       ("faults", faults_mode);
+      ("backends", backends_mode);
       ("bechamel", bechamel_suite);
       ("all", all);
     ]

@@ -7,6 +7,7 @@
 open Colibri_types
 open Colibri_topology
 open Colibri
+module Backend = Backends.Backend_intf
 
 let gbps = Bandwidth.of_gbps
 let mbps = Bandwidth.of_mbps
@@ -34,19 +35,26 @@ let fig3 ~existing ~ratio =
   let topo = Topology_gen.linear ~n:3 ~capacity:(gbps 400_000.) in
   let d = Deployment.create topo in
   let transit = Deployment.cserv d (asn 2) in
-  let adm = Cserv.seg_admission transit in
+  let adm = Cserv.backend transit in
   let same_src_count = int_of_float (Float.round (ratio *. float_of_int existing)) in
   for i = 1 to existing do
     let src = if i <= same_src_count then 1 (* the probe's source AS *) else 100 + i in
     (* ResIds from 1_000_000 up: disjoint from the probes' fresh ids. *)
-    match
-      Admission.Seg.admit adm ~key:(key src (1_000_000 + i)) ~version:1
-        ~src:(asn src) ~ingress:1
-        ~egress:2 ~demand:(mbps 1.) ~min_bw:(Bandwidth.of_kbps 1.) ~exp_time:1e9
-        ~now:0.
-    with
-    | Admission.Granted _ -> ()
-    | Admission.Denied _ -> failwith "fig3 preload rejected"
+    let req : Backend.seg_request =
+      {
+        key = key src (1_000_000 + i);
+        version = 1;
+        src = asn src;
+        ingress = 1;
+        egress = 2;
+        demand = mbps 1.;
+        min_bw = Bandwidth.of_kbps 1.;
+        exp_time = 1e9;
+      }
+    in
+    match Backend.admit_seg adm ~req ~now:0. with
+    | Backend.Granted _ -> ()
+    | Backend.Denied _ -> failwith "fig3 preload rejected"
   done;
   let path = Topology_gen.linear_path ~n:3 in
   (* Pre-build the probe requests: §6.1 measures "the time elapsed
@@ -59,7 +67,6 @@ let fig3 ~existing ~ratio =
              ~kind:Reservation.Core ~max_bw:(mbps 1.) ~min_bw:(Bandwidth.of_kbps 1.)
              ~renew:None))
   in
-  let adm = Cserv.seg_admission transit in
   let probe i =
     let n = Array.length prebuilt in
     let req, auth = prebuilt.(i mod n) in
@@ -71,9 +78,9 @@ let fig3 ~existing ~ratio =
     if (i + 1) mod n = 0 then
       Array.iter
         (fun ((r : Protocol.seg_request), _) ->
-          Admission.Seg.remove adm
+          Backend.remove_seg adm
             ~key:{ src_as = r.res_info.src_as; res_id = r.res_info.res_id }
-            ~version:r.res_info.version)
+            ~version:r.res_info.version ~now:0.)
         prebuilt
   in
   { transit; probe }
@@ -105,15 +112,24 @@ let fig4 ~(existing : int) ~(segrs_same_source : int) : fig4_rig =
   done;
   let segr = Option.get !first_segr in
   (* Preload EERs over that SegR: direct admission entries. *)
-  let eer_adm = Cserv.eer_admission transit in
+  let eer_adm = Cserv.backend transit in
   for i = 1 to existing do
-    match
-      Admission.Eer.admit eer_adm ~key:(key 50_000 i) ~version:1
-        ~segrs:[ (segr.key, gbps 10.) ] ~via_up:None
-        ~demand:(Bandwidth.of_bps 10.) ~exp_time:1e9 ~now:0.
-    with
-    | Admission.Granted _ -> ()
-    | Admission.Denied _ -> failwith "fig4 preload rejected"
+    let req : Backend.eer_request =
+      {
+        key = key 50_000 i;
+        version = 1;
+        segrs = [ (segr.key, gbps 10.) ];
+        via_up = None;
+        ingress = 1;
+        egress = 2;
+        demand = Bandwidth.of_bps 10.;
+        renewal = false;
+        exp_time = 1e9;
+      }
+    in
+    match Backend.admit_eer eer_adm ~req ~now:0. with
+    | Backend.Granted _ -> ()
+    | Backend.Denied _ -> failwith "fig4 preload rejected"
   done;
   let src_cs = Deployment.cserv d (asn 1) in
   (* Pre-built probe requests, as in {!fig3}. *)
@@ -133,7 +149,7 @@ let fig4 ~(existing : int) ~(segrs_same_source : int) : fig4_rig =
     if (i + 1) mod n = 0 then
       Array.iter
         (fun ((r : Protocol.eer_request), _) ->
-          Admission.Eer.remove_version eer_adm
+          Backend.remove_eer eer_adm
             ~key:{ src_as = r.res_info.src_as; res_id = r.res_info.res_id }
             ~version:r.res_info.version ~now:0.)
         prebuilt

@@ -1,0 +1,14 @@
+(** The backend registry: every admission discipline that can ride
+    behind {!Backend_intf.S}, in the order the bench's comparison table
+    prints them. [find] resolves the [--backend] style selectors of
+    tools and tests. *)
+
+let ntube = Ntube.factory
+let intserv = Intserv_backend.factory
+let diffserv = Diffserv_backend.factory
+let flyover = Flyover.factory
+
+let all : Backend_intf.factory list = [ ntube; intserv; diffserv; flyover ]
+
+let find (label : string) : Backend_intf.factory option =
+  List.find_opt (fun (f : Backend_intf.factory) -> String.equal f.label label) all

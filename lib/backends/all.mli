@@ -1,0 +1,21 @@
+(** The backend registry: every admission discipline that can ride
+    behind {!Backend_intf.S}, in the order the bench's comparison table
+    prints them. [find] resolves the [--backend] style selectors of
+    tools and tests. *)
+
+val ntube : Backend_intf.factory
+(** The N-Tube reference backend ({!Ntube}) — the default everywhere. *)
+
+val intserv : Backend_intf.factory
+(** IntServ/RSVP per-flow soft state ({!Intserv_backend}). *)
+
+val diffserv : Backend_intf.factory
+(** DiffServ class provisioning, no admission control
+    ({!Diffserv_backend}). *)
+
+val flyover : Backend_intf.factory
+(** Hummingbird-style time-sliced per-hop ledgers ({!Flyover}). *)
+
+val all : Backend_intf.factory list
+
+val find : string -> Backend_intf.factory option

@@ -1,0 +1,200 @@
+(** The admission-backend interface (DESIGN.md §12).
+
+    Colibri's control plane used to be hard-wired to the N-Tube-style
+    admission of {!Ntube}; this module type makes admission policy a
+    plug-in so disciplines can be compared on identical workloads
+    (Hummingbird-style flyovers, IntServ/RSVP, DiffServ). A backend is
+    the {e per-AS} admission state: one instance lives inside one
+    CServ and answers the two reservation classes of the paper —
+    segment-level requests ({!seg_request}) and end-to-end requests
+    ({!eer_request}).
+
+    {b Interface laws} (checked by [test/test_backends.ml]):
+
+    + {e Grant agreement}: after [admit_*] returns [Granted bw],
+      [*_granted_of] returns [Some bw] until the version is removed or
+      expires.
+    + {e Idempotent re-admit}: re-admitting a live (key, version)
+      returns the recorded grant and changes no allocation — handlers
+      retransmit requests at-least-once (retry layer, PR 5), so admit
+      doubles as the [granted_of] retransmission shortcut.
+    + {e Idempotent teardown}: [remove_*] of an unknown key or version
+      is a no-op (never raises); removing twice equals removing once,
+      and after removal the same demand admits again.
+    + {e Audit cleanliness}: [audit] returns [[]] after any sequence
+      of operations (the incremental aggregates match a recomputation
+      from first principles).
+    + {e Capacity soundness}: when [capacity_bound_enforced], granted
+      bandwidth per egress never exceeds the Colibri share of the
+      interface capacity.
+
+    {b Renewal} is not a separate operation: a renewal is an [admit]
+    of the next version of an existing key ([eer_request.renewal]
+    grants partially per §4.2; a superseded SegR version is released
+    with [remove_seg] at activation). *)
+
+open Colibri_types
+
+type decision = Granted of Bandwidth.t | Denied of { available : Bandwidth.t }
+
+let pp_decision ppf = function
+  | Granted bw -> Fmt.pf ppf "granted %a" Bandwidth.pp bw
+  | Denied { available } ->
+      Fmt.pf ppf "denied (available %a)" Bandwidth.pp available
+
+(** One segment-reservation admission at one on-path AS. *)
+type seg_request = {
+  key : Ids.res_key;
+  version : int;
+  src : Ids.asn;
+  ingress : Ids.iface;
+  egress : Ids.iface;
+  demand : Bandwidth.t;
+  min_bw : Bandwidth.t; (* a grant below this denies and leaves no state *)
+  exp_time : Timebase.t;
+}
+
+(** One end-to-end admission at one on-path AS. [segrs]/[via_up] carry
+    the SegR-chain context the reference backend needs; per-hop
+    backends (flyover, IntServ, DiffServ) admit on [ingress]/[egress]
+    alone and ignore the chain. *)
+type eer_request = {
+  key : Ids.res_key;
+  version : int;
+  segrs : (Ids.res_key * Bandwidth.t) list; (* local SegRs, path order *)
+  via_up : (Ids.res_key * Ids.res_key * Bandwidth.t) option;
+      (* (core, up, core_bw) at a transfer AS *)
+  ingress : Ids.iface;
+  egress : Ids.iface;
+  demand : Bandwidth.t;
+  renewal : bool; (* renewals may be granted partially (§4.2) *)
+  exp_time : Timebase.t;
+}
+
+module type S = sig
+  type t
+
+  val name : string
+  (** Short stable identifier — the [backend] label of the Obs metric
+      families and the [backend_{name}_*] bench keys. *)
+
+  val commit_required : bool
+  (** Whether the discipline needs a backward commit pass propagating
+      the path-wide minimum ({!commit_seg}). Per-hop disciplines grant
+      independently and skip the second walk. *)
+
+  val capacity_bound_enforced : bool
+  (** [false] for disciplines without admission control (DiffServ):
+      grants may oversubscribe the link — the point of the
+      comparison. *)
+
+  val create : capacity:(Ids.iface -> Bandwidth.t) -> ?share:float -> unit -> t
+  (** [capacity] maps an interface to its raw link capacity; [share]
+      (default 0.80) is the fraction available to reservations per the
+      traffic split (§3.4). *)
+
+  val admit_seg : t -> req:seg_request -> now:Timebase.t -> decision
+  val commit_seg :
+    t -> key:Ids.res_key -> version:int -> granted:Bandwidth.t -> (unit, string) result
+  (** Shrink a tentative grant to the final path-wide value; raising
+      above the local grant is refused. *)
+
+  val admit_eer : t -> req:eer_request -> now:Timebase.t -> decision
+
+  val remove_seg : t -> key:Ids.res_key -> version:int -> now:Timebase.t -> unit
+  val remove_eer : t -> key:Ids.res_key -> version:int -> now:Timebase.t -> unit
+
+  val seg_granted_of : t -> key:Ids.res_key -> version:int -> Bandwidth.t option
+  val eer_granted_of : t -> key:Ids.res_key -> version:int -> Bandwidth.t option
+
+  val seg_allocated_on : t -> egress:Ids.iface -> Bandwidth.t
+  (** Σ of current segment grants on an egress interface. *)
+
+  val eer_allocated_over : t -> segr:Ids.res_key -> Bandwidth.t
+  (** Σ EER bandwidth currently booked over a SegR (0 for backends
+      that do not track the chain). *)
+
+  val seg_count : t -> int
+  val eer_flow_count : t -> int
+
+  val admissions : t -> int
+  (** Number of [admit_*] calls processed (including retransmission
+      hits) — the dispatch-consistency check of {!Distributed}. *)
+
+  val control_messages : t -> int
+  (** Control-plane messages the discipline would have exchanged for
+      the operations so far — the cost model behind the bench's
+      [msgs_per_setup] comparison. Chained disciplines pay a forward
+      and a backward message per on-path AS per admission; flyovers
+      pay only when a purchase extends the source's time-sliced
+      holdings; DiffServ signals nothing. *)
+
+  val audit : t -> string list
+  (** Recompute every memoized aggregate from the entry tables and
+      diff it against the incremental state. [[]] means consistent. *)
+
+  val obs_snapshot : t -> Obs.snapshot
+  (** Backend-labeled gauges/counters describing the current state —
+      merged into [colibri-metrics.json] by the bench. *)
+
+  val corrupt_for_test : t -> unit
+  (** Deliberately skew one memoized aggregate so tests can verify
+      that {!audit} detects corruption. Never call outside tests. *)
+end
+
+(** A backend packed with its state — what {!Cserv}, {!Distributed}
+    and {!Deployment} hold. *)
+type instance = Instance : (module S with type t = 'a) * 'a -> instance
+
+(** A way to make instances — what orchestrators are parameterized
+    over ({!Distributed} creates one instance per sub-service). *)
+type factory = {
+  label : string;
+  make : capacity:(Ids.iface -> Bandwidth.t) -> ?share:float -> unit -> instance;
+}
+
+(* First-class dispatchers over an instance. *)
+
+let name (Instance ((module B), _)) = B.name
+let commit_required (Instance ((module B), _)) = B.commit_required
+let capacity_bound_enforced (Instance ((module B), _)) = B.capacity_bound_enforced
+let admit_seg (Instance ((module B), t)) ~req ~now = B.admit_seg t ~req ~now
+
+let commit_seg (Instance ((module B), t)) ~key ~version ~granted =
+  B.commit_seg t ~key ~version ~granted
+
+let admit_eer (Instance ((module B), t)) ~req ~now = B.admit_eer t ~req ~now
+
+let remove_seg (Instance ((module B), t)) ~key ~version ~now =
+  B.remove_seg t ~key ~version ~now
+
+let remove_eer (Instance ((module B), t)) ~key ~version ~now =
+  B.remove_eer t ~key ~version ~now
+
+let seg_granted_of (Instance ((module B), t)) ~key ~version =
+  B.seg_granted_of t ~key ~version
+
+let eer_granted_of (Instance ((module B), t)) ~key ~version =
+  B.eer_granted_of t ~key ~version
+
+let seg_allocated_on (Instance ((module B), t)) ~egress = B.seg_allocated_on t ~egress
+let eer_allocated_over (Instance ((module B), t)) ~segr = B.eer_allocated_over t ~segr
+let seg_count (Instance ((module B), t)) = B.seg_count t
+let eer_flow_count (Instance ((module B), t)) = B.eer_flow_count t
+let admissions (Instance ((module B), t)) = B.admissions t
+let control_messages (Instance ((module B), t)) = B.control_messages t
+let audit (Instance ((module B), t)) = B.audit t
+let obs_snapshot (Instance ((module B), t)) = B.obs_snapshot t
+let corrupt_for_test (Instance ((module B), t)) = B.corrupt_for_test t
+
+(* The obs-snapshot every backend shares: occupancy and cost counters
+   under the [backend] label (DESIGN.md §7 naming). *)
+let standard_snapshot ~(name : string) ~(seg_count : int) ~(eer_flow_count : int)
+    ~(admissions : int) ~(control_messages : int) : Obs.snapshot =
+  let l metric = Obs.labeled metric [ ("backend", name) ] in
+  [
+    (l "backend_admissions_total", Obs.Counter admissions);
+    (l "backend_control_messages_total", Obs.Counter control_messages);
+    (l "backend_eer_flows", Obs.Gauge (float_of_int eer_flow_count));
+    (l "backend_seg_reservations", Obs.Gauge (float_of_int seg_count));
+  ]

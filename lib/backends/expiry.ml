@@ -1,0 +1,52 @@
+(** Expiry heap shared by the admission backends: a binary min-heap of
+    (time, undo thunk); thunks of expired entries run lazily at the
+    next operation ([sweep]). Backends use it so that reservation
+    state never needs a background task to decay. *)
+
+open Colibri_types
+
+type entry = { at : Timebase.t; undo : unit -> unit }
+type t = { mutable heap : entry array; mutable size : int }
+
+let create () = { heap = Array.make 64 { at = 0.; undo = ignore }; size = 0 }
+
+let push (t : t) ~at undo =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) t.heap.(0) in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- { at; undo };
+  t.size <- t.size + 1;
+  let rec up i =
+    let p = (i - 1) / 2 in
+    if i > 0 && t.heap.(i).at < t.heap.(p).at then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(p);
+      t.heap.(p) <- tmp;
+      up p
+    end
+  in
+  up (t.size - 1)
+
+let rec sift (t : t) i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let m = ref i in
+  if l < t.size && t.heap.(l).at < t.heap.(!m).at then m := l;
+  if r < t.size && t.heap.(r).at < t.heap.(!m).at then m := r;
+  if !m <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!m);
+    t.heap.(!m) <- tmp;
+    sift t !m
+  end
+
+(** Run the undo thunks of all entries expired at [now]. *)
+let sweep (t : t) ~(now : Timebase.t) =
+  while t.size > 0 && t.heap.(0).at <= now do
+    let e = t.heap.(0) in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    sift t 0;
+    e.undo ()
+  done

@@ -1,0 +1,17 @@
+(** Expiry heap shared by the admission backends: a binary min-heap of
+    (time, undo thunk); thunks of expired entries run lazily at the
+    next operation ([sweep]). Backends use it so that reservation
+    state never needs a background task to decay. *)
+
+open Colibri_types
+
+type t
+
+val create : unit -> t
+
+val push : t -> at:Timebase.t -> (unit -> unit) -> unit
+(** Schedule an undo thunk to run at the first [sweep] whose [now] is
+    at or past [at]. *)
+
+val sweep : t -> now:Timebase.t -> unit
+(** Run the undo thunks of all entries expired at [now]. *)

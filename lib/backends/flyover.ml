@@ -1,0 +1,341 @@
+(** Flyover admission backend: per-hop time-sliced bandwidth ledgers
+    in the style of Hummingbird (see PAPERS.md), behind the
+    {!Backend_intf.S} contract.
+
+    Where the reference backend walks the whole path forward and
+    backward for every admission, a flyover hop sells bandwidth
+    {e locally} and {e ahead of time}: time is cut into fixed-length
+    slices, and each (egress, slice) cell keeps a ledger of bandwidth
+    sold. A source AS {e purchases} quanta of bandwidth in the slices
+    its reservation spans — those purchases are the only control
+    traffic (a request and an ack per purchase event, counted as 2 in
+    {!B.control_messages}) — and then {e books} individual reservations
+    against its holdings for free. Because every hop decides
+    independently, there is no end-to-end admission walk, no backward
+    commit pass ([commit_required = false]) and no per-path state:
+    admitting over an n-hop path is n independent O(slices-spanned)
+    decisions, and a source that keeps traffic inside its purchased
+    holdings exchanges {e no} messages at all — the effect the bench's
+    [msgs_per_setup] column measures against the 2-per-AS cost of the
+    chained disciplines.
+
+    Bookkeeping per (egress, slice) cell, maintained incrementally and
+    recomputed in {!B.audit}:
+
+    - [ledger]   — Σ bandwidth sold on the cell (bounded by the Colibri
+      share of the egress capacity);
+    - [held]     — per (source, egress, slice): quanta the source owns;
+    - [used]     — per (source, egress, slice): bandwidth its live
+      reservations actually book (invariant: [used ≤ held]);
+    - [alloc]    — per (egress, slice): Σ booked, so
+      {!B.seg_allocated_on} is one table lookup.
+
+    Teardown frees [used] but not [held]: a purchased slice stays
+    purchased (that is the flyover economics), so a removed
+    reservation's bandwidth can be re-booked by its source without new
+    messages. Cells retire wholesale when their slice ends. *)
+
+open Colibri_types
+
+module Cell_acc = Ntube.Acc (Ids.Iface_slice_tbl)
+module Hold_acc = Ntube.Acc (Ids.Src_slice_tbl)
+
+let pp_cell ppf ((eg, s) : Ids.iface * int) = Fmt.pf ppf "%d@%d" eg s
+
+let pp_hold ppf ((src, eg, s) : Ids.asn * Ids.iface * int) =
+  Fmt.pf ppf "%a:%d@%d" Ids.pp_asn src eg s
+
+type entry = {
+  src : Ids.asn;
+  egress : Ids.iface;
+  mutable bw : float; (* bps *)
+  s0 : int;
+  s1 : int; (* inclusive slice span *)
+  mutable removed : bool;
+}
+
+let slice_len = 4.0
+let quantum = 100.0e6 (* 100 Mbps *)
+let horizon = 256
+
+module B : Backend_intf.S = struct
+  type t = {
+    capacity : Ids.iface -> Bandwidth.t;
+    share : float;
+    slice_len : float; (* seconds per slice *)
+    quantum : float; (* purchase granularity, bps *)
+    horizon : int; (* max slices a reservation may span *)
+    ledger : Cell_acc.t;
+    held : Hold_acc.t;
+    used : Hold_acc.t;
+    alloc : Cell_acc.t;
+    seg_entries : entry Ids.Res_ver_tbl.t;
+    eer_entries : entry Ids.Res_ver_tbl.t;
+    expiry : Expiry.t;
+    mutable now_slice : int;
+    mutable retired_below : int; (* every slice < this has been retired *)
+    mutable admit_calls : int;
+    mutable msgs : int;
+  }
+
+  let name = "flyover"
+  let commit_required = false (* per-hop grants are final *)
+  let capacity_bound_enforced = true
+
+  let create ~capacity ?(share = 0.80) () =
+    {
+      capacity;
+      share;
+      slice_len;
+      quantum;
+      horizon;
+      ledger = Cell_acc.create 256;
+      held = Hold_acc.create 256;
+      used = Hold_acc.create 256;
+      alloc = Cell_acc.create 256;
+      seg_entries = Ids.Res_ver_tbl.create 256;
+      eer_entries = Ids.Res_ver_tbl.create 1024;
+      expiry = Expiry.create ();
+      now_slice = 0;
+      retired_below = 0;
+      admit_calls = 0;
+      msgs = 0;
+    }
+
+  let colibri_cap (t : t) (egress : Ids.iface) : float =
+    if egress = Ids.local_iface then Float.max_float
+    else t.share *. Bandwidth.to_bps (t.capacity egress)
+
+  let slice_of (t : t) (at : Timebase.t) : int =
+    int_of_float (Float.max 0. at /. t.slice_len)
+
+  let tick (t : t) ~now =
+    Expiry.sweep t.expiry ~now;
+    t.now_slice <- max t.now_slice (slice_of t now)
+
+  (* Retire a whole (egress, slice) cell once the slice has passed:
+     drop its ledger and booking aggregates and every holding in it.
+     One thunk per cell, scheduled when the cell is first sold on. *)
+  let schedule_retirement (t : t) (egress : Ids.iface) (s : int) =
+    Expiry.push t.expiry
+      ~at:(float_of_int (s + 1) *. t.slice_len)
+      (fun () ->
+        t.retired_below <- max t.retired_below (s + 1);
+        Ids.Iface_slice_tbl.remove t.ledger (egress, s);
+        Ids.Iface_slice_tbl.remove t.alloc (egress, s))
+
+  let schedule_hold_retirement (t : t) ((_, _, s) as hold : Ids.asn * Ids.iface * int)
+      =
+    Expiry.push t.expiry
+      ~at:(float_of_int (s + 1) *. t.slice_len)
+      (fun () ->
+        Ids.Src_slice_tbl.remove t.held hold;
+        Ids.Src_slice_tbl.remove t.used hold)
+
+  (* Unbook a live entry's bandwidth from the cells that still exist;
+     cells retired in the meantime already dropped it wholesale. *)
+  let release (t : t) (entries : entry Ids.Res_ver_tbl.t) kv (e : entry) =
+    if not e.removed then begin
+      e.removed <- true;
+      for s = max e.s0 t.retired_below to e.s1 do
+        if Ids.Src_slice_tbl.mem t.used (e.src, e.egress, s) then begin
+          Hold_acc.add t.used (e.src, e.egress, s) (-.e.bw);
+          Cell_acc.add t.alloc (e.egress, s) (-.e.bw)
+        end
+      done;
+      Ids.Res_ver_tbl.remove entries kv
+    end
+
+  (* The admission shared by both reservation classes: flyovers make no
+     SegR/EER distinction — every reservation is a per-hop booking. *)
+  let admit (t : t) (entries : entry Ids.Res_ver_tbl.t) ~key ~version ~src ~egress
+      ~(demand : Bandwidth.t) ~(min_bw : Bandwidth.t) ~exp_time ~now :
+      Backend_intf.decision =
+    tick t ~now;
+    t.admit_calls <- t.admit_calls + 1;
+    match Ids.Res_ver_tbl.find_opt entries (key, version) with
+    | Some e -> Granted (Bandwidth.of_bps e.bw) (* retransmission: free *)
+    | None ->
+        let d = Bandwidth.to_bps demand in
+        let s0 = max (slice_of t now) t.retired_below in
+        let s1 = max s0 (min (slice_of t (exp_time -. 1e-9)) (s0 + t.horizon - 1)) in
+        let cap = colibri_cap t egress in
+        (* Phase 1: every spanned slice must cover the demand, either
+           from the source's free holdings or by purchasing quanta the
+           cell can still sell. All-or-nothing at the full demand. *)
+        let available = ref Float.max_float in
+        for s = s0 to s1 do
+          let hold = (src, egress, s) in
+          let free_held = Hold_acc.get t.held hold -. Hold_acc.get t.used hold in
+          let sellable = Float.max 0. (cap -. Cell_acc.get t.ledger (egress, s)) in
+          available := Float.min !available (free_held +. sellable)
+        done;
+        if !available +. 1e-9 < d || d < Bandwidth.to_bps min_bw then
+          Denied { available = Bandwidth.of_bps (Float.max 0. !available) }
+        else begin
+          (* Phase 2: book, purchasing where holdings fall short. *)
+          let purchased = ref false in
+          for s = s0 to s1 do
+            let hold = (src, egress, s) in
+            let held_v = Hold_acc.get t.held hold in
+            let free_held = held_v -. Hold_acc.get t.used hold in
+            if free_held +. 1e-9 < d then begin
+              let need = d -. free_held in
+              let sellable = Float.max 0. (cap -. Cell_acc.get t.ledger (egress, s)) in
+              (* Whole quanta when they fit, the exact remainder when
+                 the cell is nearly sold out. *)
+              let p =
+                Float.min sellable (Float.ceil (need /. t.quantum) *. t.quantum)
+              in
+              if not (Ids.Iface_slice_tbl.mem t.ledger (egress, s)) then
+                schedule_retirement t egress s;
+              if held_v <= 0. && not (Ids.Src_slice_tbl.mem t.held hold) then
+                schedule_hold_retirement t hold;
+              Cell_acc.add t.ledger (egress, s) p;
+              Hold_acc.add t.held hold p;
+              purchased := true
+            end;
+            Hold_acc.add t.used hold d;
+            Cell_acc.add t.alloc (egress, s) d
+          done;
+          if !purchased then t.msgs <- t.msgs + 2;
+          let e = { src; egress; bw = d; s0; s1; removed = false } in
+          Ids.Res_ver_tbl.replace entries (key, version) e;
+          Expiry.push t.expiry ~at:exp_time (fun () ->
+              match Ids.Res_ver_tbl.find_opt entries (key, version) with
+              | Some e' when e' == e -> release t entries (key, version) e
+              | _ -> ());
+          Granted demand
+        end
+
+  let admit_seg (t : t) ~(req : Backend_intf.seg_request) ~now =
+    admit t t.seg_entries ~key:req.key ~version:req.version ~src:req.src
+      ~egress:req.egress ~demand:req.demand ~min_bw:req.min_bw ~exp_time:req.exp_time
+      ~now
+
+  let admit_eer (t : t) ~(req : Backend_intf.eer_request) ~now =
+    (* EERs carry their own source in the key: bookings are held by the
+       reservation's source AS. *)
+    admit t t.eer_entries ~key:req.key ~version:req.version ~src:req.key.src_as
+      ~egress:req.egress ~demand:req.demand ~min_bw:Bandwidth.zero
+      ~exp_time:req.exp_time ~now
+
+  (* No backward pass exists, but shrinking a booking is still sound:
+     release the delta from the spanned cells. *)
+  let commit_seg (t : t) ~key ~version ~granted =
+    match Ids.Res_ver_tbl.find_opt t.seg_entries (key, version) with
+    | None -> Error "unknown reservation version"
+    | Some e ->
+        let g = Bandwidth.to_bps granted in
+        if g > e.bw +. 1e-6 then Error "cannot raise grant"
+        else begin
+          for s = max e.s0 t.retired_below to e.s1 do
+            if Ids.Src_slice_tbl.mem t.used (e.src, e.egress, s) then begin
+              Hold_acc.add t.used (e.src, e.egress, s) (g -. e.bw);
+              Cell_acc.add t.alloc (e.egress, s) (g -. e.bw)
+            end
+          done;
+          e.bw <- g;
+          Ok ()
+        end
+
+  let remove_kind (t : t) entries ~key ~version ~now =
+    tick t ~now;
+    match Ids.Res_ver_tbl.find_opt entries (key, version) with
+    | Some e -> release t entries (key, version) e
+    | None -> ()
+
+  let remove_seg (t : t) ~key ~version ~now = remove_kind t t.seg_entries ~key ~version ~now
+  let remove_eer (t : t) ~key ~version ~now = remove_kind t t.eer_entries ~key ~version ~now
+
+  let granted_of (entries : entry Ids.Res_ver_tbl.t) ~key ~version =
+    Option.map
+      (fun e -> Bandwidth.of_bps e.bw)
+      (Ids.Res_ver_tbl.find_opt entries (key, version))
+
+  let seg_granted_of (t : t) ~key ~version = granted_of t.seg_entries ~key ~version
+  let eer_granted_of (t : t) ~key ~version = granted_of t.eer_entries ~key ~version
+
+  let seg_allocated_on (t : t) ~egress =
+    Bandwidth.of_bps (Cell_acc.get t.alloc (egress, t.now_slice))
+
+  let eer_allocated_over (_ : t) ~segr:_ = Bandwidth.zero (* no chain state *)
+  let seg_count (t : t) = Ids.Res_ver_tbl.length t.seg_entries
+  let admissions (t : t) = t.admit_calls
+  let control_messages (t : t) = t.msgs
+
+  let eer_flow_count (t : t) =
+    let keys = Ids.Res_key_tbl.create 64 in
+    Ids.Res_ver_tbl.iter
+      (fun (key, _) _ -> Ids.Res_key_tbl.replace keys key ())
+      t.eer_entries;
+    Ids.Res_key_tbl.length keys
+
+  (** Recompute [used] and [alloc] from the live entries (restricted to
+      cells that have not retired), check [ledger] = Σ [held] per cell,
+      [used ≤ held], and the per-cell capacity bound. [[]] means
+      consistent. *)
+  let audit (t : t) : string list =
+    let errs = ref [] in
+    let used = Hold_acc.create 64 in
+    let alloc = Cell_acc.create 64 in
+    let fold what entries =
+      Ids.Res_ver_tbl.iter
+        (fun (key, ver) (e : entry) ->
+          if e.removed then
+            errs :=
+              Fmt.str "%s[%a#%d]: removed entry still in table" what Ids.pp_res_key key
+                ver
+              :: !errs;
+          for s = max e.s0 t.retired_below to e.s1 do
+            if Ids.Src_slice_tbl.mem t.held (e.src, e.egress, s) then begin
+              Hold_acc.add used (e.src, e.egress, s) e.bw;
+              Cell_acc.add alloc (e.egress, s) e.bw
+            end
+          done)
+        entries
+    in
+    fold "seg" t.seg_entries;
+    fold "eer" t.eer_entries;
+    let held_sum = Cell_acc.create 64 in
+    Ids.Src_slice_tbl.iter
+      (fun (src, eg, s) held_v ->
+        Cell_acc.add held_sum (eg, s) held_v;
+        let used_v = Hold_acc.get t.used (src, eg, s) in
+        if used_v > held_v +. 1e-6 *. Float.max 1. held_v then
+          errs :=
+            Fmt.str "hold[%a]: %.6g bps booked over %.6g bps held" pp_hold (src, eg, s)
+              used_v held_v
+            :: !errs)
+      t.held;
+    Ids.Iface_slice_tbl.iter
+      (fun (eg, s) sold ->
+        let cap = colibri_cap t eg in
+        if sold > cap +. 1e-6 *. Float.max 1. cap then
+          errs :=
+            Fmt.str "cell %a oversold: %.6g bps > %.6g bps capacity" pp_cell (eg, s)
+              sold cap
+            :: !errs)
+      t.ledger;
+    !errs
+    @ Hold_acc.diff ~what:"used" ~pp_key:pp_hold t.used used
+    @ Cell_acc.diff ~what:"alloc" ~pp_key:pp_cell t.alloc alloc
+    @ Cell_acc.diff ~what:"ledger" ~pp_key:pp_cell t.ledger held_sum
+
+  let obs_snapshot (t : t) =
+    Backend_intf.standard_snapshot ~name ~seg_count:(seg_count t)
+      ~eer_flow_count:(eer_flow_count t) ~admissions:t.admit_calls
+      ~control_messages:t.msgs
+
+  (** Skew one ledger cell so tests can verify that {!audit} detects
+      corruption. Never call outside tests. *)
+  let corrupt_for_test (t : t) = Cell_acc.add t.ledger (1, t.now_slice) 1.0e6
+end
+
+let factory : Backend_intf.factory =
+  {
+    label = "flyover";
+    make =
+      (fun ~capacity ?share () ->
+        Backend_intf.Instance ((module B), B.create ~capacity ?share ()));
+  }

@@ -1,0 +1,48 @@
+(** Flyover admission backend: per-hop time-sliced bandwidth ledgers
+    in the style of Hummingbird (see PAPERS.md), behind the
+    {!Backend_intf.S} contract.
+
+    Where the reference backend walks the whole path forward and
+    backward for every admission, a flyover hop sells bandwidth
+    {e locally} and {e ahead of time}: time is cut into fixed-length
+    slices, and each (egress, slice) cell keeps a ledger of bandwidth
+    sold. A source AS {e purchases} quanta of bandwidth in the slices
+    its reservation spans — those purchases are the only control
+    traffic (a request and an ack per purchase event, counted as 2 in
+    [control_messages]) — and then {e books} individual reservations
+    against its holdings for free. Because every hop decides
+    independently, there is no end-to-end admission walk, no backward
+    commit pass ([commit_required = false]) and no per-path state:
+    admitting over an n-hop path is n independent O(slices-spanned)
+    decisions, and a source that keeps traffic inside its purchased
+    holdings exchanges {e no} messages at all — the effect the bench's
+    [msgs_per_setup] column measures against the 2-per-AS cost of the
+    chained disciplines.
+
+    Bookkeeping per (egress, slice) cell, maintained incrementally and
+    recomputed in [audit]: [ledger] (Σ bandwidth sold on the cell,
+    bounded by the Colibri share of the egress capacity), [held] (per
+    (source, egress, slice): quanta the source owns), [used] (per
+    (source, egress, slice): bandwidth its live reservations actually
+    book; invariant [used ≤ held]) and [alloc] (per (egress, slice):
+    Σ booked, so [seg_allocated_on] is one table lookup).
+
+    Teardown frees [used] but not [held]: a purchased slice stays
+    purchased (that is the flyover economics), so a removed
+    reservation's bandwidth can be re-booked by its source without new
+    messages. Cells retire wholesale when their slice ends. *)
+
+val slice_len : float
+(** Slice duration in seconds. *)
+
+val quantum : float
+(** Purchase granularity in bps — holdings grow in whole quanta. *)
+
+val horizon : int
+(** Farthest slice (relative to now) a reservation may span; longer
+    expiries are clamped, matching flyovers' short-lived leases. *)
+
+module B : Backend_intf.S
+(** [name = "flyover"]. *)
+
+val factory : Backend_intf.factory

@@ -1,4 +1,8 @@
-(** Admission algorithms (§4.7).
+(** The reference admission backend: N-Tube-style bounded tube
+    fairness for segment reservations and constant-time bandwidth
+    walks for end-to-end reservations (§4.7) — extracted from the
+    former [lib/core/admission.ml] ([Colibri.Admission] re-exports
+    this module for compatibility).
 
     {b Segment reservations} ({!Seg}): each AS distributes the Colibri
     share of an ingress–egress interface pair among competing SegRs
@@ -9,22 +13,43 @@
     an egress by that capacity (bounded tube fairness [62]). Memoized
     running aggregates make one admission cost a constant number of
     hash-table operations {e independent of the number of existing
-    reservations} — the property Fig. 3 measures. Existing grants are
-    fixed until renewal, when they are re-negotiated (§4.2).
+    reservations} — the property Fig. 3 measures.
 
     {b End-to-end reservations} ({!Eer}): admission against a SegR is
     a constant-time bandwidth-headroom check (Fig. 4). Versions of one
     EER count with their maximum, not their sum (§4.2); at transfer
     ASes a core-SegR's bandwidth is shared proportionally between
-    competing up-SegRs. *)
+    competing up-SegRs.
+
+    {!B} packs both under the {!Backend_intf.S} contract; as a chained
+    discipline it pays a forward and a backward control message per
+    on-path AS per admission. *)
 
 open Colibri_types
 
-type decision = Backends.Backend_intf.decision =
+type decision = Backend_intf.decision =
   | Granted of Bandwidth.t
   | Denied of { available : Bandwidth.t }
 
 val pp_decision : decision Fmt.t
+
+(** Float-sum accumulators in keyed hash tables, with an audit diff
+    against a fresh recomputation. Shared with {!Flyover}, which
+    instantiates it over its slice-keyed tables. The representation is
+    exposed so backends can iterate/remove entries directly. *)
+module Acc (T : Hashtbl.S) : sig
+  type t = float T.t
+
+  val create : int -> t
+  val get : t -> T.key -> float
+  val add : t -> T.key -> float -> unit
+  val close : float -> float -> bool
+  (** Relative float-tolerance comparison used by the audit diffs. *)
+
+  val diff : what:string -> pp_key:T.key Fmt.t -> t -> t -> string list
+  (** [diff ~what ~pp_key stored fresh] — one message per key whose
+      stored aggregate disagrees with the recomputed value. *)
+end
 
 (** Per-AS admission state for segment reservations. *)
 module Seg : sig
@@ -54,13 +79,18 @@ module Seg : sig
       denied. *)
 
   val set_granted :
-    t -> key:Ids.res_key -> version:int -> granted:Bandwidth.t -> (unit, string) result
+    t ->
+    key:Ids.res_key ->
+    version:int ->
+    granted:Bandwidth.t ->
+    (unit, string) result
   (** Shrink a tentative grant to the final path-wide value; raising
       above the local grant is refused. *)
 
   val remove : t -> key:Ids.res_key -> version:int -> unit
   (** Release one version (failed-setup cleanup, or deactivation after
-      a version switch). Idempotent. *)
+      a version switch). Idempotent: unknown keys and versions are
+      no-ops. *)
 
   val granted_of : t -> key:Ids.res_key -> version:int -> Bandwidth.t option
   val count : t -> int
@@ -108,8 +138,10 @@ module Eer : sig
       §4.2: instead of denying a demand that does not fully fit, the
       AS grants what fits. *)
 
-  val remove_version : t -> key:Ids.res_key -> version:int -> now:Timebase.t -> unit
-  (** Failed-setup cleanup: drop one tentative version. *)
+  val remove_version :
+    t -> key:Ids.res_key -> version:int -> now:Timebase.t -> unit
+  (** Failed-setup cleanup: drop one tentative version. Idempotent:
+      unknown keys and versions are no-ops. *)
 
   val granted_of : t -> key:Ids.res_key -> version:int -> Bandwidth.t option
   (** Grant already held by a (key, version) pair — the retransmission
@@ -131,3 +163,9 @@ module Eer : sig
   (** Deliberately skew one memoized aggregate so tests can verify that
       {!audit} detects corruption. Never call outside tests. *)
 end
+
+module B : Backend_intf.S
+(** {!Seg} + {!Eer} packed behind the backend contract
+    ([name = "ntube"]). *)
+
+val factory : Backend_intf.factory

@@ -68,6 +68,13 @@ let equal_flow_id (a : flow_id) (b : flow_id) = a.src = b.src && a.dst = b.dst
 let classify (t : t) ~(id : flow_id) : flow_state option =
   List.find_opt (fun f -> equal_flow_id f.id id) t.flows
 
+(** Teardown (RSVP ResvTear): drop one flow's state. Like everything
+    else here it walks the list — O(#flows) — and is a no-op on
+    unknown ids. *)
+let remove (t : t) ~(id : flow_id) =
+  t.flows <- List.filter (fun f -> not (equal_flow_id f.id id)) t.flows;
+  t.flow_count <- List.length t.flows
+
 let forward (t : t) ~(id : flow_id) ~(bytes : int) : [ `Reserved | `Best_effort ] =
   match classify t ~id with
   | Some f ->

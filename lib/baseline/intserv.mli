@@ -29,6 +29,10 @@ val admit :
   t -> id:flow_id -> bw:Bandwidth.t -> exp_time:Timebase.t -> now:Timebase.t ->
   [ `Admitted | `Rejected ]
 
+val remove : t -> id:flow_id -> unit
+(** Teardown (RSVP ResvTear): drop one flow's state — O(#flows), a
+    no-op on unknown ids. *)
+
 val classify : t -> id:flow_id -> flow_state option
 (** Find the packet's flow — the claimed id is taken at face value. *)
 

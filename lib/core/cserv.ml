@@ -12,6 +12,7 @@
 
 open Colibri_types
 open Colibri_topology
+module Backend = Backends.Backend_intf
 
 type role = Source | Transit | Transfer | Destination
 (** AS types for EER processing (§4.1). *)
@@ -53,7 +54,8 @@ type segr_descr = {
 
 (* Admission-outcome accounting (DESIGN.md §7): grants and denials per
    reservation class, plus a per-source-AS denial family over the keyed
-   Ids tables. *)
+   Ids tables. Every family carries a [backend] label so snapshots
+   split outcomes per admission discipline (DESIGN.md §12). *)
 type metrics = {
   m_seg_granted : Obs.Counter.t;
   m_seg_denied : Obs.Counter.t;
@@ -70,8 +72,7 @@ type t = {
   drkey_cache : Drkey.Cache.t;
   mutable fetch_remote_key : Ids.asn -> Drkey.as_key;
       (* round trip to the fast AS's key server; wired by the deployment *)
-  seg_adm : Admission.Seg.t;
-  eer_adm : Admission.Eer.t;
+  backend : Backend.instance; (* the pluggable admission discipline *)
   transit_segrs : transit_segr Ids.Res_key_tbl.t;
   own_segrs : Reservation.segr Ids.Res_key_tbl.t;
   own_eers : Reservation.eer Ids.Res_key_tbl.t;
@@ -89,19 +90,31 @@ type t = {
 }
 
 let create ?(policy = default_policy) ?(renewal_min_interval = 1.0) ?rng
-    ?(registry = Obs.Registry.create ()) ~(clock : Timebase.clock)
-    ~(topo : Topology.t) (asn : Ids.asn) : t =
+    ?(registry = Obs.Registry.create ()) ?(backend = Backends.All.ntube)
+    ~(clock : Timebase.clock) ~(topo : Topology.t) (asn : Ids.asn) : t =
   let key_server = Drkey.Key_server.create ?rng ~clock asn in
+  let backend =
+    backend.Backend.make
+      ~capacity:(fun iface -> Topology.egress_capacity topo asn iface)
+      ()
+  in
+  let bl = [ ("backend", Backend.name backend) ] in
   let metrics =
     {
-      m_seg_granted = Obs.Registry.counter registry "cserv_seg_granted_total";
-      m_seg_denied = Obs.Registry.counter registry "cserv_seg_denied_total";
-      m_eer_granted = Obs.Registry.counter registry "cserv_eer_granted_total";
-      m_eer_denied = Obs.Registry.counter registry "cserv_eer_denied_total";
+      m_seg_granted =
+        Obs.Registry.counter registry (Obs.labeled "cserv_seg_granted_total" bl);
+      m_seg_denied =
+        Obs.Registry.counter registry (Obs.labeled "cserv_seg_denied_total" bl);
+      m_eer_granted =
+        Obs.Registry.counter registry (Obs.labeled "cserv_eer_granted_total" bl);
+      m_eer_denied =
+        Obs.Registry.counter registry (Obs.labeled "cserv_eer_denied_total" bl);
       m_misbehavior =
-        Obs.Registry.counter registry "cserv_misbehavior_reports_total";
+        Obs.Registry.counter registry
+          (Obs.labeled "cserv_misbehavior_reports_total" bl);
       m_denied_by_src =
-        Obs.Asn_counters.create registry ~name:"cserv_denied_total" ~label:"src_as";
+        Obs.Asn_counters.create ~extra:bl registry ~name:"cserv_denied_total"
+          ~label:"src_as";
     }
   in
   {
@@ -111,9 +124,7 @@ let create ?(policy = default_policy) ?(renewal_min_interval = 1.0) ?rng
     drkey_cache = Drkey.Cache.create ~clock asn;
     fetch_remote_key =
       (fun _ -> failwith "Cserv.fetch_remote_key: not wired to a deployment");
-    seg_adm =
-      Admission.Seg.create ~capacity:(fun iface -> Topology.egress_capacity topo asn iface) ();
-    eer_adm = Admission.Eer.create ();
+    backend;
     transit_segrs = Ids.Res_key_tbl.create 1024;
     own_segrs = Ids.Res_key_tbl.create 64;
     own_eers = Ids.Res_key_tbl.create 256;
@@ -245,24 +256,26 @@ let handle_seg_request_forward (t : t) ~(req : Protocol.seg_request)
       | None -> `Deny Protocol.Bad_authentication
       | Some hop -> (
           let rkey : Ids.res_key = { src_as = src; res_id = req.res_info.res_id } in
-          (* Retransmission of a request this AS already admitted (the
-             original reply was lost downstream): answer from the
-             recorded grant. Re-running [admit] would deny the
-             duplicate (key, version) pair. *)
-          match
-            Admission.Seg.granted_of t.seg_adm ~key:rkey
-              ~version:req.res_info.version
-          with
-          | Some bw -> `Continue bw
-          | None -> (
-              match
-                Admission.Seg.admit t.seg_adm ~key:rkey ~version:req.res_info.version
-                  ~src ~ingress:hop.ingress ~egress:hop.egress ~demand:req.res_info.bw
-                  ~min_bw:req.min_bw ~exp_time:req.res_info.exp_time ~now
-              with
-              | Admission.Granted bw -> `Continue bw
-              | Admission.Denied { available } ->
-                  `Deny (Protocol.Insufficient_bandwidth { available })))
+          (* Retransmissions of a request this AS already admitted (the
+             original reply was lost downstream) are answered from the
+             recorded grant inside the backend — [admit_seg] is
+             idempotent per (key, version) by contract. *)
+          let breq : Backend.seg_request =
+            {
+              key = rkey;
+              version = req.res_info.version;
+              src;
+              ingress = hop.ingress;
+              egress = hop.egress;
+              demand = req.res_info.bw;
+              min_bw = req.min_bw;
+              exp_time = req.res_info.exp_time;
+            }
+          in
+          match Backend.admit_seg t.backend ~req:breq ~now with
+          | Backend.Granted bw -> `Continue bw
+          | Backend.Denied { available } ->
+              `Deny (Protocol.Insufficient_bandwidth { available }))
     end
   end
 
@@ -275,12 +288,15 @@ let handle_seg_reply_backward (t : t) ~(req : Protocol.seg_request)
     ~(final_bw : Bandwidth.t) : Protocol.reply_hop =
   let src = req.res_info.src_as in
   let rkey : Ids.res_key = { src_as = src; res_id = req.res_info.res_id } in
-  (match
-     Admission.Seg.set_granted t.seg_adm ~key:rkey ~version:req.res_info.version
-       ~granted:final_bw
-   with
-  | Ok () -> ()
-  | Error e -> invalid_arg ("Cserv.handle_seg_reply_backward: " ^ e));
+  (* Per-hop disciplines grant final bandwidths on the forward pass and
+     have nothing to commit. *)
+  (if Backend.commit_required t.backend then
+     match
+       Backend.commit_seg t.backend ~key:rkey ~version:req.res_info.version
+         ~granted:final_bw
+     with
+     | Ok () -> ()
+     | Error e -> invalid_arg ("Cserv.handle_seg_reply_backward: " ^ e));
   let hop =
     match find_hop req.path t.asn with
     | Some h -> h
@@ -320,7 +336,8 @@ let handle_seg_failure (t : t) ~(req : Protocol.seg_request) =
   let rkey : Ids.res_key =
     { src_as = req.res_info.src_as; res_id = req.res_info.res_id }
   in
-  Admission.Seg.remove t.seg_adm ~key:rkey ~version:req.res_info.version;
+  Backend.remove_seg t.backend ~key:rkey ~version:req.res_info.version
+    ~now:(t.clock ());
   match Ids.Res_key_tbl.find_opt t.transit_segrs rkey with
   | Some ts ->
       if req.renewal then ts.segr.pending <- None
@@ -395,7 +412,8 @@ let handle_seg_activation (t : t) ~(key : Ids.res_key) : (unit, string) result =
       | Error e -> Error e
       | Ok () ->
           (match old with
-          | Some v -> Admission.Seg.remove t.seg_adm ~key ~version:v.version
+          | Some v ->
+              Backend.remove_seg t.backend ~key ~version:v.version ~now:(t.clock ())
           | None -> ());
           Ok ())
 
@@ -550,7 +568,7 @@ let handle_eer_request_forward (t : t) ~(req : Protocol.eer_request)
     else begin
       match find_hop req.path t.asn with
       | None -> `Deny Protocol.Bad_authentication
-      | Some _hop -> (
+      | Some hop -> (
           let is_source = Ids.equal_asn (Path.source req.path) t.asn in
           let is_dest = Ids.equal_asn (Path.destination req.path) t.asn in
           (* Policy checks at the edges. *)
@@ -597,27 +615,29 @@ let handle_eer_request_forward (t : t) ~(req : Protocol.eer_request)
                   let rkey : Ids.res_key =
                     { src_as = src; res_id = req.res_info.res_id }
                   in
-                  (* Retransmission shortcut (cf. the SegReq handler):
-                     re-admitting a live version would double-add it to
-                     the flow's version list. *)
-                  match
-                    Admission.Eer.granted_of t.eer_adm ~key:rkey
-                      ~version:req.res_info.version
-                  with
-                  | Some bw -> `Continue bw
-                  | None -> (
-                      match
-                        (* Renewals are flexible: an AS can grant less
-                           than requested, re-negotiating the bandwidth
-                           without interrupting service (§4.2). Setups
-                           are strict. *)
-                        Admission.Eer.admit ~partial:req.renewal t.eer_adm ~key:rkey
-                          ~version:req.res_info.version ~segrs ~via_up
-                          ~demand:req.res_info.bw ~exp_time:req.res_info.exp_time ~now
-                      with
-                      | Admission.Granted bw -> `Continue bw
-                      | Admission.Denied { available } ->
-                          `Deny (Protocol.Insufficient_bandwidth { available })))
+                  (* Retransmissions answer from the recorded grant
+                     inside the backend ([admit_eer] is idempotent per
+                     (key, version)); renewals are flexible — an AS can
+                     grant less than requested, re-negotiating the
+                     bandwidth without interrupting service (§4.2),
+                     while setups are strict. *)
+                  let breq : Backend.eer_request =
+                    {
+                      key = rkey;
+                      version = req.res_info.version;
+                      segrs;
+                      via_up;
+                      ingress = hop.ingress;
+                      egress = hop.egress;
+                      demand = req.res_info.bw;
+                      renewal = req.renewal;
+                      exp_time = req.res_info.exp_time;
+                    }
+                  in
+                  match Backend.admit_eer t.backend ~req:breq ~now with
+                  | Backend.Granted bw -> `Continue bw
+                  | Backend.Denied { available } ->
+                      `Deny (Protocol.Insufficient_bandwidth { available }))
             end
           end)
     end
@@ -649,7 +669,7 @@ let handle_eer_failure (t : t) ~(req : Protocol.eer_request) =
   let rkey : Ids.res_key =
     { src_as = req.res_info.src_as; res_id = req.res_info.res_id }
   in
-  Admission.Eer.remove_version t.eer_adm ~key:rkey ~version:req.res_info.version
+  Backend.remove_eer t.backend ~key:rkey ~version:req.res_info.version
     ~now:(t.clock ())
 
 (** Process a successful EER reply at the source AS: verify every
@@ -744,17 +764,14 @@ let own_segr_descrs (t : t) ~(kind : Reservation.seg_kind) ~(now : Timebase.t) :
 let transit_segr (t : t) (key : Ids.res_key) = Ids.Res_key_tbl.find_opt t.transit_segrs key
 let own_segr (t : t) (key : Ids.res_key) = Ids.Res_key_tbl.find_opt t.own_segrs key
 let own_eer (t : t) (key : Ids.res_key) = Ids.Res_key_tbl.find_opt t.own_eers key
-let seg_admission (t : t) = t.seg_adm
-let eer_admission (t : t) = t.eer_adm
+let backend (t : t) = t.backend
 let drkey_cache (t : t) = t.drkey_cache
 let set_fetch_remote_key (t : t) f = t.fetch_remote_key <- f
 
-(** Consistency audit of both admission states, messages prefixed with
-    this AS — the chaos suite's leak detector after crashes and
-    exhausted retries. [[]] means clean. *)
+(** Consistency audit of the admission backend, messages prefixed with
+    this AS and the backend name — the chaos suite's leak detector
+    after crashes and exhausted retries. [[]] means clean. *)
 let audit (t : t) : string list =
-  let tag sub msgs =
-    List.map (fun m -> Fmt.str "%a/%s: %s" Ids.pp_asn t.asn sub m) msgs
-  in
-  tag "seg" (Admission.Seg.audit t.seg_adm)
-  @ tag "eer" (Admission.Eer.audit t.eer_adm)
+  List.map
+    (fun m -> Fmt.str "%a/%s: %s" Ids.pp_asn t.asn (Backend.name t.backend) m)
+    (Backend.audit t.backend)

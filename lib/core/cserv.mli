@@ -51,12 +51,15 @@ val create :
   ?renewal_min_interval:Timebase.t ->
   ?rng:Random.State.t ->
   ?registry:Obs.Registry.t ->
+  ?backend:Backends.Backend_intf.factory ->
   clock:Timebase.clock ->
   topo:Topology.t ->
   Ids.asn ->
   t
 (** [registry] receives the CServ's admission-outcome metrics
-    (DESIGN.md §7); a private registry is created when omitted. *)
+    (DESIGN.md §7); a private registry is created when omitted.
+    [backend] selects the admission discipline (DESIGN.md §12); the
+    default is the N-Tube reference backend, [Backends.All.ntube]. *)
 
 val asn : t -> Ids.asn
 val key_server : t -> Drkey.Key_server.t
@@ -66,7 +69,9 @@ val metrics : t -> Obs.Registry.t
     [cserv_seg_denied_total] / [cserv_eer_granted_total] /
     [cserv_eer_denied_total] admission outcomes,
     [cserv_misbehavior_reports_total], and the per-source-AS
-    [cserv_denied_total{src_as=...}] family. *)
+    [cserv_denied_total] family. Every family carries a
+    [backend="…"] label naming the admission discipline, so merged
+    snapshots split outcomes per backend. *)
 
 val hop_secret : t -> Hvf.as_secret
 (** The AS-specific secret [K_i] for hop tokens/authenticators,
@@ -193,14 +198,16 @@ val own_segr_descrs : t -> kind:Reservation.seg_kind -> now:Timebase.t -> segr_d
 val transit_segr : t -> Ids.res_key -> transit_segr option
 val own_segr : t -> Ids.res_key -> Reservation.segr option
 val own_eer : t -> Ids.res_key -> Reservation.eer option
-val seg_admission : t -> Admission.Seg.t
-val eer_admission : t -> Admission.Eer.t
+val backend : t -> Backends.Backend_intf.instance
+(** The CServ's admission backend — all reservation state lives behind
+    the {!Backends.Backend_intf.S} interface. *)
+
 val drkey_cache : t -> Drkey.Cache.t
 
 val audit : t -> string list
-(** Consistency audit of both admission states, messages prefixed with
-    this AS. [[]] means clean — the chaos suite's leak detector after
-    crashes and exhausted retries. *)
+(** Consistency audit of the admission backend, messages prefixed with
+    this AS and the backend name. [[]] means clean — the chaos suite's
+    leak detector after crashes and exhausted retries. *)
 
 val set_fetch_remote_key : t -> (Ids.asn -> Drkey.as_key) -> unit
 (** Wire the slow-side DRKey fetch to remote key servers (done by the

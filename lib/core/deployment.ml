@@ -57,10 +57,13 @@ let gateway (t : t) asn = (node t asn).gateway
 let router (t : t) asn = (node t asn).router
 
 (** Build a deployment over [topo]. [policy_for] customizes per-AS EER
-    policies; [router_monitoring = false] builds bare-fast-path routers
-    (no OFD / duplicate filter), as used by the speed benchmarks. *)
-let create ?(policy_for = fun _ -> Cserv.default_policy) ?(router_monitoring = true)
-    ?(seed = 42) (topo : Topology.t) : t =
+    policies; [backend] selects the admission discipline every CServ
+    runs (DESIGN.md §12); [router_monitoring = false] builds
+    bare-fast-path routers (no OFD / duplicate filter), as used by the
+    speed benchmarks. *)
+let create ?(policy_for = fun _ -> Cserv.default_policy)
+    ?(backend = Backends.All.ntube) ?(router_monitoring = true) ?(seed = 42)
+    (topo : Topology.t) : t =
   let engine = Net.Engine.create () in
   let clk = Net.Engine.clock engine in
   let nodes = Ids.Asn_tbl.create 64 in
@@ -70,7 +73,7 @@ let create ?(policy_for = fun _ -> Cserv.default_policy) ?(router_monitoring = t
   |> List.iter (fun asn ->
          let rng = Random.State.make [| seed; Ids.hash_asn asn |] in
          let cserv =
-           Cserv.create ~policy:(policy_for asn) ~rng ~clock:clk ~topo asn
+           Cserv.create ~policy:(policy_for asn) ~rng ~backend ~clock:clk ~topo asn
          in
          let secret = Cserv.hop_secret cserv in
          let router =

@@ -22,15 +22,17 @@ type as_node = {
 
 val create :
   ?policy_for:(Ids.asn -> Cserv.policy) ->
+  ?backend:Backends.Backend_intf.factory ->
   ?router_monitoring:bool ->
   ?seed:int ->
   Topology.t ->
   t
 (** Build a deployment over a topology: runs beaconing, instantiates
     per-AS services, and wires slow-side DRKey fetches to the remote
-    key servers. [router_monitoring = false] builds bare-fast-path
-    routers (no OFD / duplicate filter), as used by the speed
-    benchmarks. *)
+    key servers. [backend] selects the admission discipline every
+    CServ runs (default: the N-Tube reference backend);
+    [router_monitoring = false] builds bare-fast-path routers (no OFD /
+    duplicate filter), as used by the speed benchmarks. *)
 
 val clock : t -> Timebase.clock
 val now : t -> Timebase.t

@@ -14,28 +14,49 @@
     The load balancer must assign all EEReqs based on the same
     underlying SegR to the same sub-service — then each sub-service's
     accounting is self-contained and decisions parallelize trivially.
-    This module implements that decomposition; the test suite checks
-    its decisions coincide with a monolithic service's. *)
+    This module implements that decomposition over the pluggable
+    admission interface (DESIGN.md §12): every sub-service holds one
+    {!Backends.Backend_intf.instance} of the same factory, so the
+    decomposition works for any discipline. The test suite checks its
+    decisions coincide with a monolithic service's. *)
 
 open Colibri_types
+module Backend = Backends.Backend_intf
 
 type sub_service = {
   iface : Ids.iface;
-  admission : Admission.Eer.t;
+  backend : Backend.instance;
   mutable handled : int;
 }
 
 type t = {
-  coordinator : Admission.Seg.t;
+  factory : Backend.factory;
+  capacity : Ids.iface -> Bandwidth.t;
+  share : float option;
+  coordinator : Backend.instance;
   ingress : sub_service Ids.Iface_tbl.t;
   egress : sub_service Ids.Iface_tbl.t;
   (* The balancer's pinning of SegRs to sub-services. *)
   pin : sub_service Ids.Res_key_tbl.t;
 }
 
-let create ~(capacity : Ids.iface -> Bandwidth.t) ?share () : t =
+let make (t : t) : Backend.instance =
+  match t.share with
+  | Some share -> t.factory.make ~capacity:t.capacity ~share ()
+  | None -> t.factory.make ~capacity:t.capacity ()
+
+let create ?(backend = Backends.All.ntube) ~(capacity : Ids.iface -> Bandwidth.t)
+    ?share () : t =
+  let coordinator =
+    match share with
+    | Some share -> backend.Backend.make ~capacity ~share ()
+    | None -> backend.Backend.make ~capacity ()
+  in
   {
-    coordinator = Admission.Seg.create ~capacity ?share ();
+    factory = backend;
+    capacity;
+    share;
+    coordinator;
     ingress = Ids.Iface_tbl.create 16;
     egress = Ids.Iface_tbl.create 16;
     pin = Ids.Res_key_tbl.create 1024;
@@ -43,11 +64,18 @@ let create ~(capacity : Ids.iface -> Bandwidth.t) ?share () : t =
 
 let coordinator (t : t) = t.coordinator
 
-let sub_service (tbl : sub_service Ids.Iface_tbl.t) (iface : Ids.iface) : sub_service =
+(** SegReq admission at the coordinator, which keeps the complete SegR
+    view. Same semantics as {!Backends.Backend_intf.admit_seg}. *)
+let admit_seg (t : t) ~(req : Backend.seg_request) ~(now : Timebase.t) :
+    Backend.decision =
+  Backend.admit_seg t.coordinator ~req ~now
+
+let sub_service (t : t) (tbl : sub_service Ids.Iface_tbl.t) (iface : Ids.iface) :
+    sub_service =
   match Ids.Iface_tbl.find_opt tbl iface with
   | Some s -> s
   | None ->
-      let s = { iface; admission = Admission.Eer.create (); handled = 0 } in
+      let s = { iface; backend = make t; handled = 0 } in
       Ids.Iface_tbl.replace tbl iface s;
       s
 
@@ -65,48 +93,62 @@ let service_for (t : t) ~(segr_key : Ids.res_key) ~(segr_ingress : Ids.iface) :
   match Ids.Res_key_tbl.find_opt t.pin segr_key with
   | Some s -> s
   | None ->
-      let s = sub_service t.ingress segr_ingress in
+      let s = sub_service t t.ingress segr_ingress in
       Ids.Res_key_tbl.replace t.pin segr_key s;
       s
 
 (** EER admission, dispatched to the pinned sub-service. Same
-    semantics as {!Admission.Eer.admit}. *)
+    semantics as {!Backends.Backend_intf.admit_eer}; per-hop backends
+    account the reservation against the pinned interface. *)
 let admit_eer (t : t) ~(key : Ids.res_key) ~(version : int)
     ~(segrs : (Ids.res_key * Bandwidth.t) list)
     ~(via_up : (Ids.res_key * Ids.res_key * Bandwidth.t) option)
     ~(segr_ingress : Ids.iface) ~(demand : Bandwidth.t) ~(exp_time : Timebase.t)
-    ~(now : Timebase.t) : Admission.decision =
+    ~(now : Timebase.t) : Backend.decision =
   match segrs with
-  | [] -> Admission.Denied { available = Bandwidth.zero }
+  | [] -> Backend.Denied { available = Bandwidth.zero }
   | (first_segr, _) :: _ ->
       let s = service_for t ~segr_key:first_segr ~segr_ingress in
       s.handled <- s.handled + 1;
-      Admission.Eer.admit s.admission ~key ~version ~segrs ~via_up ~demand ~exp_time
-        ~now
+      let req : Backend.eer_request =
+        {
+          key;
+          version;
+          segrs;
+          via_up;
+          ingress = segr_ingress;
+          egress = segr_ingress;
+          demand;
+          renewal = false;
+          exp_time;
+        }
+      in
+      Backend.admit_eer s.backend ~req ~now
 
 let ingress_services (t : t) : (Ids.iface * int) list =
   Ids.Iface_tbl.fold (fun iface s acc -> (iface, s.handled) :: acc) t.ingress []
 
 let service_count (t : t) = Ids.Iface_tbl.length t.ingress + Ids.Iface_tbl.length t.egress
 
-(** Audit the whole decomposed service: the coordinator's SegR
-    aggregates, every sub-service's EER aggregates, and the balancer's
-    pinning discipline (each pin points at the sub-service registered
-    under its interface; dispatch counters match the sub-service's
-    admission counters). [[]] means consistent. *)
+(** Audit the whole decomposed service: the coordinator's aggregates,
+    every sub-service's aggregates, and the balancer's pinning
+    discipline (each pin points at the sub-service registered under
+    its interface; dispatch counters match the sub-service's admission
+    counters — [Backend_intf.admissions] counts every dispatched call,
+    retransmission hits included). [[]] means consistent. *)
 let audit (t : t) : string list =
   let errs = ref [] in
   let err fmt = Fmt.kstr (fun s -> errs := s :: !errs) fmt in
-  List.iter (fun e -> err "coordinator: %s" e) (Admission.Seg.audit t.coordinator);
+  List.iter (fun e -> err "coordinator: %s" e) (Backend.audit t.coordinator);
   let audit_services what tbl =
     Ids.Iface_tbl.iter
       (fun iface s ->
         if s.iface <> iface then
           err "%s[%d]: registered under interface %d" what iface s.iface;
-        if s.handled <> Admission.Eer.admissions s.admission then
+        if s.handled <> Backend.admissions s.backend then
           err "%s[%d]: dispatched %d requests but admission saw %d" what iface s.handled
-            (Admission.Eer.admissions s.admission);
-        List.iter (fun e -> err "%s[%d]: %s" what iface e) (Admission.Eer.audit s.admission))
+            (Backend.admissions s.backend);
+        List.iter (fun e -> err "%s[%d]: %s" what iface e) (Backend.audit s.backend))
       tbl
   in
   audit_services "ingress" t.ingress;
@@ -121,4 +163,4 @@ let audit (t : t) : string list =
 
 (** Deliberately corrupt the coordinator's aggregates so tests can
     verify that {!audit} detects it. Never call outside tests. *)
-let corrupt_for_test (t : t) = Admission.Seg.corrupt_for_test t.coordinator
+let corrupt_for_test (t : t) = Backend.corrupt_for_test t.coordinator

@@ -8,17 +8,34 @@
     sub-services for EEReqs. The load balancer must route all EEReqs
     based on the same underlying SegR to the same sub-service — each
     sub-service's accounting is then self-contained and decisions
-    parallelize trivially. The test suite checks the decomposition's
-    decisions coincide with a monolithic service's. *)
+    parallelize trivially. Every sub-service holds one instance of the
+    same pluggable admission backend (DESIGN.md §12). The test suite
+    checks the decomposition's decisions coincide with a monolithic
+    service's. *)
 
 open Colibri_types
 
 type t
 
-val create : capacity:(Ids.iface -> Bandwidth.t) -> ?share:float -> unit -> t
+val create :
+  ?backend:Backends.Backend_intf.factory ->
+  capacity:(Ids.iface -> Bandwidth.t) ->
+  ?share:float ->
+  unit ->
+  t
+(** [backend] selects the admission discipline every sub-service runs
+    (default: the N-Tube reference backend, [Backends.All.ntube]). *)
 
-val coordinator : t -> Admission.Seg.t
+val coordinator : t -> Backends.Backend_intf.instance
 (** The coordinator sub-service handling all SegReqs. *)
+
+val admit_seg :
+  t ->
+  req:Backends.Backend_intf.seg_request ->
+  now:Timebase.t ->
+  Backends.Backend_intf.decision
+(** SegReq admission at the coordinator. Same semantics as
+    {!Backends.Backend_intf.admit_seg}. *)
 
 val admit_eer :
   t ->
@@ -30,10 +47,11 @@ val admit_eer :
   demand:Bandwidth.t ->
   exp_time:Timebase.t ->
   now:Timebase.t ->
-  Admission.decision
+  Backends.Backend_intf.decision
 (** EER admission, dispatched to the sub-service pinned to the first
     underlying SegR (by its ingress interface on first sight). Same
-    semantics as {!Admission.Eer.admit}. *)
+    semantics as {!Backends.Backend_intf.admit_eer}; per-hop backends
+    account the reservation against the pinned interface. *)
 
 val ingress_services : t -> (Ids.iface * int) list
 (** The ingress sub-services with the number of requests each
@@ -42,9 +60,9 @@ val ingress_services : t -> (Ids.iface * int) list
 val service_count : t -> int
 
 val audit : t -> string list
-(** Audit the whole decomposed service: the coordinator's SegR
-    aggregates ({!Admission.Seg.audit}), every sub-service's EER
-    aggregates ({!Admission.Eer.audit}), and the balancer's pinning
+(** Audit the whole decomposed service: the coordinator's aggregates,
+    every sub-service's aggregates (both via
+    {!Backends.Backend_intf.audit}), and the balancer's pinning
     discipline (each pin points at the sub-service registered under
     its interface; dispatch counters match the sub-services' admission
     counters). [[]] means consistent. *)

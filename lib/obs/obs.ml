@@ -169,11 +169,13 @@ module Asn_counters = struct
     registry : Registry.t;
     name : string;
     label : string;
+    extra : (string * string) list;
     members : Counter.t Ids.Asn_tbl.t;
   }
 
-  let create (registry : Registry.t) ~(name : string) ~(label : string) : t =
-    { registry; name; label; members = Ids.Asn_tbl.create 16 }
+  let create ?(extra = []) (registry : Registry.t) ~(name : string) ~(label : string)
+      : t =
+    { registry; name; label; extra; members = Ids.Asn_tbl.create 16 }
 
   let get (t : t) (a : Ids.asn) : Counter.t =
     match Ids.Asn_tbl.find_opt t.members a with
@@ -181,7 +183,7 @@ module Asn_counters = struct
     | None ->
         let c =
           Registry.counter t.registry
-            (labeled t.name [ (t.label, Fmt.str "%a" Ids.pp_asn a) ])
+            (labeled t.name (t.extra @ [ (t.label, Fmt.str "%a" Ids.pp_asn a) ]))
         in
         Ids.Asn_tbl.replace t.members a c;
         c
@@ -194,11 +196,13 @@ module Res_key_counters = struct
     registry : Registry.t;
     name : string;
     label : string;
+    extra : (string * string) list;
     members : Counter.t Ids.Res_key_tbl.t;
   }
 
-  let create (registry : Registry.t) ~(name : string) ~(label : string) : t =
-    { registry; name; label; members = Ids.Res_key_tbl.create 16 }
+  let create ?(extra = []) (registry : Registry.t) ~(name : string) ~(label : string)
+      : t =
+    { registry; name; label; extra; members = Ids.Res_key_tbl.create 16 }
 
   let get (t : t) (k : Ids.res_key) : Counter.t =
     match Ids.Res_key_tbl.find_opt t.members k with
@@ -206,7 +210,7 @@ module Res_key_counters = struct
     | None ->
         let c =
           Registry.counter t.registry
-            (labeled t.name [ (t.label, Fmt.str "%a" Ids.pp_res_key k) ])
+            (labeled t.name (t.extra @ [ (t.label, Fmt.str "%a" Ids.pp_res_key k) ]))
         in
         Ids.Res_key_tbl.replace t.members k c;
         c

@@ -122,7 +122,12 @@ end
 module Asn_counters : sig
   type t
 
-  val create : Registry.t -> name:string -> label:string -> t
+  val create : ?extra:(string * string) list -> Registry.t -> name:string -> label:string -> t
+  (** [extra] prepends constant labels to every member — e.g.
+      [?extra:[("backend", "ntube")]] registers members as
+      [name{backend="ntube",label="…"}], splitting one family per
+      admission backend. *)
+
   val get : t -> Colibri_types.Ids.asn -> Counter.t
   (** Memoized: after the first sighting of an AS, [get] is one keyed
       table lookup and no allocation. *)
@@ -131,6 +136,6 @@ end
 module Res_key_counters : sig
   type t
 
-  val create : Registry.t -> name:string -> label:string -> t
+  val create : ?extra:(string * string) list -> Registry.t -> name:string -> label:string -> t
   val get : t -> Colibri_types.Ids.res_key -> Counter.t
 end

@@ -165,3 +165,22 @@ module Asn_pair_tbl = Hashtbl.Make (struct
   let equal (a1, a2) (b1, b2) = equal_asn a1 b1 && equal_asn a2 b2
   let hash ((a, b) : t) = hash_fold [ a.isd; a.num; b.isd; b.num ]
 end)
+
+(* Time-sliced ledger keys of the flyover admission backend: a hop's
+   egress interface crossed with a slice index, optionally per source
+   AS (Backends.Flyover, DESIGN.md §12). *)
+module Iface_slice_tbl = Hashtbl.Make (struct
+  type t = iface * int
+
+  let equal ((i1, s1) : t) (i2, s2) = Int.equal i1 i2 && Int.equal s1 s2
+  let hash ((i, s) : t) = hash_fold [ i; s ]
+end)
+
+module Src_slice_tbl = Hashtbl.Make (struct
+  type t = asn * iface * int
+
+  let equal ((a, i1, s1) : t) (b, i2, s2) =
+    equal_asn a b && Int.equal i1 i2 && Int.equal s1 s2
+
+  let hash ((a, i, s) : t) = hash_fold [ a.isd; a.num; i; s ]
+end)

@@ -70,3 +70,11 @@ module Src_egress_tbl : Hashtbl.S with type key = asn * iface
 module Res_ver_tbl : Hashtbl.S with type key = res_key * int
 module Res_pair_tbl : Hashtbl.S with type key = res_key * res_key
 module Asn_pair_tbl : Hashtbl.S with type key = asn * asn
+
+module Iface_slice_tbl : Hashtbl.S with type key = iface * int
+(** (egress interface, slice index) — the flyover backend's per-hop
+    time-sliced bandwidth ledger. *)
+
+module Src_slice_tbl : Hashtbl.S with type key = asn * iface * int
+(** (source AS, egress interface, slice index) — per-source flyover
+    holdings within one slice. *)

@@ -83,11 +83,19 @@ let same_segr_pinned_to_one_service () =
 
 let coordinator_handles_segreqs () =
   let dist = Distributed.create ~capacity () in
-  let adm = Distributed.coordinator dist in
-  match
-    Admission.Seg.admit adm ~key:(key 1 1) ~version:1 ~src:(asn 1) ~ingress:1
-      ~egress:2 ~demand:(gbps 1.) ~min_bw:(mbps 1.) ~exp_time:300. ~now:0.
-  with
+  let req : Backends.Backend_intf.seg_request =
+    {
+      key = key 1 1;
+      version = 1;
+      src = asn 1;
+      ingress = 1;
+      egress = 2;
+      demand = gbps 1.;
+      min_bw = mbps 1.;
+      exp_time = 300.;
+    }
+  in
+  match Distributed.admit_seg dist ~req ~now:0. with
   | Admission.Granted _ -> ()
   | Admission.Denied _ -> Alcotest.fail "coordinator refused a trivial SegR"
 

@@ -110,9 +110,9 @@ let prop_no_segr_oversubscription =
                            | None -> true (* this AS not on that SegR *)
                            | Some ts ->
                                let booked =
-                                 Admission.Eer.allocated_over
-                                   (Cserv.eer_admission (Deployment.cserv d hop.asn))
-                                   key
+                                 Backends.Backend_intf.eer_allocated_over
+                                   (Cserv.backend (Deployment.cserv d hop.asn))
+                                   ~segr:key
                                in
                                Bandwidth.(
                                  booked <=~ Reservation.segr_bw ts.segr ~now)))))

@@ -11,6 +11,7 @@ let () =
       ("packet", Test_packet.suite);
       ("view", Test_view.suite);
       ("admission", Test_admission.suite);
+      ("backends", Test_backends.suite);
       ("cserv", Test_cserv.suite);
       ("dataplane", Test_dataplane.suite);
       ("deployment", Test_deployment.suite);

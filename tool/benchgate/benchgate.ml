@@ -40,6 +40,25 @@ let curve_keys =
 let scaling_key = "par_router_scaling_x"
 let scaling_floor = 1.0
 
+(* PR 8: the backend-comparison curve ([bench/main.exe backends],
+   DESIGN.md §12). Every discipline must keep reporting all four
+   columns, the reference backend must keep admitting the whole
+   comparison workload, and the flyover backend must stay cheaper in
+   control messages than the chained reference — the head-to-head
+   claim the comparison exists to make. *)
+let backend_names = [ "ntube"; "intserv"; "diffserv"; "flyover" ]
+
+let backend_columns =
+  [ "setup_latency"; "msgs_per_setup"; "utilization"; "admit_rate" ]
+
+let backend_keys =
+  List.concat_map
+    (fun b -> List.map (fun c -> Printf.sprintf "backend_%s_%s" b c) backend_columns)
+    backend_names
+
+let reference_admit_key = "backend_ntube_admit_rate"
+let reference_admit_floor = 0.995
+
 let read_file (path : string) : string =
   let ic = open_in_bin path in
   Fun.protect
@@ -106,6 +125,32 @@ let () =
       fail "%s = %.4f < %.1f: adding a worker makes the router slower again" scaling_key x
         scaling_floor
   | Some x -> Printf.printf "benchgate: %s = %.4f (floor %.1f), curve complete\n" scaling_key x scaling_floor);
+  List.iter
+    (fun key ->
+      if not (List.mem_assoc key summary) then
+        fail "missing key [%s]: the backend comparison must stay in the ledger" key)
+    backend_keys;
+  (match List.assoc_opt reference_admit_key summary with
+  | None -> fail "missing key [%s]" reference_admit_key
+  | Some x when x < reference_admit_floor ->
+      fail "%s = %.4f < %.3f: the reference backend denies workload it used to admit"
+        reference_admit_key x reference_admit_floor
+  | Some _ -> ());
+  (match
+     ( List.assoc_opt "backend_flyover_msgs_per_setup" summary,
+       List.assoc_opt "backend_ntube_msgs_per_setup" summary )
+   with
+  | Some fly, Some ref_msgs when fly >= ref_msgs ->
+      fail
+        "backend_flyover_msgs_per_setup = %.2f >= %.2f (ntube): flyovers lost their \
+         message advantage"
+        fly ref_msgs
+  | Some fly, Some ref_msgs ->
+      Printf.printf
+        "benchgate: flyover %.2f msgs/setup vs ntube %.2f (floor %s >= %.3f), backend \
+         curve complete\n"
+        fly ref_msgs reference_admit_key reference_admit_floor
+  | _ -> () (* missing keys already reported above *));
   match !failures with
   | [] -> ()
   | fs ->
