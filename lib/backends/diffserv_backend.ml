@@ -49,7 +49,11 @@ module B : Backend_intf.S = struct
     }
 
   let add_booked (t : t) (egress : Ids.iface) dv =
-    let v = Option.value ~default:0. (Ids.Iface_tbl.find_opt t.booked egress) +. dv in
+    let v =
+      Bandwidth.saturating_add
+        (Option.value ~default:0. (Ids.Iface_tbl.find_opt t.booked egress))
+        dv
+    in
     if v <= 1e-9 then Ids.Iface_tbl.remove t.booked egress
     else Ids.Iface_tbl.replace t.booked egress v
 
@@ -68,9 +72,17 @@ module B : Backend_intf.S = struct
     | Some e -> Granted (Bandwidth.of_bps e.bw) (* retransmission *)
     | None ->
         (* Class-based networks accept everything; congestion shows up
-           in the data plane, not at admission. *)
+           in the data plane, not at admission. Everything except an
+           unrepresentable magnitude: the booked ledger must stay
+           finite even for the no-admission-control discipline. *)
         let e =
-          { egress; klass; bw = Bandwidth.to_bps demand; exp_time; removed = false }
+          {
+            egress;
+            klass;
+            bw = Bandwidth.to_bps (Bandwidth.clamp demand);
+            exp_time;
+            removed = false;
+          }
         in
         Ids.Res_ver_tbl.replace entries (key, version) e;
         add_booked t egress e.bw;

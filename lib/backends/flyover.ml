@@ -58,6 +58,20 @@ let slice_len = 4.0
 let quantum = 100.0e6 (* 100 Mbps *)
 let horizon = 256
 
+(* Largest slice index the ledger will ever address (~2^46 slices,
+   millions of years at any realistic slice length). Wire-derived
+   expirations are clamped here before the float-to-int conversion:
+   [int_of_float] of an oversized or NaN float is unspecified, and a
+   wrapped-negative index would corrupt every (egress, slice) key
+   derived from it. *)
+let max_slice = (1 lsl 46) - 1
+
+(** Clamp a slice index (as produced by time/slice_len arithmetic)
+    into [[0, max_slice]]; NaN maps to slice 0. *)
+let clamp_slice (s : float) : int =
+  if Float.is_nan s then 0
+  else int_of_float (Float.min (Float.max 0. s) (float_of_int max_slice))
+
 module B : Backend_intf.S = struct
   type t = {
     capacity : Ids.iface -> Bandwidth.t;
@@ -106,8 +120,7 @@ module B : Backend_intf.S = struct
     if egress = Ids.local_iface then Float.max_float
     else t.share *. Bandwidth.to_bps (t.capacity egress)
 
-  let slice_of (t : t) (at : Timebase.t) : int =
-    int_of_float (Float.max 0. at /. t.slice_len)
+  let slice_of (t : t) (at : Timebase.t) : int = clamp_slice (at /. t.slice_len)
 
   let tick (t : t) ~now =
     Expiry.sweep t.expiry ~now;
@@ -156,7 +169,9 @@ module B : Backend_intf.S = struct
     match Ids.Res_ver_tbl.find_opt entries (key, version) with
     | Some e -> Granted (Bandwidth.of_bps e.bw) (* retransmission: free *)
     | None ->
-        let d = Bandwidth.to_bps demand in
+        (* Clamp the wire-derived demand before it reaches the cell
+           ledgers (inf/NaN would poison them; see Bandwidth.clamp). *)
+        let d = Bandwidth.to_bps (Bandwidth.clamp demand) in
         let s0 = max (slice_of t now) t.retired_below in
         let s1 = max s0 (min (slice_of t (exp_time -. 1e-9)) (s0 + t.horizon - 1)) in
         let cap = colibri_cap t egress in

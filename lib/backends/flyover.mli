@@ -42,6 +42,16 @@ val horizon : int
 (** Farthest slice (relative to now) a reservation may span; longer
     expiries are clamped, matching flyovers' short-lived leases. *)
 
+val max_slice : int
+(** Largest slice index the ledger will ever address (2^46 - 1). *)
+
+val clamp_slice : float -> int
+(** Clamp time/slice_len arithmetic into [[0, max_slice]] before the
+    float-to-int conversion; NaN maps to 0. Wire-derived expirations
+    must pass through here — [int_of_float] on an oversized float is
+    unspecified and a wrapped index would corrupt (egress, slice)
+    keys (DESIGN.md §13, rule w4). *)
+
 module B : Backend_intf.S
 (** [name = "flyover"]. *)
 

@@ -95,7 +95,9 @@ module B : Backend_intf.S = struct
           match Baseline.Intserv.admit port ~id:fid ~bw:demand ~exp_time ~now with
           | `Rejected -> Denied { available = Bandwidth.of_bps (headroom t egress ~now) }
           | `Admitted ->
-              let e = { egress; fid; bw = Bandwidth.to_bps demand; exp_time } in
+              let e =
+                { egress; fid; bw = Bandwidth.to_bps (Bandwidth.clamp demand); exp_time }
+              in
               Ids.Res_ver_tbl.replace entries (key, version) e;
               Expiry.push t.expiry ~at:exp_time (fun () ->
                   match Ids.Res_ver_tbl.find_opt entries (key, version) with

@@ -52,8 +52,10 @@ module Acc (T : Hashtbl.S) = struct
   let create n : t = T.create n
   let get (t : t) k = Option.value ~default:0. (T.find_opt t k)
 
+  (* Saturating, not plain (+.): one crafted inf/2^63-bps demand must
+     not poison an accumulator every later admission divides by. *)
   let add (t : t) k dv =
-    let v = get t k +. dv in
+    let v = Bandwidth.saturating_add (get t k) dv in
     if v <= 1e-9 then T.remove t k else T.replace t k v
 
   (* Recompute-and-diff support for [audit]: fold [items] into a fresh
@@ -157,7 +159,11 @@ module Seg = struct
     if Ids.Res_ver_tbl.mem t.entries (key, version) then
       Denied { available = Bandwidth.zero } (* duplicate setup *)
     else begin
-      let d = Bandwidth.to_bps demand in
+      (* Clamp the wire-derived demand before any ledger arithmetic:
+         an inf demand would otherwise make [in_total] infinite,
+         [cap_in /. in_total] zero and [adj1 = inf *. 0.] NaN — which
+         the accumulators would then absorb permanently. *)
+      let d = Bandwidth.to_bps (Bandwidth.clamp demand) in
       let cap_in = colibri_cap t ingress and cap_eg = colibri_cap t egress in
       (* Rule 1: ingress capacity bounds total ingress demand. *)
       let in_total = Iface_acc.get t.in_demand ingress +. d in
@@ -315,7 +321,7 @@ module Eer = struct
     Option.value ~default:0. (Ids.Res_key_tbl.find_opt t.alloc segr)
 
   let add_alloc (t : t) (segr : Ids.res_key) dv =
-    let v = alloc_of t segr +. dv in
+    let v = Bandwidth.saturating_add (alloc_of t segr) dv in
     if v <= 1e-9 then Ids.Res_key_tbl.remove t.alloc segr
     else Ids.Res_key_tbl.replace t.alloc segr v
 
@@ -323,10 +329,14 @@ module Eer = struct
     Option.value ~default:0. (Ids.Res_pair_tbl.find_opt t.up_demand slot)
 
   let add_up_demand (t : t) ((core, _up) as slot) dv =
-    let v = up_demand_of t slot +. dv in
+    let v = Bandwidth.saturating_add (up_demand_of t slot) dv in
     if v <= 1e-9 then Ids.Res_pair_tbl.remove t.up_demand slot
     else Ids.Res_pair_tbl.replace t.up_demand slot v;
-    let tot = Option.value ~default:0. (Ids.Res_key_tbl.find_opt t.up_total core) +. dv in
+    let tot =
+      Bandwidth.saturating_add
+        (Option.value ~default:0. (Ids.Res_key_tbl.find_opt t.up_total core))
+        dv
+    in
     if tot <= 1e-9 then Ids.Res_key_tbl.remove t.up_total core
     else Ids.Res_key_tbl.replace t.up_total core tot
 
@@ -364,7 +374,9 @@ module Eer = struct
       =
     Expiry.sweep t.expiry ~now;
     t.admissions <- t.admissions + 1;
-    let d = Bandwidth.to_bps demand in
+    (* Same clamp as segment admission: wire-derived magnitudes stay
+       inside the representable ledger band. *)
+    let d = Bandwidth.to_bps (Bandwidth.clamp demand) in
     let flow = Ids.Res_key_tbl.find_opt t.flows key in
     (match flow with Some f -> refresh_flow t key f ~now | None -> ());
     let existing = match flow with Some f -> f.contribution | None -> 0. in

@@ -348,10 +348,13 @@ let send_bytes (t : t) ~(res_id : Ids.res_id) ~(payload_len : int) :
             Packet.Wire.put32 b res_off ri.src_as.isd;
             Packet.Wire.put32 b (res_off + 4) ri.src_as.num;
             Packet.Wire.put32 b (res_off + 8) ri.res_id;
+            (* Clamp before float->int: bw/exp_time trace back to the
+               wire, and [int_of_float] of an oversized float is
+               unspecified (w4). *)
             Packet.Wire.put64 b (res_off + 12)
-              (int_of_float (Float.round (Bandwidth.to_bps ri.bw)));
+              (int_of_float (Float.round (Bandwidth.to_bps (Bandwidth.clamp ri.bw))));
             Packet.Wire.put64 b (res_off + 20)
-              (int_of_float (Float.round (ri.exp_time *. 1e6)));
+              (Timebase.Ts.us_of_time ri.exp_time);
             Packet.Wire.put32 b (res_off + 28) ri.version;
             let eer_off = res_off + Packet.res_info_len in
             Packet.Wire.put32 b eer_off e.eer_info.src_host.addr;

@@ -18,6 +18,41 @@ let to_mbps x = x /. 1e6
 
 let add = ( +. )
 let sub a b = Float.max 0. (a -. b)
+
+(* Overflow-safe arithmetic for ledger accumulation (DESIGN.md §13).
+   Wire-derived magnitudes reach the Ntube/Flyover accumulators; a
+   crafted 2^63-bps demand (or an inf/NaN produced downstream) must
+   saturate instead of poisoning a float ledger that every later
+   admission reads. [max_bps] (2^62 bps ≈ 4.6 exabit/s) is far above
+   any link yet exactly representable and safely convertible to an
+   int64 on the wire. *)
+let max_bps = 0x1p62
+
+(** Clamp into the representable band [[0, max_bps]]; NaN maps to 0
+    (an unparseable demand admits nothing). *)
+let clamp x =
+  if Float.is_nan x then 0.
+  else if Stdlib.( > ) (Float.compare x max_bps) 0 then max_bps
+  else if Stdlib.( < ) (Float.compare x 0.) 0 then 0.
+  else x
+
+(** [checked_add a b] is [Some (a +. b)] when the sum stays inside
+    [[-max_bps, max_bps]] and is a number; [None] on overflow/NaN. *)
+let checked_add a b =
+  let s = a +. b in
+  if Float.is_nan s || Stdlib.( > ) (Float.compare (Float.abs s) max_bps) 0
+  then None
+  else Some s
+
+(** [saturating_add a b] is [a +. b] saturated to [±max_bps]; a NaN
+    sum collapses to 0 — for ledgers, "nothing accounted" beats a
+    poisoned accumulator that absorbs every later update. *)
+let saturating_add a b =
+  let s = a +. b in
+  if Float.is_nan s then 0.
+  else if Stdlib.( > ) (Float.compare s max_bps) 0 then max_bps
+  else if Stdlib.( < ) (Float.compare s (-.max_bps)) 0 then -.max_bps
+  else s
 let min = Float.min
 let max = Float.max
 let scale k x = k *. x

@@ -18,6 +18,21 @@ val add : t -> t -> t
 val sub : t -> t -> t
 (** Floored at zero. *)
 
+val max_bps : float
+(** Representable ledger band: 2^62 bps. Wire-derived magnitudes are
+    clamped here before they reach an accumulator (DESIGN.md §13). *)
+
+val clamp : t -> t
+(** Clamp into [[0, max_bps]]; NaN maps to [zero]. *)
+
+val checked_add : t -> t -> t option
+(** [Some] of the sum when it stays inside [[-max_bps, max_bps]] and
+    is a number, [None] on overflow or NaN. *)
+
+val saturating_add : t -> t -> t
+(** The sum saturated to [±max_bps]; a NaN sum collapses to [zero] so
+    one crafted demand cannot poison an accumulator. *)
+
 val min : t -> t -> t
 val max : t -> t -> t
 val scale : float -> t -> t

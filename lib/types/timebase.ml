@@ -60,6 +60,19 @@ end
 module Ts = struct
   type t = int (* microsecond ticks relative to reservation ExpT *)
 
+  (* Largest time distance (seconds) whose microsecond tick still fits
+     an int exactly: 2^52 µs ≈ 142 years. Wire-derived expirations
+     beyond it saturate instead of hitting [int_of_float]'s
+     unspecified overflow behavior (wiretaint rule w4). *)
+  let max_range_s = 0x1p52 /. 1e6
+
+  (** [us_of_time s] is [s] in microsecond ticks, clamped into
+      [[0, 2^52]]; NaN maps to 0. The safe float->int conversion for
+      wire-derived times. *)
+  let us_of_time (s : float) : int =
+    if Float.is_nan s then 0
+    else int_of_float (Float.round (Float.min max_range_s (Float.max 0. s) *. 1e6))
+
   (** [of_times ~exp_time ~now] encodes [now] as microseconds before
       [exp_time]. Raises [Invalid_argument] if [now] is after
       [exp_time] (the reservation has expired). *)
@@ -69,7 +82,7 @@ module Ts = struct
        guard only fires on a caller bug, not per packet. *)
     if Stdlib.( < ) (Float.compare d 0.) 0 then
       invalid_arg "Ts.of_times: expired" [@colibri.allow "d2"];
-    int_of_float (Float.round (d *. 1e6))
+    us_of_time d
 
   (** Inverse of {!of_times}: absolute send time implied by the tick. *)
   let to_time ~exp_time (ts : t) : float = exp_time -. (float_of_int ts /. 1e6)

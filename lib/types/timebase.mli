@@ -51,6 +51,11 @@ end
 module Ts : sig
   type t
 
+  val us_of_time : float -> int
+  (** Seconds to microsecond ticks, clamped into [[0, 2^52]] (NaN maps
+      to 0) — the overflow-safe float->int conversion for wire-derived
+      times (DESIGN.md §13, rule w4). *)
+
   val of_times : exp_time:float -> now:float -> t
   (** Raises [Invalid_argument] if [now] is past [exp_time]. *)
 

@@ -175,6 +175,21 @@ let prop_audit_clean (f : Backend.factory) =
 
 let flyover () = instance Backends.All.flyover
 
+(* Slice-index clamp (DESIGN.md §13): a wire-supplied expiry must not
+   turn into an unbounded [int_of_float] — NaN would be 0 but a huge
+   float is undefined behavior territory for array-sized indices. *)
+let flyover_clamp_slice () =
+  let m = Backends.Flyover.max_slice in
+  Alcotest.(check int) "identity in band" 42 (Backends.Flyover.clamp_slice 42.3);
+  Alcotest.(check int) "zero" 0 (Backends.Flyover.clamp_slice 0.);
+  Alcotest.(check int) "negative floors" 0 (Backends.Flyover.clamp_slice (-7.));
+  Alcotest.(check int) "nan is zero" 0 (Backends.Flyover.clamp_slice Float.nan);
+  Alcotest.(check int) "inf caps" m (Backends.Flyover.clamp_slice Float.infinity);
+  Alcotest.(check int) "max_int-adjacent caps" m
+    (Backends.Flyover.clamp_slice (float_of_int max_int));
+  Alcotest.(check int) "just past the cap" m
+    (Backends.Flyover.clamp_slice (float_of_int m +. 2.))
+
 let flyover_purchase_amortizes () =
   let t = flyover () in
   Alcotest.(check int) "no traffic yet" 0 (Backend.control_messages t);
@@ -301,6 +316,8 @@ let suite =
       Alcotest.test_case "flyover: slices retire cleanly" `Quick flyover_slices_retire;
       Alcotest.test_case "flyover: horizon clamps unbounded expiry" `Quick
         flyover_horizon_clamps;
+      Alcotest.test_case "flyover: slice-index clamp saturates" `Quick
+        flyover_clamp_slice;
       Alcotest.test_case "flyover: ledger bound denies oversale" `Quick
         flyover_denies_oversale;
       Alcotest.test_case "reference: remove is total on both classes" `Quick

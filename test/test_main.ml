@@ -30,6 +30,8 @@ let () =
       ("lint", Test_lint.suite);
       ("deepscan", Test_deepscan.suite);
       ("domaincheck", Test_domaincheck.suite);
+      ("wiretaint", Test_wiretaint.suite);
+      ("wire_fuzz", Test_wire_fuzz.suite);
       ("par", Test_par.suite);
       ("audit", Test_audit.suite);
     ]

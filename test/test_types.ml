@@ -33,6 +33,40 @@ let bandwidth_units () =
   Alcotest.(check bool) "is_positive" true (Bandwidth.is_positive (Bandwidth.of_bps 1.));
   Alcotest.(check bool) "zero not positive" false (Bandwidth.is_positive Bandwidth.zero)
 
+(* Overflow-safe ledger arithmetic (DESIGN.md §13): behavior at and
+   just past the representable band [±max_bps = ±2^62 bps], where a
+   naive [+.] would drift to infinity and a division by the sum would
+   mint the NaN that poisons a float ledger permanently. *)
+let bandwidth_overflow () =
+  let m = Bandwidth.max_bps in
+  let near = m -. 1e6 (* a hair below the cap at 2^62 ~ 4.6e18 *) in
+  Alcotest.(check (float 0.)) "clamp: identity in band" 1e9 (Bandwidth.clamp 1e9);
+  Alcotest.(check (float 0.)) "clamp: cap at max_bps" m (Bandwidth.clamp (2. *. m));
+  Alcotest.(check (float 0.)) "clamp: inf caps" m (Bandwidth.clamp Float.infinity);
+  Alcotest.(check (float 0.)) "clamp: nan is zero" 0. (Bandwidth.clamp Float.nan);
+  Alcotest.(check (float 0.)) "clamp: negative floors" 0. (Bandwidth.clamp (-1e30));
+  Alcotest.(check bool) "checked: in band" true
+    (Bandwidth.checked_add near 1. = Some (near +. 1.));
+  Alcotest.(check bool) "checked: overflow is None" true
+    (Bandwidth.checked_add m m = None);
+  Alcotest.(check bool) "checked: negative overflow is None" true
+    (Bandwidth.checked_add (-.m) (-.m) = None);
+  Alcotest.(check bool) "checked: nan is None" true
+    (Bandwidth.checked_add Float.nan 1. = None);
+  Alcotest.(check (float 0.)) "saturating: in band" (near +. 1.)
+    (Bandwidth.saturating_add near 1.);
+  Alcotest.(check (float 0.)) "saturating: caps above" m (Bandwidth.saturating_add m m);
+  Alcotest.(check (float 0.)) "saturating: caps below" (-.m)
+    (Bandwidth.saturating_add (-.m) (-.m));
+  Alcotest.(check (float 0.)) "saturating: inf caps" m
+    (Bandwidth.saturating_add Float.infinity 1.);
+  Alcotest.(check (float 0.)) "saturating: nan collapses to zero" 0.
+    (Bandwidth.saturating_add Float.nan 1.);
+  (* The saturated ledger stays usable: a subsequent division cannot
+     produce NaN the way [cap /. inf] (= 0, then [inf *. 0.]) did. *)
+  Alcotest.(check bool) "saturated sum divides cleanly" true
+    (Float.is_finite (1e9 /. Bandwidth.saturating_add Float.infinity 1e9))
+
 let timebase_ts () =
   let exp_time = 100. in
   let ts = Timebase.Ts.of_times ~exp_time ~now:99.5 in
@@ -175,6 +209,7 @@ let suite =
     Alcotest.test_case "AS id encoding" `Quick ids_encoding;
     Alcotest.test_case "AS id ordering" `Quick ids_ordering;
     Alcotest.test_case "bandwidth units" `Quick bandwidth_units;
+    Alcotest.test_case "bandwidth overflow arithmetic" `Quick bandwidth_overflow;
     Alcotest.test_case "timestamp encoding" `Quick timebase_ts;
     Alcotest.test_case "sim clock" `Quick timebase_clock;
     Alcotest.test_case "path validate ok" `Quick path_validate_ok;

@@ -1,0 +1,174 @@
+(** Wiretaint fixture suite.
+
+    [wiretaint_fixtures/] holds one deliberately-vulnerable module per
+    wire-taint rule w1..w4, each paired with a
+    [[@@colibri.allow]]-suppressed twin and a sanitized (silent)
+    variant, plus the sanitizer-recognition trio in [Wt_sanitize]
+    (guard dominates / use after the guarded conditional / guard
+    laundered through a boolean) and the cross-module pair
+    [Wt_flow_src]/[Wt_flow_sink] where the taint only reaches the sink
+    through a record-field fact and a parameter fact. The suite proves
+    every rule fires at its known location, every suppression flags
+    exactly its twin (suppressed findings are carried, not dropped),
+    and the totals are exact. Tests run from [_build/default/test],
+    where dune has built the fixture library's [.cmt] files next to
+    its copied sources. *)
+
+let result = lazy (Wiretaint.scan [ "wiretaint_fixtures" ])
+let findings () = fst (Lazy.force result)
+let base (f : Lint.finding) = Filename.basename f.file
+
+let find_at ~rule ~file ~line () =
+  List.filter
+    (fun (f : Lint.finding) -> f.rule = rule && base f = file && f.line = line)
+    (findings ())
+
+let check_state ~suppressed ?contains ~rule ~file ~line () =
+  let hits = find_at ~rule ~file ~line () in
+  Alcotest.(check bool)
+    (Printf.sprintf "[%s] fires at %s:%d" rule file line)
+    true (hits <> []);
+  Alcotest.(check bool)
+    (Printf.sprintf "[%s] at %s:%d suppressed=%b" rule file line suppressed)
+    true
+    (List.for_all (fun (f : Lint.finding) -> f.suppressed = suppressed) hits);
+  match contains with
+  | None -> ()
+  | Some affix ->
+      Alcotest.(check bool)
+        (Printf.sprintf "finding at %s:%d mentions %S" file line affix)
+        true
+        (List.exists
+           (fun (f : Lint.finding) -> Astring.String.is_infix ~affix f.message)
+           hits)
+
+let check_fires = check_state ~suppressed:false
+let check_flagged = check_state ~suppressed:true
+
+let check_silent ~rule ~file ~line () =
+  Alcotest.(check int)
+    (Printf.sprintf "[%s] stays silent at %s:%d" rule file line)
+    0
+    (List.length (find_at ~rule ~file ~line ()))
+
+(* ------------------------------- w1 -------------------------------- *)
+
+let test_w1_index () =
+  check_fires ~rule:"w1" ~file:"wt_w1.ml" ~line:5 ~contains:"Bytes.get" ()
+
+let test_w1_suppressed () = check_flagged ~rule:"w1" ~file:"wt_w1.ml" ~line:9 ()
+let test_w1_guarded () = check_silent ~rule:"w1" ~file:"wt_w1.ml" ~line:14 ()
+
+(* ------------------------------- w2 -------------------------------- *)
+
+let test_w2_alloc () =
+  check_fires ~rule:"w2" ~file:"wt_w2.ml" ~line:5 ~contains:"Bytes.create" ()
+
+let test_w2_suppressed () = check_flagged ~rule:"w2" ~file:"wt_w2.ml" ~line:9 ()
+
+let test_w2_min_clamped () =
+  (* [min n 4096] bounds the size from above: a sanitizer. *)
+  check_silent ~rule:"w2" ~file:"wt_w2.ml" ~line:14 ()
+
+(* ------------------------------- w3 -------------------------------- *)
+
+let test_w3_for_bound () =
+  check_fires ~rule:"w3" ~file:"wt_w3.ml" ~line:8 ~contains:"for-loop bound" ()
+
+let test_w3_count_label () =
+  (* The [~count] naming convention is a sink wherever it appears. *)
+  check_fires ~rule:"w3" ~file:"wt_w3.ml" ~line:15 ~contains:"~count" ()
+
+let test_w3_suppressed () = check_flagged ~rule:"w3" ~file:"wt_w3.ml" ~line:20 ()
+
+let test_w3_guarded () =
+  (* [if n < 16 then repeat ~count:n ...]: the guard dominates. *)
+  check_silent ~rule:"w3" ~file:"wt_w3.ml" ~line:28 ()
+
+(* ------------------------------- w4 -------------------------------- *)
+
+let test_w4_ledger_add () =
+  (* The accumulator-functor sink family, matched by name. *)
+  check_fires ~rule:"w4" ~file:"wt_w4.ml" ~line:13 ~contains:"Cell_acc.add" ()
+
+let test_w4_slice_math () =
+  check_fires ~rule:"w4" ~file:"wt_w4.ml" ~line:17 ~contains:"int_of_float" ()
+
+let test_w4_suppressed () = check_flagged ~rule:"w4" ~file:"wt_w4.ml" ~line:21 ()
+
+let test_w4_float_min_clamped () =
+  check_silent ~rule:"w4" ~file:"wt_w4.ml" ~line:26 ()
+
+(* -------------------------- sanitizer trio -------------------------- *)
+
+let test_sanitize_dominating_guard () =
+  check_silent ~rule:"w1" ~file:"wt_sanitize.ml" ~line:10 ()
+
+let test_sanitize_use_after_guard () =
+  (* The conditional guards one use; the use after it still fires
+     (the guard sanitizes its branches, not the continuation). *)
+  check_silent ~rule:"w1" ~file:"wt_sanitize.ml" ~line:14 ();
+  check_fires ~rule:"w1" ~file:"wt_sanitize.ml" ~line:15 ()
+
+let test_sanitize_indirect_boolean () =
+  (* [let ok = i < len in if ok then ...]: the cond mentions [ok],
+     not [i] — deliberately not recognized. *)
+  check_fires ~rule:"w1" ~file:"wt_sanitize.ml" ~line:20 ()
+
+(* ------------------------- cross-module flow ------------------------ *)
+
+let test_flow_field_fact () =
+  (* [frame.len] is tainted where [Wt_flow_src.parse] builds the
+     record; the sink is in the other module. *)
+  check_fires ~rule:"w1" ~file:"wt_flow_sink.ml" ~line:6
+    ~contains:"Wt_flow_src.frame.len" ()
+
+let test_flow_param_fact () =
+  (* [helper] itself never reads the wire: the taint arrives as a
+     parameter fact from [call], and the message names the chain. *)
+  check_fires ~rule:"w1" ~file:"wt_flow_sink.ml" ~line:7
+    ~contains:"Wt_flow_sink.helper arg 1" ()
+
+let test_flow_guarded_field () =
+  (* Access-path guard [f.len < Bytes.length f.payload] sanitizes the
+     field read inside the branch. *)
+  check_silent ~rule:"w1" ~file:"wt_flow_sink.ml" ~line:11 ()
+
+(* ------------------------------ counts ----------------------------- *)
+
+let test_exact_counts () =
+  let per pred = List.length (List.filter pred (findings ())) in
+  let active rule (f : Lint.finding) = f.rule = rule && not f.suppressed in
+  List.iter
+    (fun (rule, n) ->
+      Alcotest.(check int) ("active findings for " ^ rule) n (per (active rule)))
+    [ ("w1", 5); ("w2", 1); ("w3", 2); ("w4", 2) ];
+  Alcotest.(check int) "suppressed findings" 4 (per (fun f -> f.suppressed));
+  Alcotest.(check int) "total findings" 14 (List.length (findings ()));
+  Alcotest.(check bool) "all fixture modules scanned" true
+    (snd (Lazy.force result) >= 7)
+
+let suite =
+  [
+    Alcotest.test_case "w1 fires on a wire-tainted index" `Quick test_w1_index;
+    Alcotest.test_case "w1 suppression" `Quick test_w1_suppressed;
+    Alcotest.test_case "w1 silent under a dominating guard" `Quick test_w1_guarded;
+    Alcotest.test_case "w2 fires on a wire-tainted allocation" `Quick test_w2_alloc;
+    Alcotest.test_case "w2 suppression" `Quick test_w2_suppressed;
+    Alcotest.test_case "w2 silent under min-clamp" `Quick test_w2_min_clamped;
+    Alcotest.test_case "w3 fires on a for-loop bound" `Quick test_w3_for_bound;
+    Alcotest.test_case "w3 fires on a ~count argument" `Quick test_w3_count_label;
+    Alcotest.test_case "w3 suppression" `Quick test_w3_suppressed;
+    Alcotest.test_case "w3 silent under a dominating guard" `Quick test_w3_guarded;
+    Alcotest.test_case "w4 fires on ledger accumulation" `Quick test_w4_ledger_add;
+    Alcotest.test_case "w4 fires on slice math" `Quick test_w4_slice_math;
+    Alcotest.test_case "w4 suppression" `Quick test_w4_suppressed;
+    Alcotest.test_case "w4 silent under Float.min" `Quick test_w4_float_min_clamped;
+    Alcotest.test_case "sanitizer: dominating guard" `Quick test_sanitize_dominating_guard;
+    Alcotest.test_case "sanitizer: use after guard still fires" `Quick test_sanitize_use_after_guard;
+    Alcotest.test_case "sanitizer: indirect boolean not chased" `Quick test_sanitize_indirect_boolean;
+    Alcotest.test_case "cross-module field fact" `Quick test_flow_field_fact;
+    Alcotest.test_case "cross-module parameter fact" `Quick test_flow_param_fact;
+    Alcotest.test_case "cross-module guarded field" `Quick test_flow_guarded_field;
+    Alcotest.test_case "exact finding counts" `Quick test_exact_counts;
+  ]

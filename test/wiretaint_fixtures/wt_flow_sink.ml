@@ -1,0 +1,11 @@
+(* Sink half: nothing here calls a wire getter directly. The taint
+   arrives through [Wt_flow_src.frame.len] (a record-field fact) and
+   through [helper]'s second argument (a parameter fact created at
+   [call]'s call site) — a per-function pass would see nothing. *)
+
+let use_field (f : Wt_flow_src.frame) = Bytes.get f.payload f.len
+let helper (b : Bytes.t) (i : int) = Bytes.get b i
+let call (b : Bytes.t) = helper b (Wt_flow_src.read_len b)
+
+let guarded_field (f : Wt_flow_src.frame) =
+  if f.len < Bytes.length f.payload then Bytes.get f.payload f.len else '\000'

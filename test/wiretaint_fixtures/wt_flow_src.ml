@@ -1,0 +1,7 @@
+(* Source half of the cross-module interprocedural fixtures: the
+   taint is created here; every sink lives in [Wt_flow_sink]. *)
+
+type frame = { mutable len : int; payload : Bytes.t }
+
+let parse (b : Bytes.t) : frame = { len = Bytes.get_uint16_be b 0; payload = b }
+let read_len (b : Bytes.t) : int = Bytes.get_uint16_be b 2

@@ -1,0 +1,20 @@
+(* Sanitizer recognition: what the guard analysis accepts and what it
+   deliberately rejects (DESIGN.md §13). [dominated] is the blessed
+   idiom. [after_if] guards one use but then touches the index again
+   outside the conditional; [indirect] launders the comparison through
+   a boolean binding the path-based matcher does not chase. Both must
+   keep firing. *)
+
+let dominated (b : Bytes.t) =
+  let i = Bytes.get_uint16_be b 0 in
+  if 0 <= i && i < Bytes.length b then Bytes.get b i else '\000'
+
+let after_if (b : Bytes.t) =
+  let i = Bytes.get_uint16_be b 0 in
+  if i < Bytes.length b then ignore (Bytes.get b i);
+  Bytes.get b i
+
+let indirect (b : Bytes.t) =
+  let i = Bytes.get_uint16_be b 0 in
+  let ok = i < Bytes.length b in
+  if ok then Bytes.get b i else '\000'

@@ -1,0 +1,14 @@
+(* w1: wire-tainted byte indexing. *)
+
+let fire (b : Bytes.t) =
+  let i = Bytes.get_uint16_be b 0 in
+  Bytes.get b i
+
+let suppressed (b : Bytes.t) =
+  let i = Bytes.get_uint16_be b 0 in
+  Bytes.get b i
+[@@colibri.allow "w1"]
+
+let guarded (b : Bytes.t) =
+  let i = Bytes.get_uint16_be b 0 in
+  if i < Bytes.length b then Bytes.get b i else '\000'

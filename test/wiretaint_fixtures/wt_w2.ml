@@ -1,0 +1,14 @@
+(* w2: wire-tainted allocation sizes. *)
+
+let fire (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  Bytes.create n
+
+let suppressed (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  Bytes.create n
+[@@colibri.allow "w2"]
+
+let clamped (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  Bytes.create (min n 4096)

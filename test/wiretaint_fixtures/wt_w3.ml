@@ -1,0 +1,28 @@
+(* w3: wire-tainted loop bounds and ~count parameters. *)
+
+let repeat ~count x = List.init (min count 8) (fun _ -> x)
+
+let fire (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  let s = ref 0 in
+  for i = 0 to n do
+    s := !s + i
+  done;
+  !s
+
+let labeled_fire (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  repeat ~count:n 'x'
+
+let suppressed (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  let s = ref 0 in
+  for i = 0 to n do
+    s := !s + i
+  done;
+  !s
+[@@colibri.allow "w3"]
+
+let guarded (b : Bytes.t) =
+  let n = Bytes.get_uint16_be b 0 in
+  if n < 16 then repeat ~count:n 'x' else []

@@ -1,0 +1,26 @@
+(* w4: wire-tainted ledger accumulation and float->int slice math.
+   [Cell_acc] mimics the ntube accumulator-functor shape so the
+   Acc-family sink entry is exercised by name. *)
+
+module Cell_acc = struct
+  let t : (int, float) Hashtbl.t = Hashtbl.create 16
+  let get tbl k = try Hashtbl.find tbl k with Not_found -> 0.
+  let add tbl k dv = Hashtbl.replace tbl k (get tbl k +. dv)
+end
+
+let fire (b : Bytes.t) =
+  let bw = Int64.to_float (Bytes.get_int64_be b 0) in
+  Cell_acc.add Cell_acc.t 1 bw
+
+let slice_fire (b : Bytes.t) =
+  let ts = Int64.to_float (Bytes.get_int64_be b 0) in
+  int_of_float (ts /. 4.)
+
+let suppressed (b : Bytes.t) =
+  let ts = Int64.to_float (Bytes.get_int64_be b 0) in
+  int_of_float (ts /. 4.)
+[@@colibri.allow "w4"]
+
+let clamped (b : Bytes.t) =
+  let ts = Int64.to_float (Bytes.get_int64_be b 0) in
+  int_of_float (Float.min ts 1e6)

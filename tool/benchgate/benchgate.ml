@@ -99,13 +99,40 @@ let parse_summary (src : string) : (string * float) list =
     lines;
   List.rev !pairs
 
+(* The typedtree analyzers gated by tool/baseline.json. The per-tool
+   ratchet (fresh findings fail, stale entries fail) lives in each
+   analyzer's own @alias; this check closes the remaining hole — a
+   tool's ledger key being dropped wholesale, which would make its
+   gate vacuous without failing anything. *)
+let analyzer_tools = [ "colibri-deepscan"; "colibri-domaincheck"; "colibri-wiretaint" ]
+
+let check_analyzer_ledger (path : string) : string list =
+  if not (Sys.file_exists path) then
+    [ Printf.sprintf "analyzer ledger %s not found: the finding ratchet is gone" path ]
+  else
+    match Lint.Baseline.load path with
+    | exception Lint.Baseline.Parse_error msg ->
+        [ Printf.sprintf "analyzer ledger %s unreadable: %s" path msg ]
+    | ledger ->
+        List.filter_map
+          (fun tool ->
+            if List.mem_assoc tool ledger then None
+            else
+              Some
+                (Printf.sprintf
+                   "analyzer ledger %s has no [%s] key: the tool dropped out of the \
+                    finding ratchet"
+                   path tool))
+          analyzer_tools
+
 let () =
-  let path =
+  let path, baseline =
     match Sys.argv with
-    | [| _; p |] -> p
-    | [| _ |] -> "BENCH_colibri.json"
+    | [| _; p; b |] -> (p, Some b)
+    | [| _; p |] -> (p, None)
+    | [| _ |] -> ("BENCH_colibri.json", None)
     | _ ->
-        prerr_endline "usage: colibri_benchgate [BENCH_colibri.json]";
+        prerr_endline "usage: colibri_benchgate [BENCH_colibri.json [baseline.json]]";
         exit 2
   in
   if not (Sys.file_exists path) then (
@@ -114,6 +141,9 @@ let () =
   let summary = parse_summary (read_file path) in
   let failures = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  (match baseline with
+  | Some b -> List.iter (fun m -> failures := m :: !failures) (check_analyzer_ledger b)
+  | None -> ());
   List.iter
     (fun key ->
       if not (List.mem_assoc key summary) then

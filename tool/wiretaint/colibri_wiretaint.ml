@@ -1,0 +1,1 @@
+let () = exit (Wiretaint.run_cli (List.tl (Array.to_list Sys.argv)))

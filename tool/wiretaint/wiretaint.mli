@@ -1,0 +1,18 @@
+(** [colibri-wiretaint]: interprocedural taint analysis tracking
+    wire-derived (attacker-controlled) values to index/allocation/
+    loop-bound/ledger-arithmetic sinks (DESIGN.md §13). *)
+
+val rule_names : string list
+(** The rule identifiers, ["w1"]..["w4"]. *)
+
+val scan : string list -> Lint.Finding.t list * int
+(** [scan dirs] loads every [.cmt] under [dirs] (via {!Deepscan.load}),
+    runs the taint fixpoint, and returns the findings (sorted with
+    {!Lint.Finding.order}) plus the number of modules scanned.
+    Suppressed findings ([[@colibri.allow "w*"]]) are carried and
+    flagged, not dropped. *)
+
+val run_cli : string list -> int
+(** CLI driver: [run_cli args] with
+    [[--json] [--baseline FILE] <dir> ...]; exit status 0 = clean
+    against the baseline, 1 = fresh or stale findings, 2 = usage. *)
