@@ -1,0 +1,73 @@
+(** The attacker model: a botnet of compromised source ASes (§5.1).
+
+    SIBRA-style volumetric adversaries control many source ASes and
+    drive them in concert — setup spam against the admission plane,
+    overuse traffic against the data plane, or timed churn against the
+    renewal machinery. Each bot owns a private seeded RNG derived from
+    the botnet seed and its AS number, so a scenario replays
+    byte-identically for a given seed while the bots still act with
+    realistic per-attacker jitter instead of in lockstep.
+
+    Bots never act by themselves: a scenario hands each generator a
+    [fire] callback and the events are scheduled on the simulation's
+    {!Net.Engine}, interleaving attacker actions with the deployment's
+    own control-plane and renewal events in deterministic time
+    order. *)
+
+open Colibri_types
+
+type bot = { id : int; asn : Ids.asn; rng : Random.State.t }
+type t = { seed : int; bots : bot array }
+
+let create ~(seed : int) ~(ases : Ids.asn list) : t =
+  (match ases with [] -> invalid_arg "Botnet.create: no bot ASes" | _ :: _ -> ());
+  let bots =
+    Array.of_list
+      (List.mapi
+         (fun i asn ->
+           { id = i + 1; asn; rng = Random.State.make [| seed; Ids.hash_asn asn; i |] })
+         ases)
+  in
+  { seed; bots }
+
+let seed (t : t) = t.seed
+let size (t : t) = Array.length t.bots
+let bots (t : t) = Array.to_list t.bots
+let iter (t : t) (f : bot -> unit) = Array.iter f t.bots
+
+let uniform (b : bot) ~(min : float) ~(max : float) : float =
+  if max <= min then min else min +. Random.State.float b.rng (max -. min)
+
+let demand (b : bot) ~(min_mbps : float) ~(max_mbps : float) : Bandwidth.t =
+  Bandwidth.of_mbps (uniform b ~min:min_mbps ~max:max_mbps)
+
+(** Per-bot setup-spam generator: every bot fires [rounds] admission
+    attempts, the [r]-th at [start + r·interval + U[0, jitter)] with a
+    fresh jitter draw per event — a sustained request storm whose
+    per-attacker arrival times decorrelate, like real bot churn. *)
+let schedule_setups (t : t) ~(engine : Net.Engine.t) ~(start : float)
+    ~(interval : float) ~(jitter : float) ~(rounds : int)
+    ~(fire : bot -> round:int -> unit) : unit =
+  iter t (fun b ->
+      for r = 0 to rounds - 1 do
+        let at =
+          start +. (float_of_int r *. interval) +. uniform b ~min:0. ~max:jitter
+        in
+        Net.Engine.schedule_at engine ~time:at (fun () -> fire b ~round:r)
+      done)
+
+(** Per-bot traffic generator: from [start] until [stop], each bot
+    emits packets at [pps] with a private phase offset, rescheduling
+    itself through the engine — the data-plane overuse source. *)
+let schedule_traffic (t : t) ~(engine : Net.Engine.t) ~(start : float)
+    ~(stop : float) ~(pps : float) ~(fire : bot -> unit) : unit =
+  if pps <= 0. then invalid_arg "Botnet.schedule_traffic: pps <= 0";
+  let period = 1. /. pps in
+  iter t (fun b ->
+      let rec tick at =
+        if at < stop then
+          Net.Engine.schedule_at engine ~time:at (fun () ->
+              fire b;
+              tick (at +. period))
+      in
+      tick (start +. uniform b ~min:0. ~max:period))

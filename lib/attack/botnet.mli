@@ -1,0 +1,52 @@
+(** The attacker model: a botnet of compromised source ASes (§5.1).
+
+    Each bot owns a private seeded RNG derived from the botnet seed
+    and its AS number, so a scenario replays byte-identically for a
+    given seed while bots still act with per-attacker jitter. Bots act
+    only through generators scheduled on the simulation's
+    {!Net.Engine}, so attacker events interleave deterministically
+    with the deployment's own control-plane and renewal events. *)
+
+open Colibri_types
+
+type bot = { id : int; asn : Ids.asn; rng : Random.State.t }
+type t
+
+val create : seed:int -> ases:Ids.asn list -> t
+(** One bot per AS; raises [Invalid_argument] on an empty list. *)
+
+val seed : t -> int
+val size : t -> int
+val bots : t -> bot list
+val iter : t -> (bot -> unit) -> unit
+
+val uniform : bot -> min:float -> max:float -> float
+(** One draw from the bot's private RNG, uniform in [[min, max)]. *)
+
+val demand : bot -> min_mbps:float -> max_mbps:float -> Bandwidth.t
+(** A per-bot bandwidth demand draw. *)
+
+val schedule_setups :
+  t ->
+  engine:Net.Engine.t ->
+  start:float ->
+  interval:float ->
+  jitter:float ->
+  rounds:int ->
+  fire:(bot -> round:int -> unit) ->
+  unit
+(** Setup-spam generator: every bot fires [rounds] admission attempts,
+    the [r]-th at [start + r·interval + U[0, jitter)] with a fresh
+    per-event jitter draw. *)
+
+val schedule_traffic :
+  t ->
+  engine:Net.Engine.t ->
+  start:float ->
+  stop:float ->
+  pps:float ->
+  fire:(bot -> unit) ->
+  unit
+(** Traffic generator: from [start] until [stop] each bot emits
+    packets at [pps] with a private phase offset, rescheduling itself
+    through the engine. *)

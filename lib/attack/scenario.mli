@@ -1,0 +1,89 @@
+(** Deterministic reservation-layer DDoS scenarios (§5.1).
+
+    Three attacks, each parameterized by the admission backend under
+    test and a replay seed:
+
+    + {!exhaustion} — admission exhaustion: 24 bot ASes funneled
+      through one transfer AS spam SegR/EER setups; the report carries
+      the honest ASes' share of the contested trunk after the attack.
+    + {!overuse} — data-plane overuse: bots reserve 1 Mbps and send
+      ~5x through rogue gateways; the report carries OFD detection
+      latency, blocklist/denial coverage, and honest delivery.
+    + {!storm} — renewal-storm amplification: loss, a CServ crash and
+      a link flap timed at the synchronized renewal instants; the
+      report compares control messages per request against a clean
+      run and the retry budget.
+
+    Every report embeds a digest string that is byte-identical across
+    runs with the same seed — the replay property [test/attack]
+    asserts. *)
+
+open Backends
+
+type exhaustion_report = {
+  xh_backend : string;
+  xh_bound_enforced : bool;
+  xh_honest_bps : float;  (** Σ honest granted bandwidth after the attack *)
+  xh_total_bps : float;  (** Σ promised on the contested trunk egress *)
+  xh_share_bps : float;  (** the Colibri share of the trunk capacity *)
+  xh_honest_share : float;  (** honest ∕ max(total, share) *)
+  xh_honest_preserved : bool;  (** no honest grant shrank or vanished *)
+  xh_capacity_respected : bool;  (** total ≤ share *)
+  xh_bot_seg_attempts : int;
+  xh_bot_seg_granted : int;
+  xh_bot_eer_attempts : int;
+  xh_bot_eer_granted : int;
+  xh_digest : string;
+}
+
+val exhaustion : seed:int -> backend:Backend_intf.factory -> exhaustion_report
+
+type overuse_report = {
+  ou_backend : string;
+  ou_bots : int;
+  ou_flagged : int;  (** bots whose flow the OFD escalated to policing *)
+  ou_blocked : int;  (** bots quarantined in the router blocklist *)
+  ou_denied : int;  (** bots denied future reservations at the CServ *)
+  ou_detection_windows : float;  (** worst flag latency, in OFD windows *)
+  ou_bot_forwarded : int;
+  ou_bot_policed : int;
+  ou_bot_blocked_drops : int;
+  ou_honest_sent : int;
+  ou_honest_delivered : int;
+  ou_digest : string;
+}
+
+val overuse : seed:int -> backend:Backend_intf.factory -> overuse_report
+
+type storm_report = {
+  st_backend : string;
+  st_requests : int;  (** retry-layer requests, attack run *)
+  st_attempts : int;  (** transmissions across all requests *)
+  st_sent : int;  (** control messages on the wire *)
+  st_attempt_msg_bound : int;  (** messages one attempt may cost *)
+  st_max_attempts : int;  (** the retry budget per request *)
+  st_within_budget : bool;  (** sent ≤ requests × budget × bound *)
+  st_clean_msgs_per_req : float;
+  st_storm_msgs_per_req : float;
+  st_amplification : float;  (** storm ∕ clean messages per request *)
+  st_renewals_alive : bool;  (** every managed SegR survived the storm *)
+  st_audit_errors : int;
+  st_accounting_ok : bool;  (** sent = delivered + lost *)
+  st_pending : int;  (** in-flight requests after drain (must be 0) *)
+  st_digest : string;
+}
+
+val storm : seed:int -> backend:Backend_intf.factory -> storm_report
+
+(** {1 The full suite} *)
+
+type suite = {
+  s_seed : int;
+  s_exhaustion : exhaustion_report list;
+  s_overuse : overuse_report list;
+  s_storm : storm_report list;
+  s_digest : string;  (** byte-stable replay digest over every report *)
+}
+
+val run_suite : seed:int -> suite
+(** Every scenario against every backend of {!Backends.All.all}. *)

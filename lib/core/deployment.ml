@@ -60,9 +60,13 @@ let router (t : t) asn = (node t asn).router
     policies; [backend] selects the admission discipline every CServ
     runs (DESIGN.md §12); [router_monitoring = false] builds
     bare-fast-path routers (no OFD / duplicate filter), as used by the
-    speed benchmarks. *)
+    speed benchmarks. [router_auto_block] additionally blocklists a
+    source AS locally once a router confirms overuse (after
+    [router_confirm_after_drops] policed drops) — the full §4.8
+    enforcement chain the attack scenarios exercise. *)
 let create ?(policy_for = fun _ -> Cserv.default_policy)
-    ?(backend = Backends.All.ntube) ?(router_monitoring = true) ?(seed = 42)
+    ?(backend = Backends.All.ntube) ?(router_monitoring = true)
+    ?(router_auto_block = false) ?router_confirm_after_drops ?(seed = 42)
     (topo : Topology.t) : t =
   let engine = Net.Engine.create () in
   let clk = Net.Engine.clock engine in
@@ -80,7 +84,9 @@ let create ?(policy_for = fun _ -> Cserv.default_policy)
            if router_monitoring then
              Router.create
                ~report:(fun ~src -> Cserv.report_misbehavior cserv ~src)
-               ~secret ~clock:clk asn
+               ~auto_block:router_auto_block
+               ?confirm_after_drops:router_confirm_after_drops ~secret
+               ~clock:clk asn
            else
              Router.create ~ofd:`None ~duplicates:`None ~secret ~clock:clk asn
          in

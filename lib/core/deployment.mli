@@ -24,6 +24,8 @@ val create :
   ?policy_for:(Ids.asn -> Cserv.policy) ->
   ?backend:Backends.Backend_intf.factory ->
   ?router_monitoring:bool ->
+  ?router_auto_block:bool ->
+  ?router_confirm_after_drops:int ->
   ?seed:int ->
   Topology.t ->
   t
@@ -32,7 +34,11 @@ val create :
     key servers. [backend] selects the admission discipline every
     CServ runs (default: the N-Tube reference backend);
     [router_monitoring = false] builds bare-fast-path routers (no OFD /
-    duplicate filter), as used by the speed benchmarks. *)
+    duplicate filter), as used by the speed benchmarks.
+    [router_auto_block] additionally blocklists a source AS locally
+    once a router confirms overuse (after [router_confirm_after_drops]
+    policed drops) — the full §4.8 enforcement chain the attack
+    scenarios exercise. *)
 
 val clock : t -> Timebase.clock
 val now : t -> Timebase.t

@@ -100,6 +100,48 @@ module Two_isd = struct
   let e = Ids.asn ~isd:2 ~num:12
 end
 
+(** Attack funnel (§5.1 adversary model): [bots] attacker leaves and
+    [honest] victim leaves, all customers of one transfer AS X, which
+    reaches the single core C over one trunk link — the contested
+    resource every leaf's up-segment must cross. Bot and honest
+    leaves are distinguishable by AS number ({!funnel_bot} /
+    {!funnel_honest}), so scenarios can drive per-population
+    workloads; the trunk egress at X is {!funnel_trunk_iface}. *)
+let funnel ~(bots : int) ~(honest : int) ~(leaf_capacity : Bandwidth.t)
+    ~(trunk_capacity : Bandwidth.t) : Topology.t =
+  if bots < 1 || honest < 1 then invalid_arg "Topology_gen.funnel";
+  let t = Topology.create () in
+  let c = Ids.asn ~isd:1 ~num:1 and x = Ids.asn ~isd:1 ~num:2 in
+  Topology.add_as t ~asn:c ~core:true;
+  Topology.add_as t ~asn:x ~core:false;
+  (* Trunk: X reaches C via its interface 1 — the contested egress. *)
+  Topology.connect t ~a:c ~a_iface:11 ~b:x ~b_iface:1 ~capacity:trunk_capacity
+    ~kind:Topology.Parent_child;
+  let attach ~asn ~x_iface =
+    Topology.add_as t ~asn ~core:false;
+    Topology.connect t ~a:x ~a_iface:x_iface ~b:asn ~b_iface:1
+      ~capacity:leaf_capacity ~kind:Topology.Parent_child
+  in
+  for i = 1 to honest do
+    attach ~asn:(Ids.asn ~isd:1 ~num:(100 + i)) ~x_iface:(100 + i)
+  done;
+  for i = 1 to bots do
+    attach ~asn:(Ids.asn ~isd:1 ~num:(200 + i)) ~x_iface:(200 + i)
+  done;
+  t
+
+let funnel_core = Ids.asn ~isd:1 ~num:1
+let funnel_transfer = Ids.asn ~isd:1 ~num:2
+let funnel_trunk_iface : Ids.iface = 1
+
+let funnel_honest (i : int) : Ids.asn =
+  if i < 1 then invalid_arg "Topology_gen.funnel_honest";
+  Ids.asn ~isd:1 ~num:(100 + i)
+
+let funnel_bot (i : int) : Ids.asn =
+  if i < 1 then invalid_arg "Topology_gen.funnel_bot";
+  Ids.asn ~isd:1 ~num:(200 + i)
+
 (** Random two-tier internet: [isds] ISDs, each with [cores] core ASes
     (full core mesh within an ISD, ring across ISDs plus random extra
     inter-ISD links), and [leaves] non-core ASes per ISD, each attached

@@ -32,6 +32,30 @@ module Two_isd : sig
   val e : Ids.asn
 end
 
+val funnel :
+  bots:int ->
+  honest:int ->
+  leaf_capacity:Bandwidth.t ->
+  trunk_capacity:Bandwidth.t ->
+  Topology.t
+(** Attack funnel (§5.1 adversary model): [bots] attacker leaves and
+    [honest] victim leaves under one transfer AS, which reaches the
+    single core over one trunk link — the contested resource every
+    up-segment must cross. *)
+
+val funnel_core : Ids.asn
+val funnel_transfer : Ids.asn
+
+val funnel_trunk_iface : Ids.iface
+(** The transfer AS's egress interface toward the core — where the
+    contested trunk allocation is booked. *)
+
+val funnel_honest : int -> Ids.asn
+(** The [i]-th (1-based) honest leaf of {!funnel}. *)
+
+val funnel_bot : int -> Ids.asn
+(** The [i]-th (1-based) bot leaf of {!funnel}. *)
+
 val random :
   rng:Random.State.t -> isds:int -> cores:int -> leaves:int -> Topology.t
 (** A random two-tier internet: full core mesh per ISD, ring plus

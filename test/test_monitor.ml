@@ -331,6 +331,57 @@ let blocklist_expiry () =
   Alcotest.(check bool) "expired" false (Monitor.Blocklist.is_blocked bl bad);
   Alcotest.(check int) "entry purged" 0 (Monitor.Blocklist.size bl)
 
+let blocklist_boundary_at_deadline () =
+  (* Pins the expiry convention: a block of duration [d] covers the
+     half-open interval [now, now + d) — blocked strictly before the
+     deadline, free at exactly the deadline. Same convention as the
+     OFD's window rotation. *)
+  let sim = Timebase.Sim_clock.create () in
+  let bl = Monitor.Blocklist.create ~clock:(Timebase.Sim_clock.clock sim) () in
+  let bad = Ids.asn ~isd:1 ~num:668 in
+  (* Dyadic durations keep the clock arithmetic exact, so the test
+     really probes the boundary instant, not float rounding. *)
+  Monitor.Blocklist.block bl bad ~duration:(Some 60.);
+  Timebase.Sim_clock.advance sim 59.5;
+  Alcotest.(check bool) "blocked just below deadline" true
+    (Monitor.Blocklist.is_blocked bl bad);
+  Timebase.Sim_clock.advance sim 0.5;
+  Alcotest.(check bool) "free at exactly the deadline" false
+    (Monitor.Blocklist.is_blocked bl bad)
+
+let blocklist_lazy_purge_and_reblock () =
+  let sim = Timebase.Sim_clock.create () in
+  let bl = Monitor.Blocklist.create ~clock:(Timebase.Sim_clock.clock sim) () in
+  let bad = Ids.asn ~isd:1 ~num:669 in
+  Monitor.Blocklist.block bl bad ~duration:(Some 10.);
+  Timebase.Sim_clock.advance sim 10.;
+  (* Removal is lazy: the expired entry lingers until a query sees it
+     (the paper-sized list makes eager sweeps pointless)... *)
+  Alcotest.(check int) "expired entry lingers until queried" 1
+    (Monitor.Blocklist.size bl);
+  Alcotest.(check bool) "query reports free" false
+    (Monitor.Blocklist.is_blocked bl bad);
+  Alcotest.(check int) "query purged the entry" 0 (Monitor.Blocklist.size bl);
+  (* ...and a purged AS can be re-blocked with a fresh deadline. *)
+  Monitor.Blocklist.block bl bad ~duration:(Some 4.);
+  Timebase.Sim_clock.advance sim 3.5;
+  Alcotest.(check bool) "re-blocked" true (Monitor.Blocklist.is_blocked bl bad);
+  Timebase.Sim_clock.advance sim 0.5;
+  Alcotest.(check bool) "re-block expires at its own deadline" false
+    (Monitor.Blocklist.is_blocked bl bad)
+
+let blocklist_permanent_never_expires () =
+  let sim = Timebase.Sim_clock.create () in
+  let bl = Monitor.Blocklist.create ~clock:(Timebase.Sim_clock.clock sim) () in
+  let bad = Ids.asn ~isd:1 ~num:670 in
+  Monitor.Blocklist.block bl bad ~duration:None;
+  Timebase.Sim_clock.advance sim 1e9;
+  Alcotest.(check bool) "permanent block survives any clock" true
+    (Monitor.Blocklist.is_blocked bl bad);
+  Monitor.Blocklist.unblock bl bad;
+  Alcotest.(check bool) "only unblock lifts it" false
+    (Monitor.Blocklist.is_blocked bl bad)
+
 let suite =
   [
     Alcotest.test_case "token bucket: conforming flow passes" `Quick tb_conforming_flow_passes;
@@ -360,4 +411,10 @@ let suite =
     QCheck_alcotest.to_alcotest prop_ofd_never_underestimates;
     Alcotest.test_case "blocklist: basics" `Quick blocklist_basics;
     Alcotest.test_case "blocklist: expiry" `Quick blocklist_expiry;
+    Alcotest.test_case "blocklist: half-open expiry boundary" `Quick
+      blocklist_boundary_at_deadline;
+    Alcotest.test_case "blocklist: lazy purge and re-block" `Quick
+      blocklist_lazy_purge_and_reblock;
+    Alcotest.test_case "blocklist: permanent entry" `Quick
+      blocklist_permanent_never_expires;
   ]

@@ -1,0 +1,107 @@
+(** Regression pinning retry non-amplification in the clean case.
+
+    The renewal-storm attack scenario ([@attack], scenario c) bounds
+    control-message amplification {e under attack} relative to a clean
+    run. This suite pins the clean-side envelope itself: under plain
+    5% per-link loss — no crashes, no flaps, no synchronized storms —
+    the retry layer must not amplify, i.e. the message cost per setup
+    stays within a small constant of the lossless walk cost:
+
+    - every attempt costs at most [2n] messages for an [n]-hop path
+      (forward pass + backward pass, one message per link);
+    - attempts per request stay within the [max_attempts] budget;
+    - the {e average} messages per request stay near the lossless cost
+      (at 5% loss the expected attempts per walk are ≈ 1.5, nowhere
+      near the budget ceiling);
+    - the run drains: accounting closes, no pending requests, no
+      leaked admission state.
+
+    Deterministic: fixed topology, fixed fault seed, fixed retry seed. *)
+
+open Colibri_types
+open Colibri_topology
+open Colibri
+
+let gbps = Bandwidth.of_gbps
+let mbps = Bandwidth.of_mbps
+
+let counter_value (snap : Obs.snapshot) (name : string) : int =
+  let rec go = function
+    | [] -> 0
+    | (n, Obs.Counter v) :: _ when String.equal n name -> v
+    | _ :: rest -> go rest
+  in
+  go snap
+
+let clean_case_envelope () =
+  let n = 4 in
+  let topo = Topology_gen.linear ~n ~capacity:(gbps 100.) in
+  let d = Deployment.create topo in
+  let faults = Net.Fault.create ~seed:7 () in
+  Net.Fault.set_default faults (Net.Fault.plan ~loss:0.05 ~jitter:0.001 ());
+  Deployment.attach_network ~faults ~retry_seed:49 d;
+  let path = Topology_gen.linear_path ~n in
+  let total = 40 in
+  let ok = ref 0 in
+  for _ = 1 to total do
+    match
+      Deployment.setup_segr_sync d ~path ~kind:Reservation.Core
+        ~max_bw:(mbps 100.) ~min_bw:(mbps 1.)
+    with
+    | Ok _ -> incr ok
+    | Error _ -> ()
+  done;
+  Deployment.advance d 120.;
+  let snap = Obs.Registry.snapshot (Deployment.network_metrics d) in
+  let requests = counter_value snap "retry_requests_total" in
+  let attempts = counter_value snap "retry_attempts_total" in
+  let cn = Deployment.control_net d in
+  let sent = Control_net.sent_count cn in
+  (* The retry layer also issues cleanup/teardown requests for walks
+     that lost a reply, so requests may slightly exceed the setups —
+     but never fall below them. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "requests %d cover the %d setups" requests total)
+    true
+    (requests >= total && requests <= total * 2);
+  Alcotest.(check bool)
+    (Printf.sprintf "%d/%d setups succeeded" !ok total)
+    true
+    (!ok >= total - 1);
+  (* Hard budget: the retry layer never spends more than its
+     per-request allowance. *)
+  let budget = Retry.default_policy.Retry.max_attempts in
+  Alcotest.(check bool)
+    (Printf.sprintf "attempts %d ≤ %d × budget %d" attempts requests budget)
+    true
+    (attempts <= requests * budget);
+  (* Per-attempt message bound: forward + backward, one msg per link. *)
+  let attempt_msg_bound = 2 * n in
+  Alcotest.(check bool)
+    (Printf.sprintf "sent %d ≤ attempts %d × %d" sent attempts
+       attempt_msg_bound)
+    true
+    (sent <= attempts * attempt_msg_bound);
+  (* The non-amplification envelope: at 5% per-link loss a walk
+     retries rarely (expected ≈ 1.5 attempts), so the average message
+     cost per setup stays below twice the lossless walk cost — far
+     from the budget ceiling of budget × 2n. *)
+  let per_req = float_of_int sent /. float_of_int total in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.2f msgs/setup ≤ %d (2 lossless walks)" per_req
+       (2 * attempt_msg_bound))
+    true
+    (per_req <= float_of_int (2 * attempt_msg_bound));
+  (* And the run drains completely. *)
+  Alcotest.(check int) "accounting closes" sent
+    (Control_net.delivered_count cn + Control_net.lost_count cn);
+  Alcotest.(check int) "no pending requests" 0
+    (Retry.pending (Deployment.retrier d));
+  Alcotest.(check int) "no leaked admission state" 0
+    (List.length (Deployment.audit_all d))
+
+let suite =
+  [
+    Alcotest.test_case "clean case: 5% loss stays in the retry envelope"
+      `Quick clean_case_envelope;
+  ]

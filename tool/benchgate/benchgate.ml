@@ -59,6 +59,21 @@ let backend_keys =
 let reference_admit_key = "backend_ntube_admit_rate"
 let reference_admit_floor = 0.995
 
+(* PR 10: the adversarial suite ([bench/main.exe attack], test/attack).
+   Enforcing backends must keep honest ASes a bounded share of a
+   trunk under setup spam while admissionless DiffServ visibly fails
+   the same bound, overusers must be flagged within one OFD window,
+   and crash-synchronized renewal storms must not amplify control
+   traffic beyond 1.5x a clean run. *)
+let attack_honest_key = "attack_honest_share_min"
+let attack_honest_floor = 0.35
+let attack_diffserv_key = "attack_diffserv_honest_share"
+let attack_diffserv_ceiling = 0.35
+let attack_detection_key = "attack_detection_latency_windows"
+let attack_detection_ceiling = 1.0
+let attack_amplification_key = "attack_amplification_x"
+let attack_amplification_ceiling = 1.5
+
 let read_file (path : string) : string =
   let ic = open_in_bin path in
   Fun.protect
@@ -181,6 +196,38 @@ let () =
          curve complete\n"
         fly ref_msgs reference_admit_key reference_admit_floor
   | _ -> () (* missing keys already reported above *));
+  (match List.assoc_opt attack_honest_key summary with
+  | None -> fail "missing key [%s]: the attack suite must stay in the ledger" attack_honest_key
+  | Some x when x < attack_honest_floor ->
+      fail "%s = %.4f < %.2f: honest ASes lost their bounded share under setup spam"
+        attack_honest_key x attack_honest_floor
+  | Some _ -> ());
+  (match List.assoc_opt attack_diffserv_key summary with
+  | None -> fail "missing key [%s]: the attack suite must stay in the ledger" attack_diffserv_key
+  | Some x when x >= attack_diffserv_ceiling ->
+      fail
+        "%s = %.4f >= %.2f: the admissionless baseline no longer shows the failure \
+         the comparison exists to show"
+        attack_diffserv_key x attack_diffserv_ceiling
+  | Some _ -> ());
+  (match List.assoc_opt attack_detection_key summary with
+  | None -> fail "missing key [%s]: the attack suite must stay in the ledger" attack_detection_key
+  | Some x when x > attack_detection_ceiling ->
+      fail "%s = %.4f > %.1f: overusers escape the OFD for more than one window"
+        attack_detection_key x attack_detection_ceiling
+  | Some _ -> ());
+  (match List.assoc_opt attack_amplification_key summary with
+  | None -> fail "missing key [%s]: the attack suite must stay in the ledger" attack_amplification_key
+  | Some x when x > attack_amplification_ceiling ->
+      fail "%s = %.4f > %.1f: renewal storms amplify control traffic beyond the retry budget"
+        attack_amplification_key x attack_amplification_ceiling
+  | Some x ->
+      Printf.printf
+        "benchgate: attack curve complete (honest share >= %.2f, detection %.2f \
+         windows, amplification %.2fx)\n"
+        attack_honest_floor
+        (Option.value ~default:0. (List.assoc_opt attack_detection_key summary))
+        x);
   match !failures with
   | [] -> ()
   | fs ->
